@@ -1,0 +1,296 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VI) at the scale selected by MRSL_SCALE
+   (smoke | default | full), and runs a Bechamel micro-benchmark per
+   artifact measuring its computational kernel.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table2 fig11 -- selected artifacts
+     dune exec bench/main.exe -- micro        -- micro-benchmarks only *)
+
+let scale = Experiments.Scale.current ()
+
+let seed =
+  match Sys.getenv_opt "MRSL_SEED" with
+  | Some s -> ( try int_of_string s with Failure _ -> 2011)
+  | None -> 2011
+
+let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
+
+let timed_section id title f =
+  let rng = Prob.Rng.create (seed + Hashtbl.hash id) in
+  let t0 = Unix.gettimeofday () in
+  let body = f rng in
+  section title body;
+  Printf.printf "[%s completed in %.1fs at scale=%s]\n%!" id
+    (Unix.gettimeofday () -. t0)
+    scale.Experiments.Scale.name
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per paper artifact,
+   exercising the computational kernel that artifact measures. *)
+
+type fixture = {
+  network : Bayesnet.Network.t;
+  points : int array array;
+  model : Mrsl.Model.t;
+  masked_tuples : Relation.Tuple.t array;  (** one missing value each *)
+  multi_tuple : Relation.Tuple.t;  (** two missing values *)
+  workload : Relation.Tuple.t list;
+  cards : int array;
+}
+
+let micro_fixture () =
+  let rng = Prob.Rng.create seed in
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let network = Bayesnet.Network.generate rng entry.topology in
+  let train = Bayesnet.Network.sample_instance rng network 2000 in
+  let points = Relation.Instance.complete_part train in
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.01 }
+      train
+  in
+  let masked_tuples =
+    Relation.Instance.tuples
+      (Relation.Instance.mask_exact rng ~missing:1
+         (Bayesnet.Network.sample_instance rng network 64))
+  in
+  let multi_tuple =
+    let t = Relation.Tuple.of_point (Bayesnet.Network.sample_point rng network) in
+    t.(1) <- None;
+    t.(3) <- None;
+    t
+  in
+  let workload =
+    Array.to_list
+      (Relation.Instance.tuples
+         (Relation.Instance.mask_uniform rng ~max_missing:3
+            (Bayesnet.Network.sample_instance rng network 32)))
+  in
+  {
+    network;
+    points;
+    model;
+    masked_tuples;
+    multi_tuple;
+    workload;
+    cards = Bayesnet.Topology.cardinalities entry.topology;
+  }
+
+let infer_batch ?method_ fx () =
+  Array.iter
+    (fun tup ->
+      match Relation.Tuple.missing tup with
+      | a :: _ -> ignore (Mrsl.Infer_single.infer ?method_ fx.model tup a)
+      | [] -> ())
+    fx.masked_tuples
+
+let micro_tests fx =
+  let open Bechamel in
+  let schema = Mrsl.Model.schema fx.model in
+  [
+    (* Table I: catalog/topology construction and depth computation. *)
+    Test.make ~name:"table1/catalog-depth"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (e : Bayesnet.Catalog.entry) ->
+               ignore (Bayesnet.Topology.depth e.topology))
+             Bayesnet.Catalog.all));
+    (* Fig 4: Apriori mining and full model learning. *)
+    Test.make ~name:"fig4/apriori-mine"
+      (Staged.stage (fun () ->
+           ignore
+             (Mining.Apriori.mine
+                ~config:{ threshold = 0.02; max_itemsets = 1000 }
+                ~cards:fx.cards fx.points)));
+    Test.make ~name:"fig4/model-learn"
+      (Staged.stage (fun () ->
+           ignore
+             (Mrsl.Model.learn_points
+                ~params:
+                  { Mrsl.Model.default_params with support_threshold = 0.02 }
+                schema fx.points)));
+    (* Table II / Fig 5: single-attribute inference under two methods. *)
+    Test.make ~name:"table2/infer-best-averaged"
+      (Staged.stage (infer_batch ~method_:Mrsl.Voting.best_averaged fx));
+    Test.make ~name:"fig5/infer-all-weighted"
+      (Staged.stage (infer_batch ~method_:Mrsl.Voting.all_weighted fx));
+    (* Fig 6: lattice matching, the support-sensitive kernel. *)
+    Test.make ~name:"fig6/lattice-matching"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun tup ->
+               match Relation.Tuple.missing tup with
+               | a :: _ ->
+                   ignore (Mrsl.Lattice.matching (Mrsl.Model.lattice fx.model a) tup)
+               | [] -> ())
+             fx.masked_tuples));
+    (* Fig 8: the exact-posterior reference computation. *)
+    Test.make ~name:"fig8/exact-posterior"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun tup ->
+               if not (Relation.Tuple.is_complete tup) then
+                 ignore (Bayesnet.Network.posterior_joint fx.network tup))
+             fx.masked_tuples));
+    (* Fig 9: batched default-method inference. *)
+    Test.make ~name:"fig9/inference-batch" (Staged.stage (infer_batch fx));
+    (* Fig 10: one Gibbs run over a 2-missing tuple. *)
+    Test.make ~name:"fig10/gibbs-run"
+      (Staged.stage
+         (let sampler = Mrsl.Gibbs.sampler fx.model in
+          fun () ->
+            ignore
+              (Mrsl.Gibbs.run
+                 ~config:{ burn_in = 20; samples = 100 }
+                 (Prob.Rng.create 7) sampler fx.multi_tuple)));
+    (* Fig 11: the two workload strategies. *)
+    Test.make ~name:"fig11/workload-tuple-at-a-time"
+      (Staged.stage
+         (let sampler = Mrsl.Gibbs.sampler fx.model in
+          fun () ->
+            ignore
+              (Mrsl.Workload.run
+                 ~config:{ burn_in = 10; samples = 50 }
+                 ~strategy:Mrsl.Workload.Tuple_at_a_time (Prob.Rng.create 7)
+                 sampler fx.workload)));
+    Test.make ~name:"fig11/workload-tuple-dag"
+      (Staged.stage
+         (let sampler = Mrsl.Gibbs.sampler fx.model in
+          fun () ->
+            ignore
+              (Mrsl.Workload.run
+                 ~config:{ burn_in = 10; samples = 50 }
+                 ~strategy:Mrsl.Workload.Tuple_dag (Prob.Rng.create 7) sampler
+                 fx.workload)));
+    (* Ablations: tuple-DAG construction. *)
+    Test.make ~name:"ablation/tuple-dag-build"
+      (Staged.stage (fun () -> ignore (Mrsl.Tuple_dag.build fx.workload)));
+    (* Baselines: BN structure learning and the DN fit. *)
+    Test.make ~name:"baselines/bn-structure-fit"
+      (Staged.stage (fun () ->
+           ignore (Bayesnet.Structure_learn.fit ~cards:fx.cards fx.points)));
+    Test.make ~name:"baselines/independent-product"
+      (Staged.stage (fun () ->
+           ignore
+             (Baselines.Independent_product.infer_joint fx.model fx.multi_tuple)));
+    (* Missingness: masking pass. *)
+    Test.make ~name:"missingness/mcar-mask"
+      (Staged.stage
+         (let inst =
+            Relation.Instance.of_points
+              (Mrsl.Model.schema fx.model)
+              (Array.to_list fx.points)
+          in
+          fun () ->
+            ignore
+              (Relation.Missingness.mask (Prob.Rng.create 3)
+                 (Relation.Missingness.Mcar 0.1) inst)));
+    (* Query layer: top-k worlds over a derived database. *)
+    Test.make ~name:"query/top-k-worlds"
+      (Staged.stage
+         (let db =
+            Probdb.Pdb.derive
+              ~config:{ Mrsl.Gibbs.burn_in = 10; samples = 50 }
+              (Prob.Rng.create 5) fx.model
+              (Relation.Instance.make
+                 (Mrsl.Model.schema fx.model)
+                 (Array.to_list
+                    (Array.sub fx.masked_tuples 0 8)))
+          in
+          fun () -> ignore (Probdb.Pdb.top_k_worlds db 20)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let fx = micro_fixture () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"mrsl" (micro_tests fx))
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  let body =
+    Experiments.Report.render ~title:"Bechamel micro-benchmarks"
+      ~header:[ "benchmark"; "ns/run"; "ms/run" ]
+      (List.map
+         (fun (name, ns) -> Experiments.Report.[ S name; F ns; F (ns /. 1e6) ])
+         rows)
+  in
+  section "micro" body
+
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ( "table1",
+      "Table I: benchmark network characteristics",
+      fun _rng -> Experiments.Table1.render () );
+    ( "fig4",
+      "Fig 4: learning the MRSL model",
+      fun rng -> Experiments.Fig4.render rng scale );
+    ( "table2",
+      "Table II: accuracy of single-variable inference",
+      fun rng -> Experiments.Table2.render rng scale );
+    ( "fig5",
+      "Fig 5: accuracy vs training set size",
+      fun rng -> Experiments.Fig5.render rng scale );
+    ( "fig6",
+      "Fig 6: accuracy vs support threshold",
+      fun rng -> Experiments.Fig6.render rng scale );
+    ( "fig8",
+      "Fig 8: accuracy vs network properties",
+      fun rng -> Experiments.Fig8.render rng scale );
+    ( "fig9",
+      "Fig 9: inference time vs model size",
+      fun rng -> Experiments.Fig9.render rng scale );
+    ( "fig10",
+      "Fig 10: accuracy of multi-variable inference",
+      fun rng -> Experiments.Fig10.render rng scale );
+    ( "fig11",
+      "Fig 11: efficiency of multi-variable inference",
+      fun rng -> Experiments.Fig11.render rng scale );
+    ( "missingness",
+      "Missingness mechanisms: MCAR / MAR / MNAR robustness",
+      fun rng -> Experiments.Missingness_exp.render rng scale );
+    ( "baselines",
+      "Baselines: MRSL vs independent product, learned BN, backoff DN",
+      fun rng -> Experiments.Baselines_exp.render rng scale );
+    ( "ablations",
+      "Ablations: maxItemsets, smoothing floor, Gibbs strategy, memoization",
+      fun rng -> Experiments.Ablations.render rng scale );
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map (fun (id, _, _) -> id) artifacts @ [ "micro" ]
+  in
+  Printf.printf "MRSL reproduction benches (scale=%s, seed=%d)\n%!"
+    scale.Experiments.Scale.name seed;
+  List.iter
+    (fun id ->
+      if id = "micro" then run_micro ()
+      else
+        match List.find_opt (fun (i, _, _) -> i = id) artifacts with
+        | Some (id, title, f) -> timed_section id title f
+        | None ->
+            Printf.eprintf "unknown artifact %S (known: %s, micro)\n%!" id
+              (String.concat ", " (List.map (fun (i, _, _) -> i) artifacts)))
+    requested

@@ -1,0 +1,528 @@
+(* mrsl — command-line interface to the MRSL reproduction.
+
+   Subcommands:
+     generate    sample a catalog Bayesian network into a CSV (optionally
+                 masking values, producing an incomplete relation)
+     learn       learn an MRSL model from a CSV and summarize it
+     infer       derive probability distributions for the incomplete tuples
+                 of a CSV (the paper's end-to-end pipeline)
+     query       derive a probabilistic database and answer a conjunctive
+                 query (expected count + existence probability)
+     experiment  regenerate one of the paper's tables/figures *)
+
+open Cmdliner
+
+let scale = Experiments.Scale.current ()
+
+(* ---------------- common arguments ---------------- *)
+
+let seed_arg =
+  let doc = "Random seed (all commands are deterministic given the seed)." in
+  Arg.(value & opt int 2011 & info [ "seed" ] ~doc)
+
+let support_arg =
+  let doc = "Support threshold θ for frequent-itemset mining." in
+  Arg.(value & opt float 0.02 & info [ "support" ] ~doc ~docv:"THETA")
+
+let max_itemsets_arg =
+  let doc = "Apriori per-round cap on frequent itemsets (paper: 1000)." in
+  Arg.(value & opt int 1000 & info [ "max-itemsets" ] ~doc)
+
+let input_arg =
+  let doc = "Input CSV file (header row; \"?\" marks missing values)." in
+  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~doc ~docv:"CSV")
+
+let miner_arg =
+  let doc = "Frequent-itemset miner: apriori or fp-growth." in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "apriori" -> Ok Mrsl.Model.Apriori
+    | "fp-growth" | "fpgrowth" | "fp" -> Ok Mrsl.Model.Fp_growth
+    | _ -> Error (`Msg (Printf.sprintf "unknown miner %S" s))
+  in
+  let print ppf = function
+    | Mrsl.Model.Apriori -> Format.pp_print_string ppf "apriori"
+    | Mrsl.Model.Fp_growth -> Format.pp_print_string ppf "fp-growth"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mrsl.Model.Apriori
+    & info [ "miner" ] ~doc)
+
+let params_of ?(miner = Mrsl.Model.Apriori) support max_itemsets =
+  {
+    Mrsl.Model.default_params with
+    support_threshold = support;
+    max_itemsets;
+    miner;
+  }
+
+let method_arg =
+  let doc =
+    "Voting method: all-averaged, all-weighted, best-averaged, best-weighted."
+  in
+  let parse s =
+    match Mrsl.Voting.method_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown voting method %S" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Mrsl.Voting.method_name m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mrsl.Voting.best_averaged
+    & info [ "method" ] ~doc ~docv:"METHOD")
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let network_arg =
+    let doc = "Catalog network id (BN1 … BN20); see `experiment table1'." in
+    Arg.(value & opt string "BN8" & info [ "network" ] ~doc)
+  in
+  let size_arg =
+    let doc = "Number of tuples to sample." in
+    Arg.(value & opt int 1000 & info [ "n"; "size" ] ~doc)
+  in
+  let mask_arg =
+    let doc =
+      "Fraction of tuples to make incomplete (uniformly chosen attributes)."
+    in
+    Arg.(value & opt float 0. & info [ "mask-fraction" ] ~doc)
+  in
+  let max_missing_arg =
+    let doc = "Maximum missing values per masked tuple." in
+    Arg.(value & opt int 2 & info [ "max-missing" ] ~doc)
+  in
+  let output_arg =
+    let doc = "Output CSV path (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run network size mask_fraction max_missing output seed =
+    match Bayesnet.Catalog.find network with
+    | exception Not_found ->
+        Printf.eprintf "unknown network %s (BN1..BN20)\n" network;
+        exit 1
+    | entry ->
+        let rng = Prob.Rng.create seed in
+        let net = Bayesnet.Network.generate rng ~alpha:scale.alpha entry.topology in
+        let inst = Bayesnet.Network.sample_instance rng net size in
+        let inst =
+          if mask_fraction <= 0. then inst
+          else begin
+            let tuples = Relation.Instance.tuples inst in
+            let n_mask =
+              int_of_float (mask_fraction *. float_of_int (Array.length tuples))
+            in
+            let victims =
+              Prob.Rng.sample_without_replacement rng n_mask
+                (Array.length tuples)
+            in
+            let arity = Relation.Schema.arity (Relation.Instance.schema inst) in
+            List.iter
+              (fun i ->
+                let k = 1 + Prob.Rng.int rng (min max_missing (arity - 1)) in
+                let blanks = Prob.Rng.sample_without_replacement rng k arity in
+                List.iter (fun a -> tuples.(i).(a) <- None) blanks)
+              victims;
+            Relation.Instance.make
+              (Relation.Instance.schema inst)
+              (Array.to_list tuples)
+          end
+        in
+        let text = Relation.Csv_io.write_string inst in
+        (match output with
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc -> output_string oc text);
+            Printf.printf "wrote %d tuples over %s to %s\n"
+              (Relation.Instance.size inst) network path
+        | None -> print_string text)
+  in
+  let info =
+    Cmd.info "generate" ~doc:"Sample a catalog Bayesian network into a CSV."
+  in
+  Cmd.v info
+    Term.(
+      const run $ network_arg $ size_arg $ mask_arg $ max_missing_arg
+      $ output_arg $ seed_arg)
+
+(* ---------------- learn ---------------- *)
+
+let learn_cmd =
+  let verbose_arg =
+    let doc = "Print every meta-rule of every lattice." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Serialize the learned model to this path (see `infer --model')." in
+    Arg.(value & opt (some string) None & info [ "o"; "save-model" ] ~doc)
+  in
+  let run input support max_itemsets miner verbose save =
+    let inst = Relation.Csv_io.read_file input in
+    let params = params_of ~miner support max_itemsets in
+    let model, seconds =
+      Experiments.Framework.time (fun () -> Mrsl.Model.learn ~params inst)
+    in
+    let schema = Mrsl.Model.schema model in
+    Printf.printf
+      "learned MRSL model from %d complete tuples (of %d) in %.3fs\n"
+      (Array.length (Relation.Instance.complete_part inst))
+      (Relation.Instance.size inst)
+      seconds;
+    Printf.printf "model size: %d meta-rules over %d attributes%s\n"
+      (Mrsl.Model.size model)
+      (Relation.Schema.arity schema)
+      (if Mrsl.Model.truncated model then " (mining truncated by cap)" else "");
+    Array.iteri
+      (fun i l ->
+        Printf.printf "  %-12s %5d meta-rules, max body %d\n"
+          (Relation.Attribute.name (Relation.Schema.attribute schema i))
+          (Mrsl.Lattice.size l) (Mrsl.Lattice.max_body_size l))
+      (Mrsl.Model.lattices model);
+    if verbose then Format.printf "%a@." Mrsl.Model.pp model;
+    match save with
+    | Some path ->
+        Mrsl.Model_io.save path model;
+        Printf.printf "model saved to %s\n" path
+    | None -> ()
+  in
+  let info = Cmd.info "learn" ~doc:"Learn an MRSL model from a CSV file." in
+  Cmd.v info
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ miner_arg
+      $ verbose_arg $ save_arg)
+
+(* ---------------- infer ---------------- *)
+
+let strategy_arg =
+  let doc = "Sampling strategy: tuple-dag, tuple-at-a-time, all-at-a-time." in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "tuple-dag" | "dag" -> Ok Mrsl.Workload.Tuple_dag
+    | "tuple-at-a-time" | "tuple" -> Ok Mrsl.Workload.Tuple_at_a_time
+    | "all-at-a-time" | "all" -> Ok Mrsl.Workload.All_at_a_time
+    | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Mrsl.Workload.strategy_name s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mrsl.Workload.Tuple_dag
+    & info [ "strategy" ] ~doc)
+
+let samples_arg =
+  let doc = "Gibbs samples per tuple (N)." in
+  Arg.(value & opt int 1000 & info [ "samples" ] ~doc)
+
+let burn_in_arg =
+  let doc = "Gibbs burn-in sweeps per chain (B)." in
+  Arg.(value & opt int 100 & info [ "burn-in" ] ~doc)
+
+let top_arg =
+  let doc = "Print at most this many completions per tuple." in
+  Arg.(value & opt int 5 & info [ "top" ] ~doc)
+
+let infer_cmd =
+  let model_arg =
+    let doc =
+      "Load a previously saved model instead of learning from the input \
+       (the CSV must use the same schema)."
+    in
+    Arg.(value & opt (some file) None & info [ "model" ] ~doc)
+  in
+  let run input support max_itemsets method_ strategy samples burn_in top
+      model_path seed =
+    let inst = Relation.Csv_io.read_file input in
+    let schema = Relation.Instance.schema inst in
+    let params = params_of support max_itemsets in
+    let model =
+      match model_path with
+      | Some path ->
+          let m = Mrsl.Model_io.load path in
+          if not (Relation.Schema.equal (Mrsl.Model.schema m) schema) then begin
+            Printf.eprintf
+              "model schema does not match the input CSV; re-run learn\n";
+            exit 1
+          end;
+          m
+      | None -> Mrsl.Model.learn ~params inst
+    in
+    let incomplete = Array.to_list (Relation.Instance.incomplete_part inst) in
+    if incomplete = [] then print_endline "no incomplete tuples to infer"
+    else begin
+      let sampler = Mrsl.Gibbs.sampler ~method_ model in
+      let config = { Mrsl.Gibbs.burn_in; samples } in
+      let result =
+        Mrsl.Workload.run ~config ~strategy
+          (Prob.Rng.create seed)
+          sampler incomplete
+      in
+      Printf.printf
+        "inferred %d distinct incomplete tuples (%d sweeps, %.3fs, %s)\n\n"
+        (List.length result.estimates)
+        result.stats.sweeps result.stats.wall_seconds
+        (Mrsl.Workload.strategy_name strategy);
+      List.iter
+        (fun (tup, est) ->
+          let block = Probdb.Block.of_estimate est in
+          Format.printf "%a:@." (Relation.Tuple.pp schema) tup;
+          List.iteri
+            (fun i (a : Probdb.Block.alternative) ->
+              if i < top then
+                Format.printf "  %a  prob %.4f@."
+                  (Relation.Tuple.pp schema)
+                  (Relation.Tuple.of_point a.point)
+                  a.prob)
+            block.alternatives;
+          if Probdb.Block.alternative_count block > top then
+            Format.printf "  … (%d more completions)@."
+              (Probdb.Block.alternative_count block - top))
+        result.estimates
+    end
+  in
+  let info =
+    Cmd.info "infer"
+      ~doc:
+        "Derive probability distributions for the incomplete tuples of a CSV."
+  in
+  Cmd.v info
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
+      $ strategy_arg $ samples_arg $ burn_in_arg $ top_arg $ model_arg
+      $ seed_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run input =
+    let inst = Relation.Csv_io.read_file input in
+    print_string (Relation.Profile.render inst)
+  in
+  let info =
+    Cmd.info "profile"
+      ~doc:
+        "Summarize a CSV: per-attribute cardinality/missingness/entropy and \
+         pairwise mutual information."
+  in
+  Cmd.v info Term.(const run $ input_arg)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let run input support max_itemsets method_ =
+    let inst = Relation.Csv_io.read_file input in
+    let schema = Relation.Instance.schema inst in
+    let params = params_of support max_itemsets in
+    let model = Mrsl.Model.learn ~params inst in
+    let incomplete = Relation.Instance.incomplete_part inst in
+    if Array.length incomplete = 0 then
+      print_endline "no incomplete tuples to explain"
+    else
+      Array.iteri
+        (fun i tup ->
+          if i < 5 then begin
+            Format.printf "@.%a:@." (Relation.Tuple.pp schema) tup;
+            List.iter
+              (fun a ->
+                let e = Mrsl.Infer_single.explain ~method_ model tup a in
+                Format.printf "  %s ~ %a@."
+                  (Relation.Attribute.name (Relation.Schema.attribute schema a))
+                  Prob.Dist.pp e.estimate;
+                List.iter
+                  (fun (rule, share) ->
+                    Format.printf "    %5.1f%%  %a@." (100. *. share)
+                      (Mrsl.Meta_rule.pp_named schema) rule)
+                  e.contributions
+              )
+              (Relation.Tuple.missing tup)
+          end)
+        incomplete
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Show which meta-rules voted, and with what share, for each \
+         missing value (first 5 incomplete tuples)."
+  in
+  Cmd.v info
+    Term.(const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg)
+
+(* ---------------- diagnose ---------------- *)
+
+let diagnose_cmd =
+  let chains_arg =
+    let doc = "Number of independent Gibbs chains." in
+    Arg.(value & opt int 4 & info [ "chains" ] ~doc)
+  in
+  let run input support max_itemsets samples burn_in chains seed =
+    let inst = Relation.Csv_io.read_file input in
+    let schema = Relation.Instance.schema inst in
+    let params = params_of support max_itemsets in
+    let model = Mrsl.Model.learn ~params inst in
+    let sampler = Mrsl.Gibbs.sampler model in
+    let rng = Prob.Rng.create seed in
+    let incomplete = Relation.Instance.incomplete_part inst in
+    if Array.length incomplete = 0 then
+      print_endline "no incomplete tuples to diagnose"
+    else begin
+      Printf.printf
+        "Gelman-Rubin diagnostics (%d chains x %d draws, burn-in %d):\n"
+        chains samples burn_in;
+      Array.iteri
+        (fun i tup ->
+          if i < 10 then begin
+            let report =
+              Mrsl.Diagnostics.diagnose ~chains ~draws:samples ~burn_in rng
+                sampler tup
+            in
+            Format.printf "  %a  R-hat %.4f  ESS %.0f  %s@."
+              (Relation.Tuple.pp schema) tup report.psrf_max report.ess_min
+              (if Mrsl.Diagnostics.converged report then "converged"
+               else "NOT converged — increase --samples or --burn-in")
+          end)
+        incomplete;
+      if Array.length incomplete > 10 then
+        Printf.printf "  ... (%d more tuples; first 10 shown)\n"
+          (Array.length incomplete - 10)
+    end
+  in
+  let info =
+    Cmd.info "diagnose"
+      ~doc:
+        "Check Gibbs convergence (R-hat, effective sample size) for the \
+         incomplete tuples of a CSV."
+  in
+  Cmd.v info
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ samples_arg
+      $ burn_in_arg $ chains_arg $ seed_arg)
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let lazy_arg =
+    let doc =
+      "Use the lazy query-targeted view: infer only blocks the query's \
+       outcome depends on (Section VIII future work)."
+    in
+    Arg.(value & flag & info [ "lazy" ] ~doc)
+  in
+  let where_arg =
+    let doc = "Conjunctive condition, e.g. \"age=30,inc=100K\"." in
+    Arg.(required & opt (some string) None & info [ "where" ] ~doc)
+  in
+  let parse_where schema text =
+    let atom s =
+      match String.split_on_char '=' (String.trim s) with
+      | [ attr; value ] -> Probdb.Predicate.eq_label schema attr value
+      | _ -> failwith (Printf.sprintf "bad condition %S (want attr=value)" s)
+    in
+    Probdb.Predicate.conj (List.map atom (String.split_on_char ',' text))
+  in
+  let run input support max_itemsets samples burn_in where lazy_ seed =
+    let inst = Relation.Csv_io.read_file input in
+    let schema = Relation.Instance.schema inst in
+    let params = params_of support max_itemsets in
+    let model = Mrsl.Model.learn ~params inst in
+    let pred = parse_where schema where in
+    Format.printf "query: %a@." (Probdb.Predicate.pp schema) pred;
+    let config = { Mrsl.Gibbs.burn_in; samples } in
+    if lazy_ then begin
+      let view =
+        Probdb.Lazy_pdb.create ~config (Prob.Rng.create seed) model inst
+      in
+      Printf.printf "expected count:    %.4f\n"
+        (Probdb.Lazy_pdb.expected_count view pred);
+      Printf.printf "P(at least one):   %.4f\n"
+        (Probdb.Lazy_pdb.prob_exists view pred);
+      Printf.printf "materialized:      %d of %d incomplete tuples\n"
+        (Probdb.Lazy_pdb.materialized_count view)
+        (Array.length (Relation.Instance.incomplete_part inst))
+    end
+    else begin
+      let db = Probdb.Pdb.derive ~config (Prob.Rng.create seed) model inst in
+      Printf.printf "possible worlds:   %.6g\n" (Probdb.Pdb.possible_worlds db);
+      Printf.printf "expected count:    %.4f\n"
+        (Probdb.Pdb.expected_count db pred);
+      Printf.printf "P(at least one):   %.4f\n"
+        (Probdb.Pdb.prob_exists db pred)
+    end
+  in
+  let info =
+    Cmd.info "query"
+      ~doc:
+        "Derive a probabilistic database from a CSV and answer a conjunctive \
+         query."
+  in
+  Cmd.v info
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ samples_arg
+      $ burn_in_arg $ where_arg $ lazy_arg $ seed_arg)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc =
+      "Artifact id: table1, fig4, table2, fig5, fig6, fig8, fig9, fig10, \
+       fig11, baselines, missingness, ablations."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"ID")
+  in
+  let run id seed =
+    let rng = Prob.Rng.create seed in
+    let render =
+      match id with
+      | "table1" -> Some (fun () -> Experiments.Table1.render ())
+      | "fig4" -> Some (fun () -> Experiments.Fig4.render rng scale)
+      | "table2" -> Some (fun () -> Experiments.Table2.render rng scale)
+      | "fig5" -> Some (fun () -> Experiments.Fig5.render rng scale)
+      | "fig6" -> Some (fun () -> Experiments.Fig6.render rng scale)
+      | "fig8" -> Some (fun () -> Experiments.Fig8.render rng scale)
+      | "fig9" -> Some (fun () -> Experiments.Fig9.render rng scale)
+      | "fig10" -> Some (fun () -> Experiments.Fig10.render rng scale)
+      | "fig11" -> Some (fun () -> Experiments.Fig11.render rng scale)
+      | "ablations" -> Some (fun () -> Experiments.Ablations.render rng scale)
+      | "baselines" ->
+          Some (fun () -> Experiments.Baselines_exp.render rng scale)
+      | "missingness" ->
+          Some (fun () -> Experiments.Missingness_exp.render rng scale)
+      | _ -> None
+    in
+    match render with
+    | Some f ->
+        Printf.printf "scale=%s\n%s\n" scale.name (f ())
+    | None ->
+        Printf.eprintf "unknown artifact %S\n" id;
+        exit 1
+  in
+  let info =
+    Cmd.info "experiment"
+      ~doc:"Regenerate one of the paper's tables or figures (see MRSL_SCALE)."
+  in
+  Cmd.v info Term.(const run $ id_arg $ seed_arg)
+
+let setup_logging () =
+  match Sys.getenv_opt "MRSL_LOG" with
+  | None -> ()
+  | Some lvl ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level
+        (match String.lowercase_ascii lvl with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | "warning" -> Some Logs.Warning
+        | _ -> Some Logs.Info)
+
+let () =
+  setup_logging ();
+  let doc =
+    "MRSL: deriving probabilistic databases with inference ensembles \
+     (reproduction of Stoyanovich et al., ICDE 2011)"
+  in
+  let info = Cmd.info "mrsl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; profile_cmd; learn_cmd; infer_cmd; explain_cmd;
+            diagnose_cmd; query_cmd; experiment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/data_integration.ml: Array Bayesnet Float Format List Mrsl Prob Probdb Relation

@@ -1,0 +1,1 @@
+examples/matchmaking.ml: Array Bayesnet Format List Mrsl Prob Probdb Relation

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Mrsl Prob Probdb Relation

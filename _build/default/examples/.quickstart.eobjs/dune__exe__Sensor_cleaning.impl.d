@@ -1,0 +1,1 @@
+examples/sensor_cleaning.ml: Array Bayesnet Format List Mrsl Prob Probdb Relation

@@ -1,0 +1,1 @@
+examples/warehouse.ml: Array Filename Format List Mrsl Prob Probdb Relation Sys

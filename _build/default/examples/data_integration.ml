@@ -1,0 +1,110 @@
+(* Data integration: merging sources with mismatched schemas.
+
+   The paper's other motivating scenario is data integration, where merged
+   sources disagree on which attributes they record. Here, source A is a
+   full customer table; source B records the same kind of customers but
+   never captured the [segment] column and has spotty [region] coverage.
+   After the union, every B row is an incomplete tuple; the MRSL model
+   learned from A's complete rows imputes calibrated distributions for B,
+   and the result is queried as one probabilistic database.
+
+   Run with: dune exec examples/data_integration.exe *)
+
+let topology =
+  (* region and age_band drive plan; plan and age_band drive segment. *)
+  Bayesnet.Topology.make
+    ~names:[| "region"; "age_band"; "plan"; "segment" |]
+    ~cards:[| 3; 3; 3; 2 |]
+    ~parents:[| [||]; [||]; [| 0; 1 |]; [| 2; 1 |] |]
+
+let network = Bayesnet.Network.generate (Prob.Rng.create 77) ~alpha:0.4 topology
+
+let () =
+  let rng = Prob.Rng.create 123 in
+  let schema = Bayesnet.Topology.schema topology in
+
+  (* Source A: 5000 fully observed customers. *)
+  let source_a = Bayesnet.Network.sample_instance rng network 5000 in
+
+  (* Source B: 1200 customers; [segment] was never recorded, [region] is
+     missing for a third of the rows. *)
+  let source_b_points = Bayesnet.Network.sample_instance rng network 1200 in
+  let source_b =
+    Relation.Instance.make schema
+      (Array.to_list (Relation.Instance.tuples source_b_points)
+      |> List.map (fun tup ->
+             let tup = Array.copy tup in
+             tup.(3) <- None;
+             if Prob.Rng.float rng < 0.33 then tup.(0) <- None;
+             tup))
+  in
+  let merged = Relation.Instance.append source_a source_b in
+  Format.printf
+    "merged relation: %d rows (%d complete from source A, %d incomplete \
+     from source B)@.@."
+    (Relation.Instance.size merged)
+    (Array.length (Relation.Instance.complete_part merged))
+    (Array.length (Relation.Instance.incomplete_part merged));
+
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.002 }
+      merged
+  in
+  let db =
+    Probdb.Pdb.derive
+      ~config:{ Mrsl.Gibbs.burn_in = 100; samples = 600 }
+      (Prob.Rng.create 5) model merged
+  in
+
+  (* Marketing wants segment counts across the merged base. Source B alone
+     would contribute nothing (its segment column is empty); the derived
+     database contributes expectations instead. *)
+  let seg v = Probdb.Predicate.eq_label schema "segment" ("v" ^ string_of_int v) in
+  Format.printf "segment totals over the merged base:@.";
+  for v = 0 to 1 do
+    Format.printf "  E[#segment=v%d] = %.1f@." v
+      (Probdb.Pdb.expected_count db (seg v))
+  done;
+
+  (* Ground truth check: how close are the imputed segment counts for the B
+     rows to the true (hidden) ones? *)
+  let true_b =
+    Array.fold_left
+      (fun acc p -> if p.(3) = 1 then acc +. 1. else acc)
+      0.
+      (Relation.Instance.complete_part source_b_points)
+  in
+  let blocks = Probdb.Pdb.blocks db in
+  let imputed_b = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      if i >= 5000 then
+        imputed_b := !imputed_b +. Probdb.Pdb.tuple_prob db (seg 1) i)
+    blocks;
+  Format.printf
+    "@.source B, segment=v1: true count %.0f vs imputed expectation %.1f@."
+    true_b !imputed_b;
+
+  (* Per-row: show the three most uncertain imputations. *)
+  let uncertainty (b : Probdb.Block.t) =
+    match b.alternatives with
+    | top :: _ -> 1. -. top.prob
+    | [] -> 0.
+  in
+  let b_blocks =
+    Array.to_list (Array.sub blocks 5000 (Array.length blocks - 5000))
+  in
+  let most_uncertain =
+    List.sort (fun a b -> Float.compare (uncertainty b) (uncertainty a)) b_blocks
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  Format.printf "@.most uncertain source-B rows:@.";
+  List.iter
+    (fun (b : Probdb.Block.t) ->
+      Format.printf "  %a -> top completion %a (prob %.2f of %d alternatives)@."
+        (Relation.Tuple.pp schema) b.source (Relation.Tuple.pp schema)
+        (Relation.Tuple.of_point (Probdb.Block.top b).point)
+        (Probdb.Block.top b).prob
+        (Probdb.Block.alternative_count b))
+    most_uncertain

@@ -1,0 +1,142 @@
+(* Scientific-data cleaning: noisy sensor logs with dropped readings.
+
+   The paper's introduction motivates MRSL with scientific data management,
+   where "experimental results are often noisy or missing". This example
+   simulates a greenhouse sensor deployment: each record carries bucketed
+   readings (hour-of-day, temperature, humidity, light, ventilation state)
+   with strong physical correlations. Sensors drop readings in bursts — a
+   *correlated* missingness pattern, unlike the benchmark's uniform masking
+   — and MRSL still recovers calibrated distributions because learning only
+   ever uses the complete records.
+
+   Run with: dune exec examples/sensor_cleaning.exe *)
+
+let topology =
+  (* hour → light → temperature → ventilation; humidity ← temperature. *)
+  Bayesnet.Topology.make
+    ~names:[| "hour"; "light"; "temp"; "humid"; "vent" |]
+    ~cards:[| 4; 3; 3; 3; 2 |]
+    ~parents:[| [||]; [| 0 |]; [| 1 |]; [| 2 |]; [| 2 |] |]
+
+let dist ws = Prob.Dist.of_weights ws
+
+let network =
+  Bayesnet.Network.make topology
+    [|
+      [| dist [| 0.25; 0.25; 0.25; 0.25 |] |];
+      (* light | hour: night, morning, noon, evening. *)
+      [|
+        dist [| 0.9; 0.08; 0.02 |]; dist [| 0.2; 0.6; 0.2 |];
+        dist [| 0.02; 0.18; 0.8 |]; dist [| 0.3; 0.55; 0.15 |];
+      |];
+      (* temp | light. *)
+      [|
+        dist [| 0.7; 0.25; 0.05 |]; dist [| 0.25; 0.55; 0.2 |];
+        dist [| 0.05; 0.35; 0.6 |];
+      |];
+      (* humid | temp: hotter is drier. *)
+      [|
+        dist [| 0.1; 0.3; 0.6 |]; dist [| 0.25; 0.5; 0.25 |];
+        dist [| 0.6; 0.3; 0.1 |];
+      |];
+      (* vent | temp: fans kick in when hot. *)
+      [| dist [| 0.95; 0.05 |]; dist [| 0.7; 0.3 |]; dist [| 0.15; 0.85 |] |]
+    |]
+
+(* Bursty sensor dropout: each record loses the temp+humid pair with
+   probability [p_pair] (a failing combined sensor), and any single reading
+   with probability [p_single]. *)
+let burst_mask rng p_pair p_single inst =
+  let schema = Relation.Instance.schema inst in
+  let tuples = Relation.Instance.tuples inst in
+  Array.iteri
+    (fun i tup ->
+      let tup = Array.copy tup in
+      if Prob.Rng.float rng < p_pair then begin
+        tup.(2) <- None;
+        tup.(3) <- None
+      end;
+      if Prob.Rng.float rng < p_single then begin
+        let a = Prob.Rng.int rng (Relation.Schema.arity schema) in
+        tup.(a) <- None
+      end;
+      tuples.(i) <- tup)
+    tuples;
+  Relation.Instance.make schema (Array.to_list tuples)
+
+let () =
+  let rng = Prob.Rng.create 42 in
+  let log = Bayesnet.Network.sample_instance rng network 8000 in
+  let observed = burst_mask rng 0.08 0.05 log in
+  let complete = Array.length (Relation.Instance.complete_part observed) in
+  let incomplete = Array.length (Relation.Instance.incomplete_part observed) in
+  Format.printf "sensor log: %d records (%d intact, %d with dropouts)@.@."
+    (Relation.Instance.size observed)
+    complete incomplete;
+
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.002 }
+      observed
+  in
+  Format.printf "learned %d meta-rules from the intact records@.@."
+    (Mrsl.Model.size model);
+
+  (* Derive the probabilistic database for the whole log. *)
+  let db =
+    Probdb.Pdb.derive
+      ~config:{ Mrsl.Gibbs.burn_in = 100; samples = 500 }
+      (Prob.Rng.create 9) model observed
+  in
+  let schema = Bayesnet.Topology.schema topology in
+
+  (* Accuracy on the correlated temp+humid dropouts, against the exact
+     posterior of the simulated greenhouse. *)
+  let pair_dropouts =
+    Array.to_list (Relation.Instance.incomplete_part observed)
+    |> List.filter (fun t -> t.(2) = None && t.(3) = None)
+  in
+  let sampler = Mrsl.Gibbs.sampler model in
+  let kl = ref 0. and n = ref 0 in
+  List.iter
+    (fun tup ->
+      if !n < 100 then begin
+        let _, truth = Bayesnet.Network.posterior_joint network tup in
+        let est =
+          Mrsl.Gibbs.run
+            ~config:{ burn_in = 100; samples = 1000 }
+            (Prob.Rng.create !n) sampler tup
+        in
+        kl := !kl +. Prob.Divergence.kl truth est.joint;
+        incr n
+      end)
+    pair_dropouts;
+  Format.printf
+    "paired temp+humid dropouts: mean KL vs true posterior = %.4f (%d records)@.@."
+    (!kl /. float_of_int (max 1 !n))
+    !n;
+
+  (* Queries a greenhouse operator would run, answered with calibrated
+     uncertainty instead of discarded rows. *)
+  let hot = Probdb.Predicate.eq_label schema "temp" "v2" in
+  let hot_and_fans_off =
+    Probdb.Predicate.And (hot, Probdb.Predicate.eq_label schema "vent" "v0")
+  in
+  Format.printf "E[#hot readings]                = %.1f@."
+    (Probdb.Pdb.expected_count db hot);
+  Format.printf "E[#hot readings with fans off]  = %.1f@."
+    (Probdb.Pdb.expected_count db hot_and_fans_off);
+  Format.printf "P(any hot-with-fans-off record) = %.4f@."
+    (Probdb.Pdb.prob_exists db hot_and_fans_off);
+
+  (* Compare with the naive fix of dropping incomplete rows. *)
+  let naive =
+    Array.fold_left
+      (fun acc p -> if Probdb.Predicate.eval hot p then acc +. 1. else acc)
+      0.
+      (Relation.Instance.complete_part observed)
+  in
+  Format.printf
+    "(dropping incomplete rows would report %.0f hot readings — an \
+     undercount)@."
+    naive

@@ -1,0 +1,1 @@
+lib/baselines/dn_backoff.ml: Array Hashtbl Prob Relation

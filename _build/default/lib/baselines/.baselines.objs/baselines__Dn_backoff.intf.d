@@ -1,0 +1,1 @@
+lib/baselines/dn_backoff.mli: Prob Relation

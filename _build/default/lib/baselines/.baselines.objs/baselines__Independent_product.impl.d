@@ -1,0 +1,1 @@
+lib/baselines/independent_product.ml: Array Mrsl Prob Relation

@@ -1,0 +1,1 @@
+lib/baselines/independent_product.mli: Mrsl Prob Relation

@@ -1,0 +1,128 @@
+type t = {
+  cards : int array;
+  points : int array array;
+  min_count : int;
+  alpha : float;
+  marginals : Prob.Dist.t array;
+  memo : (int, Prob.Dist.t) Hashtbl.t;
+  domain_size : int;  (* -1 when too large to memo-key *)
+  mutable queries : int;
+  mutable backoffs : int;
+}
+
+let fit ?(min_count = 5) ?(alpha = 1.0) ~cards points =
+  if Array.length points = 0 then invalid_arg "Dn_backoff.fit: empty data";
+  if min_count < 1 then invalid_arg "Dn_backoff.fit: min_count must be >= 1";
+  if alpha <= 0. then invalid_arg "Dn_backoff.fit: alpha must be positive";
+  let n = Array.length points in
+  let marginals =
+    Array.mapi
+      (fun a card ->
+        let counts = Array.make card 0 in
+        Array.iter (fun p -> counts.(p.(a)) <- counts.(p.(a)) + 1) points;
+        ignore n;
+        Prob.Dist.of_weights
+          (Array.map (fun c -> float_of_int c +. alpha) counts))
+      cards
+  in
+  let domain_size =
+    match Relation.Domain.count cards with
+    | d when d < 1 lsl 40 -> d
+    | _ -> -1
+    | exception Invalid_argument _ -> -1
+  in
+  {
+    cards;
+    points;
+    min_count;
+    alpha;
+    marginals;
+    memo = Hashtbl.create 1024;
+    domain_size;
+    queries = 0;
+    backoffs = 0;
+  }
+
+let compute_conditional t point a =
+  (* Exact-match context: all attributes except [a]. *)
+  let card = t.cards.(a) in
+  let counts = Array.make card 0 in
+  let matched = ref 0 in
+  let arity = Array.length t.cards in
+  Array.iter
+    (fun p ->
+      let rec agrees i =
+        i = arity || ((i = a || p.(i) = point.(i)) && agrees (i + 1))
+      in
+      if agrees 0 then begin
+        counts.(p.(a)) <- counts.(p.(a)) + 1;
+        incr matched
+      end)
+    t.points;
+  if !matched >= t.min_count then
+    Some
+      (Prob.Dist.of_weights
+         (Array.map (fun c -> float_of_int c +. t.alpha) counts))
+  else None
+
+let conditional t point a =
+  t.queries <- t.queries + 1;
+  let cached_key =
+    if t.domain_size > 0 then begin
+      let saved = point.(a) in
+      point.(a) <- 0;
+      let code = Relation.Domain.encode t.cards point in
+      point.(a) <- saved;
+      Some ((a * t.domain_size) + code)
+    end
+    else None
+  in
+  let compute () =
+    match compute_conditional t point a with
+    | Some d -> d
+    | None ->
+        t.backoffs <- t.backoffs + 1;
+        t.marginals.(a)
+  in
+  match cached_key with
+  | None -> compute ()
+  | Some key -> (
+      match Hashtbl.find_opt t.memo key with
+      | Some d -> d
+      | None ->
+          let d = compute () in
+          Hashtbl.add t.memo key d;
+          d)
+
+let backoff_fraction t =
+  if t.queries = 0 then 0.
+  else float_of_int t.backoffs /. float_of_int t.queries
+
+let infer_joint ?(burn_in = 100) ?(samples = 1000) rng t tup =
+  if Array.length tup <> Array.length t.cards then
+    invalid_arg "Dn_backoff.infer_joint: arity mismatch";
+  let missing = Array.of_list (Relation.Tuple.missing tup) in
+  if Array.length missing = 0 then
+    invalid_arg "Dn_backoff.infer_joint: tuple is complete";
+  let state = Array.map (function Some v -> v | None -> 0) tup in
+  Array.iter
+    (fun a -> state.(a) <- Prob.Dist.sample rng t.marginals.(a))
+    missing;
+  let sweep () =
+    Array.iter
+      (fun a -> state.(a) <- Prob.Dist.sample rng (conditional t state a))
+      missing
+  in
+  for _ = 1 to burn_in do
+    sweep ()
+  done;
+  let cards = Array.map (fun a -> t.cards.(a)) missing in
+  let counts = Array.make (Relation.Domain.count cards) 0. in
+  let values = Array.make (Array.length missing) 0 in
+  for _ = 1 to samples do
+    sweep ();
+    Array.iteri (fun k a -> values.(k) <- state.(a)) missing;
+    let code = Relation.Domain.encode cards values in
+    counts.(code) <- counts.(code) +. 1.
+  done;
+  Prob.Dist.smooth (Array.map (fun c -> c /. float_of_int samples) counts)

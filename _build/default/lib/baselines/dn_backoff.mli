@@ -1,0 +1,35 @@
+(** A plain dependency-network baseline (Heckerman et al. 2000, without the
+    MRSL ensemble): each attribute's conditional distribution given *all*
+    other attributes is estimated directly by exact-match counting over the
+    training data, backing off to the attribute's marginal when too few
+    matching points exist.
+
+    This is the natural strawman between MRSL and full BN learning: local
+    CPDs like a dependency network, but a single brittle estimator per
+    conditioning context instead of MRSL's lattice of partial-context
+    voters. On sparse contexts it collapses to the marginal, which is
+    exactly the failure mode the meta-rule ensemble repairs. *)
+
+type t
+
+val fit : ?min_count:int -> ?alpha:float -> cards:int array ->
+  int array array -> t
+(** [fit ~cards points]. [min_count] (default 5) is the exact-match support
+    below which the estimator backs off to the marginal; [alpha]
+    (default 1) is the Laplace pseudo-count. Raises [Invalid_argument] on
+    empty data. *)
+
+val conditional : t -> int array -> int -> Prob.Dist.t
+(** [conditional t point a] — P(a | all other attributes as in [point]),
+    memoized per conditioning context. *)
+
+val backoff_fraction : t -> float
+(** Fraction of conditional queries so far that hit the marginal backoff —
+    a sparseness diagnostic. *)
+
+val infer_joint : ?burn_in:int -> ?samples:int -> Prob.Rng.t -> t ->
+  Relation.Tuple.t -> Prob.Dist.t
+(** Ordered Gibbs sampling over the backoff conditionals: joint
+    distribution of the tuple's missing attributes, in mixed-radix code
+    order (same convention as [Mrsl.Gibbs]). Raises [Invalid_argument] on
+    a complete tuple. *)

@@ -1,0 +1,18 @@
+let infer_joint ?method_ model tup =
+  let missing = Array.of_list (Relation.Tuple.missing tup) in
+  if Array.length missing = 0 then
+    invalid_arg "Independent_product.infer_joint: tuple is complete";
+  let schema = Mrsl.Model.schema model in
+  let cards = Array.map (Relation.Schema.cardinality schema) missing in
+  let per_attr =
+    Array.map (fun a -> Mrsl.Infer_single.infer ?method_ model tup a) missing
+  in
+  let total = Relation.Domain.count cards in
+  let weights = Array.make total 0. in
+  Relation.Domain.iter cards (fun code values ->
+      let p = ref 1. in
+      Array.iteri
+        (fun k v -> p := !p *. Prob.Dist.prob per_attr.(k) v)
+        values;
+      weights.(code) <- !p);
+  Prob.Dist.of_weights weights

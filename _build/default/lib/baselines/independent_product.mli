@@ -1,0 +1,12 @@
+(** The naive multi-attribute baseline of Section V: estimate each missing
+    attribute's CPD independently with Algorithm 2 and take the product —
+    "that would rely on independence assumptions that are not warranted".
+    Gibbs sampling over the same MRSL model is the paper's remedy; this
+    module exists so the gap can be measured. *)
+
+val infer_joint : ?method_:Mrsl.Voting.method_ -> Mrsl.Model.t ->
+  Relation.Tuple.t -> Prob.Dist.t
+(** Joint distribution over the tuple's missing attributes (mixed-radix
+    code order) as the product of independent single-attribute estimates.
+    Deterministic — no sampling involved. Raises [Invalid_argument] on a
+    complete tuple. *)

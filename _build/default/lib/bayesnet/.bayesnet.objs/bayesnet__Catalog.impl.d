@@ -1,0 +1,1 @@
+lib/bayesnet/catalog.ml: List String Topology

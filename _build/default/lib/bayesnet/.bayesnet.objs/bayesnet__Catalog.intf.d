@@ -1,0 +1,1 @@
+lib/bayesnet/catalog.mli: Topology

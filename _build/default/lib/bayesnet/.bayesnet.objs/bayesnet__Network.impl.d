@@ -1,0 +1,1 @@
+lib/bayesnet/network.ml: Array Int List Printf Prob Relation Topology

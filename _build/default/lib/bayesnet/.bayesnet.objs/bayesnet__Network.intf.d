@@ -1,0 +1,1 @@
+lib/bayesnet/network.mli: Prob Relation Topology

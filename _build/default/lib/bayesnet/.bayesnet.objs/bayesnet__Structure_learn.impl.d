@@ -1,0 +1,1 @@
+lib/bayesnet/structure_learn.ml: Array Hashtbl Int List Network Prob Relation Topology Unix

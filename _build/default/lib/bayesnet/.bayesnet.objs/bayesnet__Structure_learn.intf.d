@@ -1,0 +1,1 @@
+lib/bayesnet/structure_learn.mli: Network

@@ -1,0 +1,1 @@
+lib/bayesnet/topology.ml: Array Format Hashtbl List Queue Relation

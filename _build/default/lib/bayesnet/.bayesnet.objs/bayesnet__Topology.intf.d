@@ -1,0 +1,1 @@
+lib/bayesnet/topology.mli: Format Relation

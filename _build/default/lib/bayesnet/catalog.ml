@@ -1,0 +1,87 @@
+type entry = {
+  id : string;
+  topology : Topology.t;
+  shape : string;
+  paper_num_attrs : int;
+  paper_avg_card : float;
+  paper_dom_size : float;
+  paper_depth : int;
+}
+
+let entry id topology shape paper_num_attrs paper_avg_card paper_dom_size
+    paper_depth =
+  { id; topology; shape; paper_num_attrs; paper_avg_card; paper_dom_size;
+    paper_depth }
+
+let rep n x = List.init n (fun _ -> x)
+
+(* Cardinalities are chosen so their product equals Table I's domain size
+   exactly; where no factorization matches the reported average cardinality
+   we take the closest (documented in DESIGN.md). *)
+let all =
+  [
+    entry "BN1"
+      (Topology.layered ~layers:[ 2; 2 ] [ 3; 4; 5; 5 ])
+      "layered 2/2" 4 4.0 300. 2;
+    entry "BN2"
+      (Topology.layered ~layers:[ 2; 2; 1 ] [ 2; 4; 5; 5; 7 ])
+      "layered 2/2/1" 5 4.4 1400. 3;
+    entry "BN3"
+      (Topology.layered ~layers:[ 2; 2; 1 ] [ 2; 5; 5; 6; 8 ])
+      "layered 2/2/1" 5 5.2 2400. 3;
+    entry "BN4"
+      (Topology.independent [ 2; 5; 5; 6; 8 ])
+      "independent" 5 5.2 2400. 0;
+    entry "BN5"
+      (Topology.layered ~layers:[ 3; 2 ] [ 2; 5; 5; 6; 8 ])
+      "layered 3/2" 5 5.2 2400. 2;
+    entry "BN6"
+      (Topology.layered ~layers:[ 3; 3; 2; 2 ] (rep 10 2))
+      "layered 3/3/2/2" 10 2.0 1024. 4;
+    entry "BN7"
+      (Topology.layered ~layers:[ 3; 3; 2; 2 ] [ 2; 2; 3; 3; 4; 4; 5; 5; 6; 6 ])
+      "layered 3/3/2/2" 10 4.0 518_400. 4;
+    entry "BN8" (Topology.crown (rep 4 2)) "crown" 4 2.0 16. 2;
+    entry "BN9" (Topology.crown (rep 6 2)) "crown" 6 2.0 64. 2;
+    entry "BN10" (Topology.crown (rep 6 4)) "crown" 6 4.0 4096. 2;
+    entry "BN11" (Topology.crown (rep 6 6)) "crown" 6 6.0 46_656. 2;
+    entry "BN12" (Topology.crown (rep 6 8)) "crown" 6 8.0 262_144. 2;
+    entry "BN13" (Topology.chain (rep 6 2)) "line" 6 2.0 64. 6;
+    entry "BN14" (Topology.chain (rep 6 4)) "line" 6 4.0 4096. 6;
+    entry "BN15" (Topology.chain (rep 6 6)) "line" 6 6.0 46_656. 6;
+    entry "BN16" (Topology.chain (rep 6 8)) "line" 6 8.0 262_144. 6;
+    entry "BN17" (Topology.crown (rep 8 2)) "crown" 8 2.0 256. 2;
+    entry "BN18" (Topology.crown (rep 10 2)) "crown" 10 2.0 1024. 2;
+    entry "BN19"
+      (Topology.layered ~layers:[ 4; 3; 3 ] (rep 10 2))
+      "layered 4/3/3" 10 2.0 1024. 3;
+    entry "BN20"
+      (Topology.layered ~layers:[ 2; 2; 2; 2; 2 ] (rep 10 2))
+      "layered 2/2/2/2/2" 10 2.0 1024. 5;
+  ]
+
+let find id =
+  let wanted = String.uppercase_ascii id in
+  match List.find_opt (fun e -> e.id = wanted) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let select ids = List.map find ids
+
+let model_building_networks =
+  select
+    [ "BN8"; "BN9"; "BN10"; "BN11"; "BN12"; "BN13"; "BN14"; "BN15"; "BN16";
+      "BN1" ]
+
+let single_inference_networks =
+  select
+    [ "BN1"; "BN2"; "BN3"; "BN4"; "BN5"; "BN6"; "BN7"; "BN8"; "BN9"; "BN10";
+      "BN11"; "BN12"; "BN17"; "BN18" ]
+
+let fig8_topology_networks = select [ "BN18"; "BN19"; "BN20" ]
+let fig8_size_networks = select [ "BN8"; "BN9"; "BN17"; "BN18" ]
+let fig8_cardinality_networks = select [ "BN13"; "BN14"; "BN15"; "BN16" ]
+
+let multi_inference_networks =
+  select
+    [ "BN1"; "BN2"; "BN3"; "BN4"; "BN5"; "BN8"; "BN9"; "BN10"; "BN13"; "BN17" ]

@@ -1,0 +1,45 @@
+(** The 20 benchmark Bayesian networks of Table I.
+
+    The paper describes each network only through summary statistics
+    (attribute count, average cardinality, domain size, depth) plus the
+    shape sketches of Fig 7 (crowns for BN8/9/17/18, lines for BN13–16).
+    This catalog reconstructs concrete topologies matching every Table I
+    row; see DESIGN.md ("Substitutions") for the conventions. *)
+
+type entry = {
+  id : string;  (** "BN1" … "BN20" *)
+  topology : Topology.t;
+  shape : string;  (** human-readable shape tag: crown / line / layered / … *)
+  paper_num_attrs : int;
+  paper_avg_card : float;
+  paper_dom_size : float;
+  paper_depth : int;
+}
+
+val all : entry list
+(** BN1 … BN20 in order. *)
+
+val find : string -> entry
+(** Lookup by id (case-insensitive). Raises [Not_found]. *)
+
+(** {2 Experiment subsets (Section VI)} *)
+
+val model_building_networks : entry list
+(** The 10 networks of the Fig 4 learning experiments (4–6 attributes,
+    cardinality 2–8, domain size 16–262,144). *)
+
+val single_inference_networks : entry list
+(** The 14 networks of Table II / Figs 5–6. *)
+
+val fig8_topology_networks : entry list
+(** BN18, BN19, BN20 — same size and cardinality, varying depth. *)
+
+val fig8_size_networks : entry list
+(** Crown-shaped BN8, BN9, BN17, BN18 — varying attribute count. *)
+
+val fig8_cardinality_networks : entry list
+(** Line-shaped BN13–BN16 — varying cardinality. *)
+
+val multi_inference_networks : entry list
+(** The 10 networks of the Fig 10/11 sampling experiments (4–8 attributes,
+    cardinality ≤ 5.2, domain size ≤ 4096). *)

@@ -1,0 +1,104 @@
+type t = { topo : Topology.t; cpts : Prob.Dist.t array array }
+
+let parent_cards topo i =
+  Array.map (Topology.cardinality topo) (Topology.parents topo i)
+
+let make topo cpts =
+  let n = Topology.size topo in
+  if Array.length cpts <> n then
+    invalid_arg "Network.make: one CPT per variable required";
+  Array.iteri
+    (fun i rows ->
+      let expected = Relation.Domain.count (parent_cards topo i) in
+      if Array.length rows <> expected then
+        invalid_arg
+          (Printf.sprintf "Network.make: variable %d expects %d CPT rows" i
+             expected);
+      Array.iter
+        (fun row ->
+          if Prob.Dist.size row <> Topology.cardinality topo i then
+            invalid_arg "Network.make: CPT row size mismatch")
+        rows)
+    cpts;
+  { topo; cpts }
+
+let generate rng ?(alpha = 0.5) topo =
+  let cpts =
+    Array.init (Topology.size topo) (fun i ->
+        let rows = Relation.Domain.count (parent_cards topo i) in
+        Array.init rows (fun _ ->
+            Prob.Dirichlet.sample rng ~alpha (Topology.cardinality topo i)))
+  in
+  make topo cpts
+
+let topology t = t.topo
+
+let row_of t i point =
+  let ps = Topology.parents t.topo i in
+  let cards = Array.map (Topology.cardinality t.topo) ps in
+  let values = Array.map (fun p -> point.(p)) ps in
+  t.cpts.(i).(Relation.Domain.encode cards values)
+
+let cpd t i parent_values =
+  let cards = parent_cards t.topo i in
+  t.cpts.(i).(Relation.Domain.encode cards parent_values)
+
+let sample_point rng t =
+  let n = Topology.size t.topo in
+  let point = Array.make n 0 in
+  Array.iter
+    (fun i -> point.(i) <- Prob.Dist.sample rng (row_of t i point))
+    (Topology.topological_order t.topo);
+  point
+
+let sample_instance rng t n =
+  if n < 0 then invalid_arg "Network.sample_instance: negative size";
+  Relation.Instance.of_points (Topology.schema t.topo)
+    (List.init n (fun _ -> sample_point rng t))
+
+let log_prob t point =
+  let n = Topology.size t.topo in
+  if Array.length point <> n then invalid_arg "Network.log_prob: arity";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Prob.Dist.prob (row_of t i point) point.(i))
+  done;
+  !acc
+
+let prob t point = exp (log_prob t point)
+
+let posterior_joint t tup =
+  let n = Topology.size t.topo in
+  if Array.length tup <> n then invalid_arg "Network.posterior_joint: arity";
+  let missing = Relation.Tuple.missing tup in
+  if missing = [] then
+    invalid_arg "Network.posterior_joint: tuple is complete";
+  let missing_arr = Array.of_list missing in
+  let cards = Array.map (Topology.cardinality t.topo) missing_arr in
+  let total = Relation.Domain.count cards in
+  let weights = Array.make total 0. in
+  let point = Array.map (function Some v -> v | None -> 0) tup in
+  Relation.Domain.iter cards (fun code values ->
+      Array.iteri (fun k a -> point.(a) <- values.(k)) missing_arr;
+      weights.(code) <- prob t point);
+  let sum = Array.fold_left ( +. ) 0. weights in
+  if sum <= 0. then
+    invalid_arg "Network.posterior_joint: evidence has zero probability";
+  (missing, Prob.Dist.of_weights weights)
+
+let posterior_single t tup a =
+  (match tup.(a) with
+  | None -> ()
+  | Some _ -> invalid_arg "Network.posterior_single: attribute is not missing");
+  let missing, joint = posterior_joint t tup in
+  let missing_arr = Array.of_list missing in
+  let cards = Array.map (Topology.cardinality t.topo) missing_arr in
+  let pos =
+    match Array.find_index (Int.equal a) missing_arr with
+    | Some p -> p
+    | None -> assert false
+  in
+  let marg = Array.make (Topology.cardinality t.topo a) 0. in
+  Relation.Domain.iter cards (fun code values ->
+      marg.(values.(pos)) <- marg.(values.(pos)) +. Prob.Dist.prob joint code);
+  Prob.Dist.of_weights marg

@@ -1,0 +1,52 @@
+(** Bayesian-network instances: a topology plus conditional probability
+    tables.
+
+    Provides the three capabilities the experimental framework of Section
+    VI-A needs: random instantiation ("BN Instance Generator"), forward
+    sampling ("BN Sampler", Koller & Friedman §12.1), and — because the
+    generating network is known — *exact* posterior distributions used as
+    ground truth when scoring MRSL's predictions. *)
+
+type t
+
+val make : Topology.t -> Prob.Dist.t array array -> t
+(** [make topo cpts]: [cpts.(i).(c)] is the distribution of variable [i]
+    given that its parents take the joint configuration with mixed-radix
+    code [c] (parent order as in [Topology.parents], first parent varying
+    slowest). Raises [Invalid_argument] on any shape mismatch. *)
+
+val generate : Prob.Rng.t -> ?alpha:float -> Topology.t -> t
+(** Random instance: every CPT row drawn from a symmetric Dirichlet.
+    [alpha] defaults to 0.5, giving moderately peaked rows so that top-1
+    prediction is a meaningful target (see DESIGN.md substitutions). *)
+
+val topology : t -> Topology.t
+
+val cpd : t -> int -> int array -> Prob.Dist.t
+(** [cpd net i parent_values] — the CPT row of variable [i] for the given
+    parent values (in [Topology.parents] order). *)
+
+val sample_point : Prob.Rng.t -> t -> int array
+(** One forward sample (ancestral sampling in topological order). *)
+
+val sample_instance : Prob.Rng.t -> t -> int -> Relation.Instance.t
+(** [sample_instance rng net n] — a fully complete relation of [n] forward
+    samples over [Topology.schema]. *)
+
+val log_prob : t -> int array -> float
+(** Log-probability of a complete assignment. *)
+
+val prob : t -> int array -> float
+
+val posterior_joint : t -> Relation.Tuple.t -> int list * Prob.Dist.t
+(** [posterior_joint net t] — exact conditional distribution of the missing
+    attributes of [t] given its complete portion, by enumeration of all
+    completions. Returns the missing attribute indices (ascending) and the
+    joint distribution in their mixed-radix code order. Raises
+    [Invalid_argument] if [t] is complete or has zero-probability
+    evidence. *)
+
+val posterior_single : t -> Relation.Tuple.t -> int -> Prob.Dist.t
+(** [posterior_single net t a] — exact marginal posterior of attribute [a]
+    (which must be missing in [t]), marginalizing out any other missing
+    attributes. *)

@@ -1,0 +1,171 @@
+type t = {
+  names : string array;
+  cards : int array;
+  parents : int array array;
+  children : int array array;
+  topo : int array;
+}
+
+let compute_children n parents =
+  let kids = Array.make n [] in
+  Array.iteri
+    (fun child ps -> Array.iter (fun p -> kids.(p) <- child :: kids.(p)) ps)
+    parents;
+  Array.map (fun l -> Array.of_list (List.rev l)) kids
+
+(* Kahn's algorithm; raises if a cycle remains. *)
+let compute_topo n parents children =
+  let indegree = Array.map Array.length parents in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    Array.iter
+      (fun c ->
+        indegree.(c) <- indegree.(c) - 1;
+        if indegree.(c) = 0 then Queue.add c queue)
+      children.(v)
+  done;
+  if !seen <> n then invalid_arg "Topology.make: graph contains a cycle";
+  Array.of_list (List.rev !order)
+
+let make ~names ~cards ~parents =
+  let n = Array.length names in
+  if n = 0 then invalid_arg "Topology.make: empty network";
+  if Array.length cards <> n || Array.length parents <> n then
+    invalid_arg "Topology.make: array length mismatch";
+  Array.iter
+    (fun c ->
+      if c < 2 then invalid_arg "Topology.make: cardinalities must be >= 2")
+    cards;
+  Array.iteri
+    (fun i ps ->
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= n then
+            invalid_arg "Topology.make: parent index out of range";
+          if p = i then invalid_arg "Topology.make: self-loop";
+          if Hashtbl.mem seen p then
+            invalid_arg "Topology.make: duplicate parent";
+          Hashtbl.add seen p ())
+        ps)
+    parents;
+  let children = compute_children n parents in
+  let topo = compute_topo n parents children in
+  { names; cards; parents; children; topo }
+
+let size t = Array.length t.names
+let cardinality t i = t.cards.(i)
+let cardinalities t = Array.copy t.cards
+let name t i = t.names.(i)
+let parents t i = Array.copy t.parents.(i)
+let children t i = Array.copy t.children.(i)
+let topological_order t = Array.copy t.topo
+
+let depth t =
+  let n = size t in
+  (* Longest chain (in nodes) ending at each variable, in topo order. *)
+  let chain = Array.make n 1 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun p -> if chain.(p) + 1 > chain.(v) then chain.(v) <- chain.(p) + 1)
+        t.parents.(v))
+    t.topo;
+  let longest = Array.fold_left max 1 chain in
+  let has_edges = Array.exists (fun ps -> Array.length ps > 0) t.parents in
+  if has_edges then longest else 0
+
+let average_cardinality t =
+  float_of_int (Array.fold_left ( + ) 0 t.cards) /. float_of_int (size t)
+
+let domain_size t =
+  Array.fold_left (fun acc c -> acc *. float_of_int c) 1. t.cards
+
+let edge_count t =
+  Array.fold_left (fun acc ps -> acc + Array.length ps) 0 t.parents
+
+let schema t =
+  Relation.Schema.make
+    (Array.to_list
+       (Array.mapi (fun i name -> Relation.Attribute.indexed name t.cards.(i))
+          t.names))
+
+let default_names prefix n = Array.init n (fun i -> prefix ^ string_of_int i)
+
+let independent ?(prefix = "a") cards =
+  let cards = Array.of_list cards in
+  let n = Array.length cards in
+  make ~names:(default_names prefix n) ~cards
+    ~parents:(Array.make n [||])
+
+let chain ?(prefix = "a") cards =
+  let cards = Array.of_list cards in
+  let n = Array.length cards in
+  make ~names:(default_names prefix n) ~cards
+    ~parents:(Array.init n (fun i -> if i = 0 then [||] else [| i - 1 |]))
+
+let crown ?(prefix = "a") cards =
+  let cards = Array.of_list cards in
+  let n = Array.length cards in
+  if n < 3 then invalid_arg "Topology.crown: need at least 3 variables";
+  let roots = (n + 1) / 2 in
+  let parents =
+    Array.init n (fun i ->
+        if i < roots then [||]
+        else
+          let j = i - roots in
+          [| j mod roots; (j + 1) mod roots |])
+  in
+  make ~names:(default_names prefix n) ~cards ~parents
+
+let layered ?(prefix = "a") ~layers cards =
+  let cards = Array.of_list cards in
+  let n = Array.length cards in
+  if List.exists (fun l -> l <= 0) layers then
+    invalid_arg "Topology.layered: layer sizes must be positive";
+  if List.fold_left ( + ) 0 layers <> n then
+    invalid_arg "Topology.layered: layer sizes must sum to variable count";
+  let layer_sizes = Array.of_list layers in
+  let nlayers = Array.length layer_sizes in
+  (* starts.(k) = first variable index of layer k. *)
+  let starts = Array.make nlayers 0 in
+  for k = 1 to nlayers - 1 do
+    starts.(k) <- starts.(k - 1) + layer_sizes.(k - 1)
+  done;
+  let parents =
+    Array.init n (fun i ->
+        (* Find this variable's layer. *)
+        let rec layer_of k = if k + 1 < nlayers && starts.(k + 1) <= i then layer_of (k + 1) else k in
+        let k = layer_of 0 in
+        if k = 0 then [||]
+        else begin
+          let prev_start = starts.(k - 1) and prev_size = layer_sizes.(k - 1) in
+          let offset = i - starts.(k) in
+          if prev_size = 1 then [| prev_start |]
+          else
+            [|
+              prev_start + (offset mod prev_size);
+              prev_start + ((offset + 1) mod prev_size);
+            |]
+        end)
+  in
+  make ~names:(default_names prefix n) ~cards ~parents
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d variables, %d edges, depth %d@," (size t)
+    (edge_count t) (depth t);
+  Array.iteri
+    (fun i name ->
+      Format.fprintf ppf "%s(card %d) <- {%a}@," name t.cards.(i)
+        (Format.pp_print_array
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf p -> Format.pp_print_string ppf t.names.(p)))
+        t.parents.(i))
+    t.names;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Bayesian-network topologies: a DAG over named discrete variables.
+
+    Only the *structure* lives here; probabilities are attached by
+    {!Network}. The benchmark of Section VI-A is driven entirely by
+    topologies ("our framework takes as input a description of the topology
+    of a Bayesian network"). *)
+
+type t
+
+val make : names:string array -> cards:int array -> parents:int array array -> t
+(** [make ~names ~cards ~parents] builds a topology; [parents.(i)] lists the
+    parent indices of variable [i]. Raises [Invalid_argument] on length
+    mismatches, empty networks, cardinalities < 2, out-of-range or duplicate
+    parent indices, self-loops, or cycles. *)
+
+val size : t -> int
+(** Number of variables ("num. attrs" of Table I). *)
+
+val cardinality : t -> int -> int
+val cardinalities : t -> int array
+val name : t -> int -> string
+val parents : t -> int -> int array
+val children : t -> int -> int array
+
+val topological_order : t -> int array
+(** Variable indices in an order where parents precede children. *)
+
+val depth : t -> int
+(** Table I's "depth": the number of nodes on the longest directed path, or
+    0 for an edge-free network (the paper assigns independent BN4 depth 0,
+    crowns depth 2, and a 6-node chain depth 6). *)
+
+val average_cardinality : t -> float
+val domain_size : t -> float
+(** Product of cardinalities ("dom. size" of Table I). *)
+
+val edge_count : t -> int
+
+val schema : t -> Relation.Schema.t
+(** The relational schema whose attributes are the network variables. *)
+
+(** {2 Stock shapes used by the Table I catalog} *)
+
+val independent : ?prefix:string -> int list -> t
+(** No edges. *)
+
+val chain : ?prefix:string -> int list -> t
+(** [a0 → a1 → … → a(n-1)] — the paper's "line-shaped" networks. *)
+
+val crown : ?prefix:string -> int list -> t
+(** Two layers: the first ⌈n/2⌉ variables are roots; each remaining
+    variable has two cyclically adjacent roots as parents — the paper's
+    "crown-shaped" networks (depth 2). Requires at least 3 variables. *)
+
+val layered : ?prefix:string -> layers:int list -> int list -> t
+(** [layered ~layers cards] splits the variables into consecutive layers of
+    the given sizes (summing to the variable count); each non-root variable
+    has up to two parents in the previous layer. Depth = number of
+    layers. *)
+
+val pp : Format.formatter -> t -> unit

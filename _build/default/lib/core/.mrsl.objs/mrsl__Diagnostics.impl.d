@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Array Float Gibbs List Model Prob Relation

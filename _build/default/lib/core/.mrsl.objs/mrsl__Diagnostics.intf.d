@@ -1,0 +1,1 @@
+lib/core/diagnostics.mli: Gibbs Prob Relation

@@ -1,0 +1,1 @@
+lib/core/gibbs.ml: Array Hashtbl Infer_single Int List Model Prob Relation Voting

@@ -1,0 +1,1 @@
+lib/core/gibbs.mli: Model Prob Relation Voting

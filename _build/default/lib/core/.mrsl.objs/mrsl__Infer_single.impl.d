@@ -1,0 +1,1 @@
+lib/core/infer_single.ml: Array Float Lattice List Meta_rule Model Prob Relation Voting

@@ -1,0 +1,1 @@
+lib/core/infer_single.mli: Meta_rule Model Prob Relation Voting

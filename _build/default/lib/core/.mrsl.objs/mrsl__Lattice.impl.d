@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Array Format Int List Meta_rule Mining Prob Relation

@@ -1,0 +1,1 @@
+lib/core/meta_rule.ml: Array Format List Mining Prob Relation

@@ -1,0 +1,1 @@
+lib/core/meta_rule.mli: Format Mining Prob Relation

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Format Lattice List Logs Meta_rule Mining Option Prob Relation Unix

@@ -1,0 +1,1 @@
+lib/core/model_io.ml: Array Buffer Char In_channel Lattice List Meta_rule Mining Model Out_channel Printf Prob Relation String

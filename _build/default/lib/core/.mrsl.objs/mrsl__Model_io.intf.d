@@ -1,0 +1,1 @@
+lib/core/model_io.mli: Model

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Domain Gibbs List Mining Prob Tuple_dag Unix Workload

@@ -1,0 +1,1 @@
+lib/core/parallel.mli: Gibbs Model Relation Voting Workload

@@ -1,0 +1,1 @@
+lib/core/tuple_dag.ml: Array Format Fun Int List Mining Relation

@@ -1,0 +1,1 @@
+lib/core/tuple_dag.mli: Format Relation

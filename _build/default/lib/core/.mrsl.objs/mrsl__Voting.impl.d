@@ -1,0 +1,1 @@
+lib/core/voting.ml: Lattice List Meta_rule Prob String

@@ -1,0 +1,1 @@
+lib/core/voting.mli: Meta_rule Prob

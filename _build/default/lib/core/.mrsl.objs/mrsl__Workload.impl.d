@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Gibbs List Logs Queue Relation Tuple_dag Unix

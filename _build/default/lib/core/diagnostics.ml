@@ -1,0 +1,118 @@
+type report = {
+  psrf_max : float;
+  ess_min : float;
+  chains : int;
+  draws_per_chain : int;
+}
+
+let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let potential_scale_reduction series =
+  let m = Array.length series in
+  if m < 2 then
+    invalid_arg "Diagnostics.potential_scale_reduction: need >= 2 chains";
+  let n = Array.length series.(0) in
+  if n < 4 then
+    invalid_arg "Diagnostics.potential_scale_reduction: chains too short";
+  Array.iter
+    (fun chain ->
+      if Array.length chain <> n then
+        invalid_arg "Diagnostics.potential_scale_reduction: ragged chains")
+    series;
+  let nf = float_of_int n and mf = float_of_int m in
+  let chain_means = Array.map mean series in
+  let grand = mean chain_means in
+  (* Between-chain variance B and within-chain variance W. *)
+  let b =
+    nf /. (mf -. 1.)
+    *. Array.fold_left
+         (fun acc mu -> acc +. ((mu -. grand) ** 2.))
+         0. chain_means
+  in
+  let w =
+    mean
+      (Array.map
+         (fun chain ->
+           let mu = mean chain in
+           Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.)) 0. chain
+           /. (nf -. 1.))
+         series)
+  in
+  if w <= 1e-12 then 1.0
+  else
+    let var_plus = (((nf -. 1.) /. nf) *. w) +. (b /. nf) in
+    sqrt (var_plus /. w)
+
+let effective_sample_size series =
+  let n = Array.length series in
+  if n < 2 then 1.
+  else begin
+    let mu = mean series in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.)) 0. series
+      /. float_of_int n
+    in
+    if var <= 1e-12 then float_of_int n
+    else begin
+      let autocov k =
+        let acc = ref 0. in
+        for i = 0 to n - 1 - k do
+          acc := !acc +. ((series.(i) -. mu) *. (series.(i + k) -. mu))
+        done;
+        !acc /. float_of_int n
+      in
+      (* Initial positive sequence: sum pair sums Γ_k = ρ_{2k} + ρ_{2k+1}
+         while positive (Geyer 1992). *)
+      let rec accumulate k acc =
+        if 2 * k + 1 >= n then acc
+        else
+          let gamma = (autocov (2 * k) +. autocov ((2 * k) + 1)) /. var in
+          if gamma <= 0. then acc else accumulate (k + 1) (acc +. gamma)
+      in
+      (* k = 0 contributes ρ0 + ρ1 where ρ0 = 1. *)
+      let tau = Float.max 1. ((2. *. accumulate 0 0.) -. 1.) in
+      Float.max 1. (Float.min (float_of_int n) (float_of_int n /. tau))
+    end
+  end
+
+let diagnose ?(chains = 4) ?(draws = 500) ?(burn_in = 100) rng sampler tup =
+  if chains < 2 then invalid_arg "Diagnostics.diagnose: need >= 2 chains";
+  if draws < 4 then invalid_arg "Diagnostics.diagnose: need >= 4 draws";
+  let missing = Relation.Tuple.missing tup in
+  if missing = [] then invalid_arg "Diagnostics.diagnose: tuple is complete";
+  let schema = Model.schema (Gibbs.model sampler) in
+  (* Record every chain's trajectory over the missing attributes. *)
+  let trajectories =
+    Array.init chains (fun _ ->
+        let chain_rng = Prob.Rng.split rng in
+        let c = Gibbs.chain chain_rng sampler tup in
+        for _ = 1 to burn_in do
+          ignore (Gibbs.sweep chain_rng c)
+        done;
+        Array.init draws (fun _ -> Gibbs.sweep chain_rng c))
+  in
+  let indicators =
+    List.concat_map
+      (fun a ->
+        List.init (Relation.Schema.cardinality schema a) (fun v -> (a, v)))
+      missing
+  in
+  let psrf_max = ref 1. and ess_min = ref (float_of_int draws) in
+  List.iter
+    (fun (a, v) ->
+      let series =
+        Array.map
+          (Array.map (fun point -> if point.(a) = v then 1. else 0.))
+          trajectories
+      in
+      let r = potential_scale_reduction series in
+      if r > !psrf_max then psrf_max := r;
+      Array.iter
+        (fun chain ->
+          let ess = effective_sample_size chain in
+          if ess < !ess_min then ess_min := ess)
+        series)
+    indicators;
+  { psrf_max = !psrf_max; ess_min = !ess_min; chains; draws_per_chain = draws }
+
+let converged ?(threshold = 1.1) report = report.psrf_max <= threshold

@@ -1,0 +1,39 @@
+(** Convergence diagnostics for the Gibbs sampler.
+
+    Section V-A: "The length of burn-in (B), and the subsequent number of
+    iterations (N), may be estimated using standard techniques." This
+    module implements those standard techniques for the MRSL sampler:
+
+    - {e Gelman–Rubin} potential scale reduction (R̂) across several
+      independent chains, computed on the indicator series of every
+      (missing attribute, value) pair and reported as the maximum;
+    - {e effective sample size} per chain from the autocorrelation of the
+      same indicator series (initial-positive-sequence estimator),
+      reported as the minimum over indicators. *)
+
+type report = {
+  psrf_max : float;  (** max Gelman–Rubin R̂ over all value indicators *)
+  ess_min : float;  (** min effective sample size over all indicators *)
+  chains : int;
+  draws_per_chain : int;
+}
+
+val potential_scale_reduction : float array array -> float
+(** [potential_scale_reduction series] — R̂ for one scalar statistic from
+    [m] chains of equal length [n] ([series.(i)] is chain [i]). Returns 1.0
+    when the statistic is constant. Raises [Invalid_argument] with fewer
+    than 2 chains, chains shorter than 4, or ragged lengths. *)
+
+val effective_sample_size : float array -> float
+(** ESS of a single scalar series via the initial positive sequence of
+    autocorrelations; at most the series length, at least 1. *)
+
+val diagnose : ?chains:int -> ?draws:int -> ?burn_in:int -> Prob.Rng.t ->
+  Gibbs.sampler -> Relation.Tuple.t -> report
+(** Run several independent chains (default 4 × 500 draws after a burn-in
+    of 100) for an incomplete tuple and summarize convergence. A
+    well-mixed sampler has [psrf_max] close to 1 (≤ 1.1 is the customary
+    threshold) and a healthy [ess_min]. *)
+
+val converged : ?threshold:float -> report -> bool
+(** [psrf_max <= threshold] (default 1.1). *)

@@ -1,0 +1,148 @@
+type config = { burn_in : int; samples : int }
+
+let default_config = { burn_in = 100; samples = 1000 }
+
+type sampler = {
+  model : Model.t;
+  method_ : Voting.method_;
+  cards : int array;
+  (* Mixed-radix code of a full point (with the resampled attribute zeroed)
+     composed with the attribute index; [None] when the schema's domain is
+     too large to key safely. *)
+  memo : (int, Prob.Dist.t) Hashtbl.t option;
+  domain_size : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let sampler ?(method_ = Voting.best_averaged) ?(memoize = true) model =
+  let schema = Model.schema model in
+  let arity = Relation.Schema.arity schema in
+  let cards = Array.init arity (Relation.Schema.cardinality schema) in
+  let domain_size =
+    match Relation.Domain.count cards with
+    | n -> n
+    | exception Invalid_argument _ -> -1
+  in
+  let memo =
+    if memoize && domain_size > 0 && domain_size < 1 lsl 40 then
+      Some (Hashtbl.create 4096)
+    else None
+  in
+  { model; method_; cards; memo; domain_size; hits = 0; misses = 0 }
+
+let model s = s.model
+
+let evidence_tuple point a =
+  Array.mapi (fun i v -> if i = a then None else Some v) point
+
+let compute_conditional s point a =
+  Infer_single.infer ~method_:s.method_ s.model (evidence_tuple point a) a
+
+let conditional s point a =
+  match s.memo with
+  | None -> compute_conditional s point a
+  | Some memo ->
+      let saved = point.(a) in
+      point.(a) <- 0;
+      let code = Relation.Domain.encode s.cards point in
+      point.(a) <- saved;
+      let key = (a * s.domain_size) + code in
+      (match Hashtbl.find_opt memo key with
+      | Some d ->
+          s.hits <- s.hits + 1;
+          d
+      | None ->
+          s.misses <- s.misses + 1;
+          let d = compute_conditional s point a in
+          Hashtbl.add memo key d;
+          d)
+
+let cache_stats s = (s.hits, s.misses)
+
+type chain = {
+  sampler : sampler;
+  tuple : Relation.Tuple.t;
+  missing : int array;
+  state : int array;  (* current complete point; evidence slots fixed *)
+}
+
+let chain rng s tup =
+  let arity = Relation.Schema.arity (Model.schema s.model) in
+  if Array.length tup <> arity then
+    invalid_arg "Gibbs.chain: tuple arity does not match model schema";
+  let missing = Array.of_list (Relation.Tuple.missing tup) in
+  if Array.length missing = 0 then
+    invalid_arg "Gibbs.chain: tuple is complete";
+  let state = Array.map (function Some v -> v | None -> 0) tup in
+  (* Initialize each missing attribute from its single-attribute estimate
+     given the evidence only — a valid positive starting state. *)
+  Array.iter
+    (fun a ->
+      let d = Infer_single.infer ~method_:s.method_ s.model tup a in
+      state.(a) <- Prob.Dist.sample rng d)
+    missing;
+  { sampler = s; tuple = tup; missing; state }
+
+let sweep rng c =
+  Array.iter
+    (fun a ->
+      let d = conditional c.sampler c.state a in
+      c.state.(a) <- Prob.Dist.sample rng d)
+    c.missing;
+  Array.copy c.state
+
+type estimate = {
+  tuple : Relation.Tuple.t;
+  missing : int list;
+  cards : int array;
+  joint : Prob.Dist.t;
+  samples_used : int;
+}
+
+let estimate_of_points (s : sampler) tup points =
+  if points = [] then invalid_arg "Gibbs.estimate_of_points: no samples";
+  let missing = Relation.Tuple.missing tup in
+  let missing_arr = Array.of_list missing in
+  let cards = Array.map (fun a -> s.cards.(a)) missing_arr in
+  let total = Relation.Domain.count cards in
+  let counts = Array.make total 0. in
+  let values = Array.make (Array.length missing_arr) 0 in
+  let n = ref 0 in
+  List.iter
+    (fun point ->
+      Array.iteri (fun k a -> values.(k) <- point.(a)) missing_arr;
+      let code = Relation.Domain.encode cards values in
+      counts.(code) <- counts.(code) +. 1.;
+      incr n)
+    points;
+  let freq = Array.map (fun c -> c /. float_of_int !n) counts in
+  {
+    tuple = tup;
+    missing;
+    cards;
+    joint = Prob.Dist.smooth freq;
+    samples_used = !n;
+  }
+
+let marginal est a =
+  let missing_arr = Array.of_list est.missing in
+  let pos =
+    match Array.find_index (Int.equal a) missing_arr with
+    | Some p -> p
+    | None -> invalid_arg "Gibbs.marginal: attribute not missing in estimate"
+  in
+  let marg = Array.make est.cards.(pos) 0. in
+  Relation.Domain.iter est.cards (fun code values ->
+      marg.(values.(pos)) <- marg.(values.(pos)) +. Prob.Dist.prob est.joint code);
+  Prob.Dist.of_weights marg
+
+let run ?(config = default_config) rng s tup =
+  if config.burn_in < 0 || config.samples < 1 then
+    invalid_arg "Gibbs.run: bad burn-in or sample count";
+  let c = chain rng s tup in
+  for _ = 1 to config.burn_in do
+    ignore (sweep rng c)
+  done;
+  let points = List.init config.samples (fun _ -> sweep rng c) in
+  estimate_of_points s tup points

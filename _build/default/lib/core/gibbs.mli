@@ -1,0 +1,78 @@
+(** Ordered Gibbs sampling over MRSL models (Section V-A).
+
+    For a tuple with several missing values, the sampler fixes the known
+    attributes as evidence, initializes the missing ones, and repeatedly
+    cycles through them in attribute order, resampling each from its
+    single-attribute MRSL estimate with all other attributes as evidence
+    (Heckerman et al.'s ordered Gibbs sampler over a dependency network).
+    Smoothed meta-rule CPDs are strictly positive, so the chain is ergodic
+    on the evidence-consistent slice of the space.
+
+    Conditional CPDs are memoized across sweeps *and across tuples* keyed
+    by (attribute, full evidence assignment): revisited chain states cost a
+    hash probe instead of a lattice match — the "caching the results of
+    partial computations" of Section I-B. *)
+
+type config = {
+  burn_in : int;  (** B — discarded leading sweeps per chain *)
+  samples : int;  (** N — recorded sweeps per tuple *)
+}
+
+val default_config : config
+(** B = 100, N = 1000. The voting method for the local CPDs is a property
+    of the {!sampler}. *)
+
+type sampler
+(** A model wrapped with the conditional-CPD memo table. *)
+
+val sampler : ?method_:Voting.method_ -> ?memoize:bool -> Model.t -> sampler
+(** [memoize] (default [true]) controls the conditional-CPD cache. Turning
+    it off reproduces the cost model of the paper's prototype, where every
+    Gibbs sweep pays the full ensemble-voting cost — used by the Fig 11
+    harness so sampling counts and wall time stay proportional, and ablated
+    in the benchmarks. *)
+
+val model : sampler -> Model.t
+
+val conditional : sampler -> int array -> int -> Prob.Dist.t
+(** [conditional s point a] — memoized MRSL estimate of attribute [a]
+    given the values of all other attributes in [point]. *)
+
+val cache_stats : sampler -> int * int
+(** (hits, misses) of the conditional-CPD memo table. *)
+
+type chain
+(** One Gibbs chain: a tuple's evidence plus the current assignment of its
+    missing attributes. *)
+
+val chain : Prob.Rng.t -> sampler -> Relation.Tuple.t -> chain
+(** Start a chain for an incomplete tuple: missing attributes are
+    initialized by sampling their single-attribute MRSL estimates given
+    the evidence. Raises [Invalid_argument] on a complete tuple. *)
+
+val sweep : Prob.Rng.t -> chain -> int array
+(** Resample every missing attribute once, in attribute order; returns the
+    resulting complete point (a fresh copy). *)
+
+type estimate = {
+  tuple : Relation.Tuple.t;
+  missing : int list;  (** missing attribute indices, ascending *)
+  cards : int array;  (** their cardinalities, same order *)
+  joint : Prob.Dist.t;  (** joint distribution in mixed-radix code order *)
+  samples_used : int;
+}
+
+val estimate_of_points : sampler -> Relation.Tuple.t -> int array list ->
+  estimate
+(** Empirical (smoothed) joint distribution of the tuple's missing
+    attributes over a bag of complete points — used both by [run] and by
+    the sample-sharing tuple-DAG strategy. Raises [Invalid_argument] on an
+    empty bag. *)
+
+val marginal : estimate -> int -> Prob.Dist.t
+(** Marginal distribution of one missing attribute of an estimate. *)
+
+val run : ?config:config -> Prob.Rng.t -> sampler -> Relation.Tuple.t ->
+  estimate
+(** Tuple-at-a-time inference for one tuple: burn-in, then N recorded
+    sweeps, then the empirical joint estimate. *)

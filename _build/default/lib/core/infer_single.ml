@@ -1,0 +1,45 @@
+let check_task model tup a =
+  let arity = Relation.Schema.arity (Model.schema model) in
+  if Array.length tup <> arity then
+    invalid_arg "Infer_single: tuple arity does not match model schema";
+  if a < 0 || a >= arity then
+    invalid_arg "Infer_single: attribute index out of range";
+  match tup.(a) with
+  | Some _ ->
+      invalid_arg "Infer_single: attribute is not missing in the tuple"
+  | None -> ()
+
+let voters ?(method_ = Voting.best_averaged) model tup a =
+  check_task model tup a;
+  let matches = Lattice.matching (Model.lattice model a) tup in
+  Voting.select method_.choice matches
+
+let infer ?(method_ = Voting.best_averaged) model tup a =
+  Voting.combine method_.scheme (voters ~method_ model tup a)
+
+let infer_all_missing ?method_ model tup =
+  List.map (fun a -> (a, infer ?method_ model tup a)) (Relation.Tuple.missing tup)
+
+type explanation = {
+  estimate : Prob.Dist.t;
+  contributions : (Meta_rule.t * float) list;
+}
+
+let explain ?(method_ = Voting.best_averaged) model tup a =
+  let selected = voters ~method_ model tup a in
+  let estimate = Voting.combine method_.scheme selected in
+  let weights =
+    match method_.scheme with
+    | Voting.Averaged -> List.map (fun _ -> 1.) selected
+    | Voting.Weighted ->
+        let ws = List.map (fun (m : Meta_rule.t) -> m.weight) selected in
+        if List.for_all (fun w -> w <= 0.) ws then
+          List.map (fun _ -> 1.) selected
+        else ws
+  in
+  let total = List.fold_left ( +. ) 0. weights in
+  let contributions =
+    List.map2 (fun m w -> (m, w /. total)) selected weights
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  { estimate; contributions }

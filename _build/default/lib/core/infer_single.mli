@@ -1,0 +1,37 @@
+(** Single-attribute inference (paper Algorithm 2).
+
+    Given an incomplete tuple and the MRSL of a missing attribute, collect
+    the matching meta-rules, apply a voter-selection mechanism and a voting
+    scheme, and return the estimated CPD over the attribute's domain. *)
+
+val infer : ?method_:Voting.method_ -> Model.t -> Relation.Tuple.t -> int ->
+  Prob.Dist.t
+(** [infer model t a] — estimated distribution of the missing attribute [a]
+    in [t]. The method defaults to best-averaged (the paper's most accurate
+    setting). Raises [Invalid_argument] when [a] is not missing in [t] or
+    out of range. Values of other missing attributes are simply absent
+    evidence — the matching meta-rules condition only on known values. *)
+
+val infer_all_missing : ?method_:Voting.method_ -> Model.t ->
+  Relation.Tuple.t -> (int * Prob.Dist.t) list
+(** Independent single-attribute estimates for every missing attribute of
+    the tuple (the naive per-attribute baseline that multi-attribute Gibbs
+    inference improves on, Section V). *)
+
+val voters : ?method_:Voting.method_ -> Model.t -> Relation.Tuple.t -> int ->
+  Meta_rule.t list
+(** The selected voter set for an inference task — exposed for inspection,
+    explanation, and tests. *)
+
+type explanation = {
+  estimate : Prob.Dist.t;
+  contributions : (Meta_rule.t * float) list;
+      (** each selected voter with its normalized vote weight (summing to
+          1): uniform under the averaged scheme, support-proportional
+          under the weighted scheme *)
+}
+
+val explain : ?method_:Voting.method_ -> Model.t -> Relation.Tuple.t -> int ->
+  explanation
+(** Like {!infer}, but also reports how much each meta-rule contributed —
+    the provenance of a derived probability. *)

@@ -1,0 +1,52 @@
+(** Meta-rules (paper Def 2.6).
+
+    A meta-rule groups the association rules that share a body and assign
+    different values to one head attribute, and carries an estimated CPD
+    over the head attribute's *entire* domain. CPDs are smoothed to be
+    strictly positive (Section III): rule confidences fill the observed
+    positions, any unaccounted probability mass is spread equally, and every
+    value is floored at 0.00001 before re-normalizing — the positivity the
+    Gibbs sampler requires. *)
+
+type t = private {
+  body : Mining.Itemset.t;
+  head_attr : int;
+  cpd : Prob.Dist.t;
+  weight : float;  (** support of the body — the meta-rule's voting weight *)
+}
+
+val of_rules : ?floor:float -> head_card:int -> Mining.Assoc_rule.t list -> t
+(** Build a meta-rule from association rules sharing a body and head
+    attribute. Raises [Invalid_argument] on an empty list, mismatched
+    bodies or head attributes, duplicate head values, or a head value
+    outside [0 .. head_card-1]. [floor] overrides the paper's 0.00001
+    smoothing floor (ablation hook). *)
+
+val make : ?floor:float -> body:Mining.Itemset.t -> head_attr:int ->
+  weight:float -> raw_cpd:float array -> unit -> t
+(** Direct constructor (used for the always-present root meta-rule built
+    from marginal value frequencies); [raw_cpd] goes through the same
+    smoothing as rule confidences. *)
+
+val of_distribution : body:Mining.Itemset.t -> head_attr:int ->
+  weight:float -> Prob.Dist.t -> t
+(** Constructor for an already-smoothed CPD (no re-smoothing) — used when
+    deserializing, where re-applying the floor would perturb stored
+    probabilities. Validation as in {!make}. *)
+
+val matches : t -> Relation.Tuple.t -> bool
+(** The body's assignments all appear among the tuple's known values. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes m1 m2] ⇔ m2 ≺ m1 (Def 2.7): equal head attributes and
+    body(m1) ⊊ body(m2). *)
+
+val specificity : t -> int
+(** Body size; the root meta-rule has specificity 0. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render with positional attribute names (a0, a1, …). *)
+
+val pp_named : Relation.Schema.t -> Format.formatter -> t -> unit
+(** Render with the schema's attribute and value labels, e.g.
+    [P(age | edu=HS) = ...]. *)

@@ -1,0 +1,20 @@
+(** Plain-text serialization of MRSL models.
+
+    Learning is an offline process in the paper (Section VI-B: "learning
+    the MRSL from the data as part of an off-line process is feasible");
+    persisting the learned model lets the inference phase run later and
+    elsewhere. The format is a line-oriented, tab-separated text format
+    with a version header; labels are percent-encoded so arbitrary value
+    strings survive the round trip. Probabilities are written with full
+    precision ([%.17g]), making the round trip exact. *)
+
+val to_string : Model.t -> string
+
+val of_string : string -> Model.t
+(** Raises [Failure] with a line-numbered message on malformed input, and
+    [Invalid_argument] if the decoded parts are inconsistent. *)
+
+val save : string -> Model.t -> unit
+(** Write to a file. *)
+
+val load : string -> Model.t

@@ -1,0 +1,53 @@
+(* Group tuples so subsumption-related ones tend to share a chunk: sort by
+   the known-attribute set's itemset order (tuples over the same known
+   attributes cluster), then deal groups round-robin. *)
+let partition chunks workload =
+  let sorted =
+    List.sort
+      (fun a b ->
+        Mining.Itemset.compare (Mining.Itemset.of_tuple a)
+          (Mining.Itemset.of_tuple b))
+      workload
+  in
+  let buckets = Array.make chunks [] in
+  List.iteri (fun i tup -> buckets.(i mod chunks) <- tup :: buckets.(i mod chunks)) sorted;
+  Array.to_list buckets |> List.filter (fun b -> b <> [])
+
+let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
+    ?method_ ?memoize ?domains ~seed model workload =
+  let distinct = Tuple_dag.build workload in
+  let n = Tuple_dag.node_count distinct in
+  let requested =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+        d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let chunks = max 1 (min requested n) in
+  let t0 = Unix.gettimeofday () in
+  let parts =
+    partition chunks (Array.to_list (Tuple_dag.tuples distinct))
+  in
+  let work index part () =
+    let sampler = Gibbs.sampler ?method_ ?memoize model in
+    let rng = Prob.Rng.create (seed + (31 * index)) in
+    Workload.run ~config ~strategy rng sampler part
+  in
+  let handles =
+    List.mapi (fun i part -> Domain.spawn (work i part)) parts
+  in
+  let results = List.map Domain.join handles in
+  let wall = Unix.gettimeofday () -. t0 in
+  let estimates = List.concat_map (fun (r : Workload.result) -> r.estimates) results in
+  let sum f = List.fold_left (fun acc (r : Workload.result) -> acc + f r.stats) 0 results in
+  {
+    Workload.estimates;
+    stats =
+      {
+        sweeps = sum (fun s -> s.Workload.sweeps);
+        recorded = sum (fun s -> s.Workload.recorded);
+        shared = sum (fun s -> s.Workload.shared);
+        wall_seconds = wall;
+      };
+  }

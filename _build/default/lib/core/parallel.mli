@@ -1,0 +1,23 @@
+(** Multicore workload inference (OCaml 5 domains).
+
+    The paper's prototype is single-threaded; on a modern multicore host
+    the workload of Section V-B parallelizes naturally because distinct
+    incomplete tuples are independent inference tasks. The workload's
+    distinct tuples are partitioned into per-domain chunks (round-robin
+    after a subsumption-aware grouping so DAG sharing still fires within a
+    chunk), each domain runs the chosen strategy over its chunk with its
+    own sampler and deterministic RNG stream, and the results are merged.
+
+    Sample sharing across chunks is forgone — the price of parallelism —
+    so with [strategy = Tuple_dag] total sweeps can exceed a sequential
+    tuple-DAG run while wall time drops. On a single-core host (e.g. a
+    constrained container) domains only add scheduling overhead; check
+    [Domain.recommended_domain_count] before fanning out. *)
+
+val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
+  ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int -> seed:int ->
+  Model.t -> Relation.Tuple.t list -> Workload.result
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped by
+    the number of distinct tuples. [seed] derives every chunk's RNG, so
+    results are reproducible for a fixed domain count. The merged stats sum
+    the chunks' counters; [wall_seconds] is the true elapsed time. *)

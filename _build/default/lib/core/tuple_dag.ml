@@ -1,0 +1,128 @@
+type t = {
+  tuples : Relation.Tuple.t array;
+  parents : int list array;
+  children : int list array;
+  by_itemset : int Mining.Itemset.Table.t;
+}
+
+(* All ancestors of node [j]: workload tuples whose complete portion is a
+   proper subset of [j]'s. Found by enumerating subsets of the known
+   assignments and probing the itemset index. *)
+let ancestors_of by_itemset itemset j =
+  let items = Array.of_list (Mining.Itemset.to_list itemset) in
+  let k = Array.length items in
+  let acc = ref [] in
+  let chosen = Array.make (max 1 k) 0 in
+  let rec enum s pos start =
+    if pos = s then begin
+      let sub =
+        Mining.Itemset.of_list
+          (Array.to_list (Array.init s (fun i -> items.(chosen.(i)))))
+      in
+      match Mining.Itemset.Table.find_opt by_itemset sub with
+      | Some i when i <> j -> acc := i :: !acc
+      | _ -> ()
+    end
+    else
+      for c = start to k - (s - pos) do
+        chosen.(pos) <- c;
+        enum s (pos + 1) (c + 1)
+      done
+  in
+  for s = 0 to k - 1 do
+    enum s 0 0
+  done;
+  !acc
+
+let build workload =
+  let arity =
+    match workload with
+    | [] -> 0
+    | t :: _ -> Array.length t
+  in
+  List.iter
+    (fun tup ->
+      if Array.length tup <> arity then
+        invalid_arg "Tuple_dag.build: tuple arity mismatch";
+      if Relation.Tuple.is_complete tup then
+        invalid_arg "Tuple_dag.build: complete tuples have nothing to infer")
+    workload;
+  (* Deduplicate, keyed by the complete portion. *)
+  let by_itemset = Mining.Itemset.Table.create 256 in
+  let distinct = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun tup ->
+      let key = Mining.Itemset.of_tuple tup in
+      if not (Mining.Itemset.Table.mem by_itemset key) then begin
+        Mining.Itemset.Table.replace by_itemset key !n;
+        distinct := tup :: !distinct;
+        incr n
+      end)
+    workload;
+  let tuples = Array.of_list (List.rev !distinct) in
+  let n = Array.length tuples in
+  let parents = Array.make n [] in
+  let children = Array.make n [] in
+  let itemsets = Array.map Mining.Itemset.of_tuple tuples in
+  for j = 0 to n - 1 do
+    let ancs = ancestors_of by_itemset itemsets.(j) j in
+    (* Hasse reduction: an ancestor is a parent iff no other ancestor lies
+       strictly between it and [j]. *)
+    let direct =
+      List.filter
+        (fun i ->
+          not
+            (List.exists
+               (fun k ->
+                 k <> i
+                 && Mining.Itemset.proper_subset itemsets.(i) itemsets.(k))
+               ancs))
+        ancs
+    in
+    parents.(j) <- List.sort Int.compare direct;
+    List.iter (fun i -> children.(i) <- j :: children.(i)) direct
+  done;
+  Array.iteri (fun i l -> children.(i) <- List.sort Int.compare l) children;
+  { tuples; parents; children; by_itemset }
+
+let node_count t = Array.length t.tuples
+
+let tuple t i =
+  if i < 0 || i >= Array.length t.tuples then
+    invalid_arg "Tuple_dag.tuple: node index out of range";
+  t.tuples.(i)
+
+let tuples t = Array.copy t.tuples
+
+let index_of t tup =
+  Mining.Itemset.Table.find_opt t.by_itemset (Mining.Itemset.of_tuple tup)
+
+let parents t i = t.parents.(i)
+let children t i = t.children.(i)
+
+let roots t =
+  List.filter
+    (fun i -> t.parents.(i) = [])
+    (List.init (Array.length t.tuples) Fun.id)
+
+let ancestors t i =
+  let itemsets = Array.map Mining.Itemset.of_tuple t.tuples in
+  ancestors_of t.by_itemset itemsets.(i) i |> List.sort Int.compare
+
+let edge_count t =
+  Array.fold_left (fun acc ps -> acc + List.length ps) 0 t.parents
+
+let pp schema ppf t =
+  Format.fprintf ppf "@[<v>tuple DAG: %d nodes, %d edges@," (node_count t)
+    (edge_count t);
+  Array.iteri
+    (fun i tup ->
+      Format.fprintf ppf "%d: %a  parents=%a@," i (Relation.Tuple.pp schema)
+        tup
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        t.parents.(i))
+    t.tuples;
+  Format.fprintf ppf "@]"

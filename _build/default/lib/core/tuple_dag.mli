@@ -1,0 +1,41 @@
+(** The tuple DAG (Section V-B): distinct incomplete tuples ordered by
+    subsumption (Def 2.4), used to share Gibbs samples between related
+    inference tasks.
+
+    A tuple with fewer known values subsumes — and can donate matching
+    samples to — tuples that extend its complete portion. Nodes are keyed
+    by their complete portions (two incomplete tuples over one schema are
+    equal iff those agree), ancestors are found by subset enumeration over
+    each node's known assignments, and edges are the Hasse cover relation
+    (transitively reduced). *)
+
+type t
+
+val build : Relation.Tuple.t list -> t
+(** Deduplicates the workload and builds the DAG. Raises
+    [Invalid_argument] if any tuple is complete or arities differ. *)
+
+val node_count : t -> int
+(** Number of distinct incomplete tuples. *)
+
+val tuple : t -> int -> Relation.Tuple.t
+val tuples : t -> Relation.Tuple.t array
+
+val index_of : t -> Relation.Tuple.t -> int option
+
+val parents : t -> int -> int list
+(** Direct subsumers (cover edges only), ascending node index. *)
+
+val children : t -> int -> int list
+(** Direct subsumees, ascending node index. *)
+
+val roots : t -> int list
+(** Nodes with no parents — the initial sampling frontier of
+    Algorithm 3. *)
+
+val ancestors : t -> int -> int list
+(** All (transitive) subsumers present in the workload. *)
+
+val edge_count : t -> int
+
+val pp : Relation.Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type choice = All | Best
+type scheme = Averaged | Weighted
+type method_ = { choice : choice; scheme : scheme }
+
+let all_averaged = { choice = All; scheme = Averaged }
+let all_weighted = { choice = All; scheme = Weighted }
+let best_averaged = { choice = Best; scheme = Averaged }
+let best_weighted = { choice = Best; scheme = Weighted }
+let all_methods = [ all_averaged; all_weighted; best_averaged; best_weighted ]
+
+let method_name m =
+  let c = match m.choice with All -> "all" | Best -> "best" in
+  let s = match m.scheme with Averaged -> "averaged" | Weighted -> "weighted" in
+  c ^ " " ^ s
+
+let method_of_string s =
+  let canon =
+    String.lowercase_ascii s
+    |> String.map (fun c -> if c = '-' || c = '_' || c = ' ' then ' ' else c)
+  in
+  match String.split_on_char ' ' canon |> List.filter (( <> ) "") with
+  | [ "all"; "averaged" ] -> Some all_averaged
+  | [ "all"; "weighted" ] -> Some all_weighted
+  | [ "best"; "averaged" ] -> Some best_averaged
+  | [ "best"; "weighted" ] -> Some best_weighted
+  | _ -> None
+
+let select choice matches =
+  match choice with
+  | All -> matches
+  | Best -> Lattice.most_specific matches
+
+let combine scheme voters =
+  match voters with
+  | [] -> invalid_arg "Voting.combine: no voters"
+  | _ -> (
+      match scheme with
+      | Averaged ->
+          Prob.Dist.average (List.map (fun (m : Meta_rule.t) -> m.cpd) voters)
+      | Weighted ->
+          Prob.Dist.weighted_average
+            (List.map (fun (m : Meta_rule.t) -> (m.weight, m.cpd)) voters))

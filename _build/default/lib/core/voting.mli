@@ -1,0 +1,37 @@
+(** Voter selection and vote combination (Section IV).
+
+    The paper implements two voter-selection mechanisms and two voting
+    schemes, giving the four methods evaluated in Table II:
+    all-averaged, all-weighted, best-averaged, best-weighted. *)
+
+type choice = All | Best
+(** [All] — every matching meta-rule votes. [Best] — only the most
+    specific matches (those subsuming no other match) vote. *)
+
+type scheme = Averaged | Weighted
+(** [Averaged] — position-wise mean of the voters' CPDs. [Weighted] —
+    mean weighted by meta-rule support. *)
+
+type method_ = { choice : choice; scheme : scheme }
+
+val all_averaged : method_
+val all_weighted : method_
+val best_averaged : method_
+val best_weighted : method_
+
+val all_methods : method_ list
+(** The four methods, in Table II column order. *)
+
+val method_name : method_ -> string
+(** e.g. ["best averaged"]. *)
+
+val method_of_string : string -> method_ option
+(** Parse ["all-averaged"], ["best_weighted"], etc. (separator and case
+    insensitive). *)
+
+val select : choice -> Meta_rule.t list -> Meta_rule.t list
+(** Apply the voter-selection mechanism to a set of matches. *)
+
+val combine : scheme -> Meta_rule.t list -> Prob.Dist.t
+(** Combine the selected voters' CPDs. Raises [Invalid_argument] on an
+    empty voter list. *)

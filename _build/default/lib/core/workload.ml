@@ -1,0 +1,199 @@
+module Log = (val Logs.src_log (Logs.Src.create "mrsl.workload"))
+
+type strategy = Tuple_at_a_time | Tuple_dag | All_at_a_time
+
+let strategy_name = function
+  | Tuple_at_a_time -> "tuple-at-a-time"
+  | Tuple_dag -> "tuple-DAG"
+  | All_at_a_time -> "all-at-a-time"
+
+type stats = {
+  sweeps : int;
+  recorded : int;
+  shared : int;
+  wall_seconds : float;
+}
+
+type result = {
+  estimates : (Relation.Tuple.t * Gibbs.estimate) list;
+  stats : stats;
+}
+
+(* Mutable per-node sampling state shared by the strategies. *)
+type node_state = {
+  tuple : Relation.Tuple.t;
+  mutable samples : int array list;  (* newest first *)
+  mutable count : int;
+  mutable chain : Gibbs.chain option;
+  mutable completed : bool;
+}
+
+let fresh_state tup =
+  { tuple = tup; samples = []; count = 0; chain = None; completed = false }
+
+let record st point =
+  st.samples <- point :: st.samples;
+  st.count <- st.count + 1
+
+let estimate_of_state sampler st =
+  Gibbs.estimate_of_points sampler st.tuple st.samples
+
+let tuple_at_a_time config rng sampler dag sweeps recorded =
+  let n = Tuple_dag.node_count dag in
+  let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
+  Array.iter
+    (fun st ->
+      let c = Gibbs.chain rng sampler st.tuple in
+      for _ = 1 to config.Gibbs.burn_in do
+        ignore (Gibbs.sweep rng c);
+        incr sweeps
+      done;
+      for _ = 1 to config.Gibbs.samples do
+        record st (Gibbs.sweep rng c);
+        incr sweeps;
+        incr recorded
+      done;
+      st.completed <- true)
+    states;
+  states
+
+(* Algorithm 3. The active frontier is a FIFO visited round-robin, one
+   sweep per visit. Completion cascades: a node finished by sharing also
+   shares onward immediately. *)
+let tuple_dag_strategy config rng sampler dag sweeps recorded shared =
+  let n = Tuple_dag.node_count dag in
+  let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
+  let target = config.Gibbs.samples in
+  let frontier = Queue.create () in
+  List.iter (fun i -> Queue.add i frontier) (Tuple_dag.roots dag);
+  let all_parents_done i =
+    List.for_all (fun p -> states.(p).completed) (Tuple_dag.parents dag i)
+  in
+  let rec complete i =
+    let st = states.(i) in
+    st.completed <- true;
+    List.iter
+      (fun j ->
+        let sj = states.(j) in
+        if not sj.completed then begin
+          (* ShareSamples(r, s): donate matching samples, oldest first so
+             reruns are deterministic, up to the target. *)
+          List.iter
+            (fun point ->
+              if sj.count < target
+                 && Relation.Tuple.matches ~point sj.tuple
+              then begin
+                record sj point;
+                incr recorded;
+                incr shared
+              end)
+            (List.rev st.samples);
+          if sj.count >= target then complete j
+          else if all_parents_done j then Queue.add j frontier
+        end)
+      (Tuple_dag.children dag i)
+  in
+  while not (Queue.is_empty frontier) do
+    let i = Queue.pop frontier in
+    let st = states.(i) in
+    if not st.completed then begin
+      let c =
+        match st.chain with
+        | Some c -> c
+        | None ->
+            let c = Gibbs.chain rng sampler st.tuple in
+            for _ = 1 to config.Gibbs.burn_in do
+              ignore (Gibbs.sweep rng c);
+              incr sweeps
+            done;
+            st.chain <- Some c;
+            c
+      in
+      record st (Gibbs.sweep rng c);
+      incr sweeps;
+      incr recorded;
+      if st.count >= target then complete i else Queue.add i frontier
+    end
+  done;
+  states
+
+let all_at_a_time config rng sampler dag max_draws sweeps recorded =
+  let n = Tuple_dag.node_count dag in
+  let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
+  if n > 0 then begin
+    let arity = Array.length (Tuple_dag.tuple dag 0) in
+    let star = Array.make arity None in
+    let c = Gibbs.chain rng sampler star in
+    for _ = 1 to config.Gibbs.burn_in do
+      ignore (Gibbs.sweep rng c);
+      incr sweeps
+    done;
+    let target = config.Gibbs.samples in
+    let remaining = ref n in
+    let draws = ref 0 in
+    while !remaining > 0 && !draws < max_draws do
+      let point = Gibbs.sweep rng c in
+      incr sweeps;
+      incr draws;
+      Array.iter
+        (fun st ->
+          if (not st.completed)
+             && st.count < target
+             && Relation.Tuple.matches ~point st.tuple
+          then begin
+            record st point;
+            incr recorded;
+            if st.count >= target then begin
+              st.completed <- true;
+              decr remaining
+            end
+          end)
+        states
+    done;
+    (* Tuples whose evidence the global chain never produced get a direct
+       chain so every workload member still receives an estimate. *)
+    Array.iter
+      (fun st ->
+        if st.count = 0 then begin
+          let c = Gibbs.chain rng sampler st.tuple in
+          for _ = 1 to config.Gibbs.burn_in do
+            ignore (Gibbs.sweep rng c);
+            incr sweeps
+          done;
+          for _ = 1 to target do
+            record st (Gibbs.sweep rng c);
+            incr sweeps;
+            incr recorded
+          done
+        end;
+        st.completed <- true)
+      states
+  end;
+  states
+
+let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
+    ?(max_draws = 10_000_000) rng sampler workload =
+  if max_draws < 1 then invalid_arg "Workload.run: max_draws must be positive";
+  let dag = Tuple_dag.build workload in
+  let sweeps = ref 0 and recorded = ref 0 and shared = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let states =
+    match strategy with
+    | Tuple_at_a_time -> tuple_at_a_time config rng sampler dag sweeps recorded
+    | Tuple_dag -> tuple_dag_strategy config rng sampler dag sweeps recorded shared
+    | All_at_a_time -> all_at_a_time config rng sampler dag max_draws sweeps recorded
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Log.info (fun m ->
+      m "%s: %d distinct tuples, %d sweeps (%d recorded, %d shared) in %.3fs"
+        (strategy_name strategy)
+        (Tuple_dag.node_count dag)
+        !sweeps !recorded !shared wall);
+  {
+    estimates =
+      Array.to_list
+        (Array.map (fun st -> (st.tuple, estimate_of_state sampler st)) states);
+    stats =
+      { sweeps = !sweeps; recorded = !recorded; shared = !shared;
+        wall_seconds = wall };
+  }

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bayesnet Domain Framework List Mrsl Printf Prob Report Scale String Util

@@ -1,0 +1,1 @@
+lib/experiments/baselines_exp.ml: Array Baselines Bayesnet Framework List Mrsl Printf Prob Relation Report Scale

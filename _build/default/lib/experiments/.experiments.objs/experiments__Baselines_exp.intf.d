@@ -1,0 +1,1 @@
+lib/experiments/baselines_exp.mli: Prob Scale

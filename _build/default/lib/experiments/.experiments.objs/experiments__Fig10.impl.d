@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Bayesnet Float Framework Int List Printf Report Scale String

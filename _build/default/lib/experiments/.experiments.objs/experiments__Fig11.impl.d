@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Bayesnet Framework Int List Mrsl Printf Report Scale String Util

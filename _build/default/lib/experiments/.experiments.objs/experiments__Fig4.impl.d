@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Bayesnet Framework List Mrsl Printf Report Scale String Util

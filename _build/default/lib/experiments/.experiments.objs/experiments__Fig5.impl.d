@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Bayesnet Framework List Mrsl Printf Report Scale Util

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Fig5 List Printf Scale

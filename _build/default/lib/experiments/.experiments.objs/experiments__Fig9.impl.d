@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Bayesnet Framework List Mrsl Printf Prob Report Scale String Util

@@ -1,0 +1,1 @@
+lib/experiments/framework.ml: Array Bayesnet Float Fun List Mrsl Prob Relation Scale Unix

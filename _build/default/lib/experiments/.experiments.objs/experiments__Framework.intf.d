@@ -1,0 +1,1 @@
+lib/experiments/framework.mli: Bayesnet Mrsl Prob Relation Scale

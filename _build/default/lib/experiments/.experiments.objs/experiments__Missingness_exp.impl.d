@@ -1,0 +1,1 @@
+lib/experiments/missingness_exp.ml: Array Bayesnet List Mrsl Printf Prob Relation Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/missingness_exp.mli: Prob Scale

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Bayesnet Framework List Mrsl Printf Report Scale

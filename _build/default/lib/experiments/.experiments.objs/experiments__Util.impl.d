@@ -1,0 +1,1 @@
+lib/experiments/util.ml: List

@@ -1,0 +1,28 @@
+(** Baseline comparison (beyond the paper's own figures, supporting its
+    Section I motivation and the Section V independence discussion):
+    multi-attribute inference accuracy and learning cost of
+
+    - MRSL + ordered Gibbs (the paper's method),
+    - MRSL independent-product (the naive approach of Section V),
+    - a score-based learned Bayesian network with exact inference (the
+      "expensive exact model" alternative of Section I-A),
+    - a plain dependency network with exact-match/backoff conditionals
+      (MRSL without the ensemble).
+
+    All methods see the same training data and are scored against the
+    exact posterior of the generating network. *)
+
+type row = {
+  network : string;
+  method_name : string;
+  learn_seconds : float;
+  kl : float;
+  top1 : float;
+  tuples : int;
+}
+
+val networks : string list
+(** The Fig 10 set: BN8, BN17, BN2. *)
+
+val compute : Prob.Rng.t -> Scale.t -> row list
+val render : Prob.Rng.t -> Scale.t -> string

@@ -1,0 +1,19 @@
+(** Fig 10 — prediction accuracy of multi-variable (Gibbs) inference:
+    average KL divergence between the sampled joint estimate and the exact
+    BN posterior, as a function of points sampled per tuple, for several
+    missing-attribute counts. Reported per network (BN8, BN17, BN2), as in
+    the paper. *)
+
+type point = {
+  network : string;
+  missing : int;
+  points_per_tuple : int;
+  kl : float;
+  top1 : float;
+}
+
+val networks : string list
+(** ["BN8"; "BN17"; "BN2"] — the three panels of Fig 10. *)
+
+val compute : Prob.Rng.t -> Scale.t -> point list
+val render : Prob.Rng.t -> Scale.t -> string

@@ -1,0 +1,17 @@
+(** Fig 11 — efficiency of multi-variable inference: total sampled points
+    and wall-clock time as a function of workload size (distinct incomplete
+    tuples), for the tuple-DAG strategy against the tuple-at-a-time
+    baseline, at 500 points per tuple. Observations pool the
+    multi-inference network set, as in the paper ("the choice of a network
+    has no bearing on sampling cost"). *)
+
+type point = {
+  network : string;
+  workload : int;  (** distinct incomplete tuples *)
+  strategy : Mrsl.Workload.strategy;
+  sampled_points : int;  (** Gibbs draws, burn-in included *)
+  seconds : float;
+}
+
+val compute : Prob.Rng.t -> Scale.t -> point list
+val render : Prob.Rng.t -> Scale.t -> string

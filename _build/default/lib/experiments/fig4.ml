@@ -1,0 +1,68 @@
+type point = { x : float; build_time : float; model_size : float }
+
+let networks scale =
+  Util.take scale.Scale.networks_cap Bayesnet.Catalog.model_building_networks
+
+let measure rng scale ~train_size ~support =
+  let cells =
+    List.concat_map
+      (fun entry ->
+        let reps = Framework.prepare rng scale entry ~train_size in
+        List.map
+          (fun prepared ->
+            let model, seconds = Framework.learn_timed prepared ~support in
+            (seconds, float_of_int (Mrsl.Model.size model)))
+          reps)
+      (networks scale)
+  in
+  ( Util.avg_by fst cells,
+    Util.avg_by snd cells )
+
+let compute_vs_train rng scale =
+  List.map
+    (fun train_size ->
+      let build_time, model_size =
+        measure rng scale ~train_size ~support:scale.Scale.median_support
+      in
+      { x = float_of_int train_size; build_time; model_size })
+    scale.Scale.train_sizes
+
+let compute_vs_support rng scale =
+  List.map
+    (fun support ->
+      let build_time, model_size =
+        measure rng scale ~train_size:scale.Scale.median_train ~support
+      in
+      { x = support; build_time; model_size })
+    scale.Scale.supports
+
+let render rng scale =
+  let vs_train = compute_vs_train rng scale in
+  let vs_support = compute_vs_support rng scale in
+  let a =
+    Report.render_series
+      ~title:
+        (Printf.sprintf
+           "Fig 4(a): model building time (s) vs training size (support=%g)"
+           scale.Scale.median_support)
+      ~x_label:"train size" ~series:[ "build time (s)" ]
+      (List.map (fun p -> (p.x, [ p.build_time ])) vs_train)
+  in
+  let b =
+    Report.render_series
+      ~title:
+        (Printf.sprintf
+           "Fig 4(b): model building time (s) vs support (train=%d)"
+           scale.Scale.median_train)
+      ~x_label:"support" ~series:[ "build time (s)" ]
+      (List.map (fun p -> (p.x, [ p.build_time ])) vs_support)
+  in
+  let c =
+    Report.render_series
+      ~title:
+        (Printf.sprintf "Fig 4(c): model size vs support (train=%d)"
+           scale.Scale.median_train)
+      ~x_label:"support" ~series:[ "model size (meta-rules)" ]
+      (List.map (fun p -> (p.x, [ p.model_size ])) vs_support)
+  in
+  String.concat "\n" [ a; b; c ]

@@ -1,0 +1,15 @@
+(** Fig 4 — building the MRSL model, averaged over the 10 learning
+    networks: (a) build time vs. training-set size at the median support,
+    (b) build time vs. support at the median training size, (c) model size
+    (total meta-rules) vs. support. *)
+
+type point = { x : float; build_time : float; model_size : float }
+
+val compute_vs_train : Prob.Rng.t -> Scale.t -> point list
+(** x = training-set size, support fixed at [scale.median_support]. *)
+
+val compute_vs_support : Prob.Rng.t -> Scale.t -> point list
+(** x = support threshold, training size fixed at [scale.median_train]. *)
+
+val render : Prob.Rng.t -> Scale.t -> string
+(** All three panels. *)

@@ -1,0 +1,73 @@
+type point = {
+  x : float;
+  per_method : (Mrsl.Voting.method_ * Framework.accuracy) list;
+}
+
+let sweep rng scale ~cells =
+  (* [cells]: (x, support, train_size) triples; averages the four methods'
+     accuracy over the capped network list for each cell. *)
+  let networks =
+    Util.take scale.Scale.networks_cap
+      Bayesnet.Catalog.single_inference_networks
+  in
+  List.map
+    (fun (x, support, train_size) ->
+      let per_rep =
+        List.concat_map
+          (fun entry ->
+            let reps = Framework.prepare rng scale entry ~train_size in
+            List.map
+              (fun prepared ->
+                let model, _ = Framework.learn_timed prepared ~support in
+                Framework.eval_single rng prepared model
+                  ~methods:Mrsl.Voting.all_methods
+                  ~max_tuples:scale.Scale.test_tuples)
+              reps)
+          networks
+      in
+      let per_method =
+        List.map
+          (fun m ->
+            (m, Framework.merge (List.map (fun rep -> List.assq m rep) per_rep)))
+          Mrsl.Voting.all_methods
+      in
+      { x; per_method })
+    cells
+
+let compute rng scale =
+  sweep rng scale
+    ~cells:
+      (List.map
+         (fun n -> (float_of_int n, scale.Scale.fixed_support, n))
+         scale.Scale.train_sizes)
+
+let render_points ~title_kl ~title_top1 ~x_label points =
+  let series = List.map Mrsl.Voting.method_name Mrsl.Voting.all_methods in
+  let kl =
+    Report.render_series ~title:title_kl ~x_label ~series
+      (List.map
+         (fun p ->
+           (p.x, List.map (fun (_, (a : Framework.accuracy)) -> a.kl) p.per_method))
+         points)
+  in
+  let top1 =
+    Report.render_series ~title:title_top1 ~x_label ~series
+      (List.map
+         (fun p ->
+           ( p.x,
+             List.map (fun (_, (a : Framework.accuracy)) -> a.top1) p.per_method ))
+         points)
+  in
+  kl ^ "\n" ^ top1
+
+let render rng scale =
+  let points = compute rng scale in
+  render_points
+    ~title_kl:
+      (Printf.sprintf "Fig 5 (left): KL divergence vs training size (support=%g)"
+         scale.Scale.fixed_support)
+    ~title_top1:
+      (Printf.sprintf
+         "Fig 5 (right): top-1 accuracy vs training size (support=%g)"
+         scale.Scale.fixed_support)
+    ~x_label:"train size" points

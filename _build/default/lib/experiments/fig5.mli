@@ -1,0 +1,21 @@
+(** Fig 5 — KL divergence and top-1 accuracy of single-attribute inference
+    as a function of training-set size, for the four voting methods, at the
+    lowest support threshold. Averaged over the single-inference network
+    set (capped by the scale preset). *)
+
+type point = {
+  x : float;  (** training-set size *)
+  per_method : (Mrsl.Voting.method_ * Framework.accuracy) list;
+}
+
+val compute : Prob.Rng.t -> Scale.t -> point list
+val render : Prob.Rng.t -> Scale.t -> string
+
+(** {2 Shared with Fig 6 (same sweep over a different axis)} *)
+
+val sweep : Prob.Rng.t -> Scale.t -> cells:(float * float * int) list ->
+  point list
+(** Each cell is [(x, support, train_size)]. *)
+
+val render_points : title_kl:string -> title_top1:string -> x_label:string ->
+  point list -> string

@@ -1,0 +1,17 @@
+let compute rng scale =
+  Fig5.sweep rng scale
+    ~cells:
+      (List.map
+         (fun s -> (s, s, scale.Scale.fixed_train))
+         scale.Scale.supports)
+
+let render rng scale =
+  let points = compute rng scale in
+  Fig5.render_points
+    ~title_kl:
+      (Printf.sprintf "Fig 6 (left): KL divergence vs support (train=%d)"
+         scale.Scale.fixed_train)
+    ~title_top1:
+      (Printf.sprintf "Fig 6 (right): top-1 accuracy vs support (train=%d)"
+         scale.Scale.fixed_train)
+    ~x_label:"support" points

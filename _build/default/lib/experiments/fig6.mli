@@ -1,0 +1,8 @@
+(** Fig 6 — KL divergence and top-1 accuracy of single-attribute inference
+    as a function of the support threshold, at the largest training size of
+    the scale preset, for the four voting methods. *)
+
+val compute : Prob.Rng.t -> Scale.t -> Fig5.point list
+(** [x] is the support threshold. *)
+
+val render : Prob.Rng.t -> Scale.t -> string

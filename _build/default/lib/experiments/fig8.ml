@@ -1,0 +1,61 @@
+type point = { network : string; x : float; kl : float }
+
+let eval rng scale (entry : Bayesnet.Catalog.entry) ~x =
+  let reps =
+    Framework.prepare rng scale entry ~train_size:scale.Scale.fixed_train
+  in
+  let accs =
+    List.map
+      (fun prepared ->
+        let model, _ =
+          Framework.learn_timed prepared ~support:scale.Scale.fixed_support
+        in
+        match
+          Framework.eval_single rng prepared model
+            ~methods:[ Mrsl.Voting.best_averaged ]
+            ~max_tuples:scale.Scale.test_tuples
+        with
+        | [ (_, acc) ] -> acc
+        | _ -> assert false)
+      reps
+  in
+  { network = entry.id; x; kl = (Framework.merge accs).kl }
+
+let compute_topology rng scale =
+  List.map
+    (fun (e : Bayesnet.Catalog.entry) ->
+      eval rng scale e ~x:(float_of_int (Bayesnet.Topology.depth e.topology)))
+    Bayesnet.Catalog.fig8_topology_networks
+
+let compute_size rng scale =
+  List.map
+    (fun (e : Bayesnet.Catalog.entry) ->
+      eval rng scale e ~x:(float_of_int (Bayesnet.Topology.size e.topology)))
+    Bayesnet.Catalog.fig8_size_networks
+
+let compute_cardinality rng scale =
+  List.map
+    (fun (e : Bayesnet.Catalog.entry) ->
+      eval rng scale e ~x:(Bayesnet.Topology.average_cardinality e.topology))
+    Bayesnet.Catalog.fig8_cardinality_networks
+
+let render_panel ~title ~x_label points =
+  Report.render ~title ~header:[ "network"; x_label; "avg KL" ]
+    (List.map (fun p -> Report.[ S p.network; F p.x; F p.kl ]) points)
+
+let render rng scale =
+  String.concat "\n"
+    [
+      render_panel
+        ~title:"Fig 8(a): KL vs network depth (BN18/BN19/BN20, best averaged)"
+        ~x_label:"depth"
+        (compute_topology rng scale);
+      render_panel
+        ~title:"Fig 8(b): KL vs number of attributes (crown networks)"
+        ~x_label:"attrs"
+        (compute_size rng scale);
+      render_panel
+        ~title:"Fig 8(c): KL vs attribute cardinality (line networks)"
+        ~x_label:"card"
+        (compute_cardinality rng scale);
+    ]

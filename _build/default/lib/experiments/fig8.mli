@@ -1,0 +1,11 @@
+(** Fig 8 — relationship between single-attribute inference accuracy
+    (best-averaged voting) and network properties:
+    (a) depth (BN18/19/20), (b) attribute count (crown-shaped
+    BN8/9/17/18), (c) attribute cardinality (line-shaped BN13–16). *)
+
+type point = { network : string; x : float; kl : float }
+
+val compute_topology : Prob.Rng.t -> Scale.t -> point list
+val compute_size : Prob.Rng.t -> Scale.t -> point list
+val compute_cardinality : Prob.Rng.t -> Scale.t -> point list
+val render : Prob.Rng.t -> Scale.t -> string

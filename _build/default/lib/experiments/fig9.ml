@@ -1,0 +1,67 @@
+type point = { network : string; model_size : float; batch : int; seconds : float }
+
+let compute rng scale =
+  let networks =
+    Util.take scale.Scale.networks_cap
+      Bayesnet.Catalog.single_inference_networks
+  in
+  List.concat_map
+    (fun (entry : Bayesnet.Catalog.entry) ->
+      match
+        Framework.prepare rng scale entry ~train_size:scale.Scale.median_train
+      with
+      | [] -> []
+      | prepared :: _ ->
+          let model, _ =
+            Framework.learn_timed prepared ~support:scale.Scale.fixed_support
+          in
+          let model_size = float_of_int (Mrsl.Model.size model) in
+          List.map
+            (fun batch ->
+              let seconds =
+                Framework.single_inference_time rng prepared model ~batch
+              in
+              { network = entry.id; model_size; batch; seconds })
+            scale.Scale.fig9_batches)
+    networks
+
+let render rng scale =
+  let points = compute rng scale in
+  let table =
+    Report.render
+      ~title:
+        (Printf.sprintf
+           "Fig 9: inference time vs model size (support=%g)"
+           scale.Scale.fixed_support)
+      ~header:[ "network"; "model size"; "batch"; "time (s)"; "ms/tuple" ]
+      (List.map
+         (fun p ->
+           Report.
+             [
+               S p.network; F p.model_size; I p.batch; F p.seconds;
+               F (1000. *. p.seconds /. float_of_int p.batch);
+             ])
+         points)
+  in
+  let fits =
+    List.filter_map
+      (fun batch ->
+        let pts =
+          List.filter_map
+            (fun p ->
+              if p.batch = batch then Some (p.model_size, p.seconds) else None)
+            points
+        in
+        let distinct_x =
+          List.sort_uniq compare (List.map fst pts)
+        in
+        if List.length distinct_x < 2 then None
+        else
+          let slope, intercept = Prob.Stats.linear_fit pts in
+          Some
+            (Printf.sprintf
+               "regression (batch %d): time = %.3e * model_size + %.3e" batch
+               slope intercept))
+      scale.Scale.fig9_batches
+  in
+  table ^ String.concat "\n" fits ^ if fits = [] then "" else "\n"

@@ -1,0 +1,9 @@
+(** Fig 9 — single-attribute inference time as a function of model size,
+    for several batch sizes, at the lowest support threshold. Each point
+    is (model size, wall seconds for the whole batch); a least-squares line
+    per batch size mirrors the paper's regression overlay. *)
+
+type point = { network : string; model_size : float; batch : int; seconds : float }
+
+val compute : Prob.Rng.t -> Scale.t -> point list
+val render : Prob.Rng.t -> Scale.t -> string

@@ -1,0 +1,60 @@
+type cell = S of string | I of int | F of float | P of float
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f ->
+      if Float.is_integer f && Float.abs f < 1e9 then Printf.sprintf "%.0f" f
+      else if Float.abs f < 5e-4 then Printf.sprintf "%.2e" f
+      else Printf.sprintf "%.4f" f
+  | P f -> Printf.sprintf "%.1f%%" (100. *. f)
+
+let render ~title ~header rows =
+  let width = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg "Report.render: row width does not match header")
+    rows;
+  let cells = header :: List.map (List.map cell_to_string) rows in
+  let widths = Array.make width 0 in
+  List.iter
+    (List.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)))
+    cells;
+  let buf = Buffer.create 1024 in
+  let total =
+    Array.fold_left ( + ) 0 widths + (3 * (width - 1))
+  in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (max total (String.length title)) '-');
+  Buffer.add_char buf '\n';
+  let emit_row row =
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf s;
+        Buffer.add_string buf (String.make (widths.(i) - String.length s) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match cells with
+  | h :: rest ->
+      emit_row h;
+      Buffer.add_string buf (String.make (max total (String.length title)) '-');
+      Buffer.add_char buf '\n';
+      List.iter emit_row rest
+  | [] -> ());
+  Buffer.contents buf
+
+let render_series ~title ~x_label ~series points =
+  let header = x_label :: series in
+  let rows =
+    List.map
+      (fun (x, ys) ->
+        if List.length ys <> List.length series then
+          invalid_arg "Report.render_series: series width mismatch";
+        F x :: List.map (fun y -> F y) ys)
+      points
+  in
+  render ~title ~header rows

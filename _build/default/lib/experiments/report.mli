@@ -1,0 +1,13 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type cell = S of string | I of int | F of float | P of float
+(** [F] renders with 4 significant decimals, [P] as a percentage. *)
+
+val render : title:string -> header:string list -> cell list list -> string
+(** Column-aligned table with a title rule. Raises [Invalid_argument] when
+    a row's width differs from the header's. *)
+
+val render_series : title:string -> x_label:string -> series:string list ->
+  (float * float list) list -> string
+(** A figure rendered as text: one row per x value, one column per series
+    (e.g. the four voting methods of Fig 5). *)

@@ -1,0 +1,100 @@
+type t = {
+  name : string;
+  instances : int;
+  splits : int;
+  train_sizes : int list;
+  supports : float list;
+  fixed_train : int;
+  fixed_support : float;
+  median_support : float;
+  median_train : int;
+  test_tuples : int;
+  joint_test_tuples : int;
+  points_per_tuple : int list;
+  fig10_missing : int list;
+  workload_sizes : int list;
+  workload_samples : int;
+  burn_in : int;
+  alpha : float;
+  networks_cap : int;
+  fig9_batches : int list;
+}
+
+let smoke =
+  {
+    name = "smoke";
+    instances = 1;
+    splits = 1;
+    train_sizes = [ 500; 1000 ];
+    supports = [ 0.01; 0.1 ];
+    fixed_train = 1000;
+    fixed_support = 0.01;
+    median_support = 0.02;
+    median_train = 1000;
+    test_tuples = 40;
+    joint_test_tuples = 10;
+    points_per_tuple = [ 100; 250 ];
+    fig10_missing = [ 2; 3 ];
+    workload_sizes = [ 20; 50 ];
+    workload_samples = 100;
+    burn_in = 30;
+    alpha = 0.5;
+    networks_cap = 3;
+    fig9_batches = [ 100 ];
+  }
+
+let default =
+  {
+    name = "default";
+    instances = 2;
+    splits = 2;
+    train_sizes = [ 1000; 2000; 5000; 10_000; 20_000 ];
+    supports = [ 0.001; 0.01; 0.02; 0.05; 0.1 ];
+    fixed_train = 20_000;
+    fixed_support = 0.001;
+    median_support = 0.02;
+    median_train = 10_000;
+    test_tuples = 200;
+    joint_test_tuples = 30;
+    points_per_tuple = [ 250; 500; 1000; 2000 ];
+    fig10_missing = [ 2; 3; 4 ];
+    workload_sizes = [ 100; 250; 500; 1000 ];
+    workload_samples = 500;
+    burn_in = 100;
+    alpha = 0.5;
+    networks_cap = 8;
+    fig9_batches = [ 500; 1000; 5000 ];
+  }
+
+let full =
+  {
+    name = "full";
+    instances = 3;
+    splits = 3;
+    train_sizes = [ 1000; 5000; 10_000; 20_000; 50_000; 100_000 ];
+    supports = [ 0.001; 0.01; 0.02; 0.05; 0.1 ];
+    fixed_train = 100_000;
+    fixed_support = 0.001;
+    median_support = 0.02;
+    median_train = 10_000;
+    test_tuples = 1000;
+    joint_test_tuples = 100;
+    points_per_tuple = [ 250; 500; 1000; 2000; 5000 ];
+    fig10_missing = [ 2; 3; 4; 5 ];
+    workload_sizes = [ 250; 500; 1000; 2000; 3000 ];
+    workload_samples = 500;
+    burn_in = 100;
+    alpha = 0.5;
+    networks_cap = 14;
+    fig9_batches = [ 1000; 5000; 10_000 ];
+  }
+
+let current () =
+  match Sys.getenv_opt "MRSL_SCALE" with
+  | Some "smoke" -> smoke
+  | Some "full" -> full
+  | Some "default" | None -> default
+  | Some other ->
+      Printf.eprintf "MRSL_SCALE=%s not recognized; using default scale\n%!"
+        other;
+      default

@@ -1,0 +1,36 @@
+(** Experiment scale presets.
+
+    The paper's full evaluation (100k-point training sets, 3 BN instances ×
+    3 splits, 5000-sample chains, 3000-tuple workloads) takes hours; the
+    default preset reproduces every trend in minutes. Selected through the
+    [MRSL_SCALE] environment variable: [smoke] (CI-sized), [default], or
+    [full] (the paper's parameters). *)
+
+type t = {
+  name : string;
+  instances : int;  (** BN instances per topology *)
+  splits : int;  (** train/test splits per instance *)
+  train_sizes : int list;  (** Fig 4(a) / Fig 5 sweep *)
+  supports : float list;  (** Fig 4(b,c) / Fig 6 sweep *)
+  fixed_train : int;  (** "large training set" cells (Table II, Fig 6, 8) *)
+  fixed_support : float;  (** high-accuracy support setting (0.001) *)
+  median_support : float;  (** Fig 4(a)'s fixed support (0.02) *)
+  median_train : int;  (** Fig 4(b,c)'s fixed training size (10,000) *)
+  test_tuples : int;  (** max single-inference test tuples per cell *)
+  joint_test_tuples : int;  (** max Gibbs-evaluated tuples per cell *)
+  points_per_tuple : int list;  (** Fig 10 x-axis *)
+  fig10_missing : int list;  (** numbers of missing attributes *)
+  workload_sizes : int list;  (** Fig 11 x-axis *)
+  workload_samples : int;  (** Fig 11 fixes 500 points per tuple *)
+  burn_in : int;
+  alpha : float;  (** Dirichlet concentration for CPT generation *)
+  networks_cap : int;  (** max networks per averaged sweep (Figs 4–6) *)
+  fig9_batches : int list;  (** inference batch sizes of Fig 9 *)
+}
+
+val smoke : t
+val default : t
+val full : t
+
+val current : unit -> t
+(** Chosen by [MRSL_SCALE]; [default] when unset or unrecognized. *)

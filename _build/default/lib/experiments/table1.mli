@@ -1,0 +1,19 @@
+(** Table I — characteristics of the 20 benchmark Bayesian networks,
+    comparing the paper's reported summary statistics with the
+    reconstructed catalog's measured properties. *)
+
+type row = {
+  id : string;
+  shape : string;
+  num_attrs : int;
+  avg_card : float;
+  dom_size : float;
+  depth : int;
+  paper_num_attrs : int;
+  paper_avg_card : float;
+  paper_dom_size : float;
+  paper_depth : int;
+}
+
+val compute : unit -> row list
+val render : unit -> string

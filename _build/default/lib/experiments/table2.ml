@@ -1,0 +1,62 @@
+type row = {
+  network : string;
+  per_method : (Mrsl.Voting.method_ * Framework.accuracy) list;
+}
+
+let compute rng scale =
+  List.map
+    (fun (entry : Bayesnet.Catalog.entry) ->
+      let reps =
+        Framework.prepare rng scale entry ~train_size:scale.Scale.fixed_train
+      in
+      let per_rep =
+        List.map
+          (fun prepared ->
+            let model, _ =
+              Framework.learn_timed prepared
+                ~support:scale.Scale.fixed_support
+            in
+            Framework.eval_single rng prepared model
+              ~methods:Mrsl.Voting.all_methods
+              ~max_tuples:scale.Scale.test_tuples)
+          reps
+      in
+      let per_method =
+        List.map
+          (fun m ->
+            let accs =
+              List.map
+                (fun rep -> List.assq m rep)
+                per_rep
+            in
+            (m, Framework.merge accs))
+          Mrsl.Voting.all_methods
+      in
+      { network = entry.id; per_method })
+    Bayesnet.Catalog.single_inference_networks
+
+let render rng scale =
+  let rows = compute rng scale in
+  let table_rows =
+    List.map
+      (fun r ->
+        Report.S r.network
+        :: List.concat_map
+             (fun (_, (a : Framework.accuracy)) ->
+               [ Report.P a.top1; Report.F a.kl ])
+             r.per_method)
+      rows
+  in
+  Report.render
+    ~title:
+      (Printf.sprintf
+         "Table II: single-variable inference accuracy (support=%g, train=%d)"
+         scale.Scale.fixed_support scale.Scale.fixed_train)
+    ~header:
+      ("network"
+      :: List.concat_map
+           (fun m ->
+             let n = Mrsl.Voting.method_name m in
+             [ n ^ " top1"; n ^ " KL" ])
+           Mrsl.Voting.all_methods)
+    table_rows

@@ -1,0 +1,12 @@
+(** Table II — accuracy of single-variable inference per network, for the
+    four voting methods, at the highest-accuracy setting (lowest support,
+    largest training set of the scale preset). *)
+
+type row = {
+  network : string;
+  per_method : (Mrsl.Voting.method_ * Framework.accuracy) list;
+      (** in [Mrsl.Voting.all_methods] order *)
+}
+
+val compute : Prob.Rng.t -> Scale.t -> row list
+val render : Prob.Rng.t -> Scale.t -> string

@@ -1,0 +1,7 @@
+(** Small helpers shared by the experiment drivers. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them when the list is shorter). *)
+
+val avg_by : ('a -> float) -> 'a list -> float
+(** Mean of a projection; 0 on the empty list. *)

@@ -1,0 +1,1 @@
+lib/mining/assoc_rule.ml: Apriori Format Fun Itemset List

@@ -1,0 +1,1 @@
+lib/mining/assoc_rule.mli: Apriori Format Itemset

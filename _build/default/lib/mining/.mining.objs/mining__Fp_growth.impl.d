@@ -1,0 +1,1 @@
+lib/mining/fp_growth.ml: Apriori Array Float Fun Hashtbl Int Itemset List Option Stdlib

@@ -1,0 +1,1 @@
+lib/mining/itemset.ml: Array Format Hashtbl Int List Map Relation Seq Set Stdlib

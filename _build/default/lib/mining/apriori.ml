@@ -1,0 +1,198 @@
+type config = { threshold : float; max_itemsets : int }
+
+let default_config = { threshold = 0.02; max_itemsets = 1000 }
+
+type t = {
+  supports : float Itemset.Table.t;
+  rounds : int;
+  truncated : bool;
+}
+
+let of_supports ~rounds ~truncated pairs =
+  let supports = Itemset.Table.create (List.length pairs * 2 + 1) in
+  Itemset.Table.replace supports Itemset.empty 1.0;
+  List.iter (fun (s, supp) -> Itemset.Table.replace supports s supp) pairs;
+  { supports; rounds; truncated }
+
+let support t s = Itemset.Table.find_opt t.supports s
+
+let frequent t =
+  Itemset.Table.fold (fun s supp acc -> (s, supp) :: acc) t.supports []
+  |> List.sort (fun (a, _) (b, _) ->
+         let c = Int.compare (Itemset.size a) (Itemset.size b) in
+         if c <> 0 then c else Itemset.compare a b)
+
+let frequent_of_size t k =
+  List.filter (fun (s, _) -> Itemset.size s = k) (frequent t)
+
+let count t = Itemset.Table.length t.supports - 1
+let rounds t = t.rounds
+let truncated t = t.truncated
+
+(* Level-1 counting: one pass, a dense counter per (attribute, value). *)
+let level1 cards points threshold =
+  let n_points = Array.length points in
+  let counters = Array.map (fun c -> Array.make c 0) cards in
+  Array.iter
+    (fun p ->
+      if Array.length p <> Array.length cards then
+        invalid_arg "Apriori.mine: tuple arity mismatch";
+      Array.iteri
+        (fun a v ->
+          if v < 0 || v >= cards.(a) then
+            invalid_arg "Apriori.mine: value out of range";
+          counters.(a).(v) <- counters.(a).(v) + 1)
+        p)
+    points;
+  let min_count =
+    int_of_float (Float.ceil (threshold *. float_of_int n_points))
+  in
+  let frequent = ref [] in
+  Array.iteri
+    (fun a row ->
+      Array.iteri
+        (fun v c ->
+          if c >= min_count && c > 0 then
+            frequent :=
+              ( Itemset.of_list [ (a, v) ],
+                float_of_int c /. float_of_int n_points )
+              :: !frequent)
+        row)
+    counters;
+  List.rev !frequent
+
+(* Candidate generation: join two frequent (k−1)-itemsets sharing their
+   first k−2 items; the two trailing items must be on distinct attributes.
+   Then prune candidates with an infrequent (k−1)-subset. *)
+let candidates prev_level prev_table =
+  let arr = Array.of_list prev_level in
+  let n = Array.length arr in
+  let out = ref [] in
+  let prefix s =
+    let items = Itemset.to_list s in
+    match List.rev items with
+    | [] -> ([], (0, 0))
+    | last :: rev_front -> (List.rev rev_front, last)
+  in
+  for i = 0 to n - 1 do
+    let pi, (ai, vi) = prefix (fst arr.(i)) in
+    for j = i + 1 to n - 1 do
+      let pj, (aj, vj) = prefix (fst arr.(j)) in
+      if pi = pj && ai <> aj then begin
+        let cand = Itemset.of_list ((ai, vi) :: (aj, vj) :: pi) in
+        (* Downward-closure prune. *)
+        let all_subsets_frequent =
+          List.for_all
+            (fun a ->
+              Itemset.Table.mem prev_table (Itemset.remove_attr cand a))
+            (Itemset.attrs cand)
+        in
+        if all_subsets_frequent then out := cand :: !out
+      end
+    done
+  done;
+  !out
+
+(* Count candidate supports with one data pass. For each point we probe the
+   candidate table with the point's k-subsets when that is cheaper than
+   testing every candidate against the point. *)
+let count_candidates cands points k =
+  let table = Itemset.Table.create (List.length cands * 2) in
+  List.iter (fun c -> Itemset.Table.replace table c 0) cands;
+  let n_cands = List.length cands in
+  let arity = if Array.length points = 0 then 0 else Array.length points.(0) in
+  let choose n r =
+    let rec go n r acc =
+      if r = 0 then acc
+      else if n <= 0 then max_int
+      else if acc > 1_000_000 then max_int
+      else go (n - 1) (r - 1) (acc * n / (max 1 r))
+    in
+    go n r 1
+  in
+  let subsets_per_point = choose arity k in
+  if subsets_per_point <= 4 * max 1 n_cands then begin
+    (* Enumerate each point's k-subsets of attributes and probe. *)
+    let idx = Array.make k 0 in
+    let probe point =
+      let rec enum pos start =
+        if pos = k then begin
+          let items =
+            Array.to_list (Array.map (fun a -> (a, point.(a))) idx)
+          in
+          let s = Itemset.of_list items in
+          match Itemset.Table.find_opt table s with
+          | Some c -> Itemset.Table.replace table s (c + 1)
+          | None -> ()
+        end
+        else
+          for a = start to arity - (k - pos) do
+            idx.(pos) <- a;
+            enum (pos + 1) (a + 1)
+          done
+      in
+      enum 0 0
+    in
+    Array.iter probe points
+  end
+  else
+    (* Scan candidates per point. *)
+    Array.iter
+      (fun point ->
+        List.iter
+          (fun c ->
+            if Itemset.matches_point c point then
+              Itemset.Table.replace table c
+                (Itemset.Table.find table c + 1))
+          cands)
+      points;
+  table
+
+let mine ?(config = default_config) ~cards points =
+  if config.threshold < 0. || config.threshold > 1. then
+    invalid_arg "Apriori.mine: threshold must be in [0, 1]";
+  if config.max_itemsets < 1 then
+    invalid_arg "Apriori.mine: max_itemsets must be positive";
+  let supports = Itemset.Table.create 1024 in
+  Itemset.Table.replace supports Itemset.empty 1.0;
+  let n_points = Array.length points in
+  if n_points = 0 then { supports; rounds = 0; truncated = false }
+  else begin
+    let min_count =
+      max 1 (int_of_float (Float.ceil (config.threshold *. float_of_int n_points)))
+    in
+    let l1 = level1 cards points config.threshold in
+    List.iter (fun (s, supp) -> Itemset.Table.replace supports s supp) l1;
+    let rec loop level prev rounds =
+      match prev with
+      | [] -> (rounds, false)
+      | _ ->
+          if List.length prev > config.max_itemsets then (rounds, true)
+          else begin
+            let prev_table = Itemset.Table.create (List.length prev * 2) in
+            List.iter (fun (s, _) -> Itemset.Table.replace prev_table s ()) prev;
+            let cands = candidates prev prev_table in
+            if cands = [] then (rounds, false)
+            else begin
+              let counts = count_candidates cands points level in
+              let freq =
+                Itemset.Table.fold
+                  (fun s c acc ->
+                    if c >= min_count then
+                      (s, float_of_int c /. float_of_int n_points) :: acc
+                    else acc)
+                  counts []
+              in
+              if freq = [] then (rounds, false)
+              else begin
+                List.iter
+                  (fun (s, supp) -> Itemset.Table.replace supports s supp)
+                  freq;
+                loop (level + 1) freq (rounds + 1)
+              end
+            end
+          end
+    in
+    let rounds, truncated = loop 2 l1 (if l1 = [] then 0 else 1) in
+    { supports; rounds; truncated }
+  end

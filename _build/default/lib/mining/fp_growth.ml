@@ -1,0 +1,196 @@
+(* FP-tree node. Children are keyed by item id (the index into the
+   frequency-ordered item table). *)
+type node = {
+  item : int;  (* -1 for the root *)
+  mutable count : int;
+  parent : node option;
+  children : (int, node) Hashtbl.t;
+}
+
+let new_node ?parent item = { item; count = 0; parent; children = Hashtbl.create 4 }
+
+let mine ?(config = Apriori.default_config) ~cards points =
+  if config.threshold < 0. || config.threshold > 1. then
+    invalid_arg "Fp_growth.mine: threshold must be in [0, 1]";
+  if config.max_itemsets < 1 then
+    invalid_arg "Fp_growth.mine: max_itemsets must be positive";
+  let n_points = Array.length points in
+  if n_points = 0 then Apriori.of_supports ~rounds:0 ~truncated:false []
+  else begin
+    let arity = Array.length cards in
+    let min_count =
+      max 1 (int_of_float (Float.ceil (config.threshold *. float_of_int n_points)))
+    in
+    (* Pass 1: frequent single items, ordered by descending count. *)
+    let counters = Array.map (fun c -> Array.make c 0) cards in
+    Array.iter
+      (fun p ->
+        if Array.length p <> arity then
+          invalid_arg "Fp_growth.mine: tuple arity mismatch";
+        Array.iteri
+          (fun a v ->
+            if v < 0 || v >= cards.(a) then
+              invalid_arg "Fp_growth.mine: value out of range";
+            counters.(a).(v) <- counters.(a).(v) + 1)
+          p)
+      points;
+    let frequent_items = ref [] in
+    Array.iteri
+      (fun a row ->
+        Array.iteri
+          (fun v c -> if c >= min_count then frequent_items := ((a, v), c) :: !frequent_items)
+          row)
+      counters;
+    let items =
+      Array.of_list
+        (List.sort
+           (fun ((a1, v1), c1) ((a2, v2), c2) ->
+             let c = Int.compare c2 c1 in
+             if c <> 0 then c else Stdlib.compare (a1, v1) (a2, v2))
+           !frequent_items)
+    in
+    let item_id = Hashtbl.create (Array.length items * 2) in
+    Array.iteri (fun i ((av : int * int), _) -> Hashtbl.replace item_id av i) items;
+    (* Pass 2: insert each point's frequent items (in item-id order) into
+       the tree; maintain per-item node lists for the header table. *)
+    let root = new_node (-1) in
+    let header = Array.make (Array.length items) [] in
+    Array.iter
+      (fun p ->
+        let ids =
+          Array.to_list (Array.mapi (fun a v -> Hashtbl.find_opt item_id (a, v)) p)
+          |> List.filter_map Fun.id
+          |> List.sort Int.compare
+        in
+        let rec insert node = function
+          | [] -> ()
+          | id :: rest ->
+              let child =
+                match Hashtbl.find_opt node.children id with
+                | Some c -> c
+                | None ->
+                    let c = new_node ~parent:node id in
+                    Hashtbl.replace node.children id c;
+                    header.(id) <- c :: header.(id);
+                    c
+              in
+              child.count <- child.count + 1;
+              insert child rest
+        in
+        insert root ids)
+      points;
+    (* Recursive projection. [suffix] is the itemset grown so far;
+       [header]/[items] describe the current (conditional) tree. *)
+    let found = ref [] in
+    let rec grow header item_table suffix =
+      Array.iteri
+        (fun id nodes ->
+          let support_count =
+            List.fold_left (fun acc n -> acc + n.count) 0 nodes
+          in
+          if support_count >= min_count then begin
+            let (a, v), _ = item_table.(id) in
+            let pattern = Itemset.add suffix a v in
+            found :=
+              (pattern, float_of_int support_count /. float_of_int n_points)
+              :: !found;
+            (* Items frequent within the conditional pattern base (the
+               prefix paths above this item's nodes, weighted by the
+               nodes' counts). *)
+            let cond_item_counts = Hashtbl.create 16 in
+            List.iter
+              (fun n ->
+                let rec walk = function
+                  | Some p when p.item >= 0 ->
+                      let prev =
+                        Option.value ~default:0
+                          (Hashtbl.find_opt cond_item_counts p.item)
+                      in
+                      Hashtbl.replace cond_item_counts p.item (prev + n.count);
+                      walk p.parent
+                  | _ -> ()
+                in
+                walk n.parent)
+              nodes;
+            let cond_items =
+              Hashtbl.fold
+                (fun old_id c acc ->
+                  if c >= min_count then (fst item_table.(old_id), c) :: acc
+                  else acc)
+                cond_item_counts []
+              |> List.sort (fun ((a1, v1), c1) ((a2, v2), c2) ->
+                     let c = Int.compare c2 c1 in
+                     if c <> 0 then c else Stdlib.compare (a1, v1) (a2, v2))
+              |> Array.of_list
+            in
+            if Array.length cond_items > 0 then begin
+              let cond_id = Hashtbl.create 16 in
+              Array.iteri
+                (fun i ((av : int * int), _) -> Hashtbl.replace cond_id av i)
+                cond_items;
+              let cond_root = new_node (-1) in
+              let cond_header = Array.make (Array.length cond_items) [] in
+              (* Re-insert each prefix path, filtered to the conditional
+                 frequent items, weighted by the leaf count. *)
+              List.iter
+                (fun n ->
+                  let rec path acc = function
+                    | Some p when p.item >= 0 ->
+                        path (fst item_table.(p.item) :: acc) p.parent
+                    | _ -> acc
+                  in
+                  let prefix = path [] n.parent in
+                  let ids =
+                    List.filter_map (Hashtbl.find_opt cond_id) prefix
+                    |> List.sort Int.compare
+                  in
+                  let rec insert node = function
+                    | [] -> ()
+                    | id :: rest ->
+                        let child =
+                          match Hashtbl.find_opt node.children id with
+                          | Some c -> c
+                          | None ->
+                              let c = new_node ~parent:node id in
+                              Hashtbl.replace node.children id c;
+                              cond_header.(id) <- c :: cond_header.(id);
+                              c
+                        in
+                        child.count <- child.count + n.count;
+                        insert child rest
+                  in
+                  insert cond_root ids)
+                nodes;
+              grow cond_header cond_items pattern
+            end
+          end)
+        header
+    in
+    grow header items Itemset.empty;
+    (* Apply Apriori's per-size cap semantics: find the smallest size class
+       that exceeds the cap, keep everything up to it, drop deeper sizes. *)
+    let by_size = Hashtbl.create 8 in
+    List.iter
+      (fun (s, _) ->
+        let k = Itemset.size s in
+        Hashtbl.replace by_size k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_size k)))
+      !found;
+    let max_size = Hashtbl.fold (fun k _ acc -> max k acc) by_size 0 in
+    let cap_size = ref max_size in
+    let truncated = ref false in
+    for k = 1 to max_size do
+      if
+        (not !truncated)
+        && Option.value ~default:0 (Hashtbl.find_opt by_size k)
+           > config.max_itemsets
+      then begin
+        truncated := true;
+        cap_size := k
+      end
+    done;
+    let kept =
+      List.filter (fun (s, _) -> Itemset.size s <= !cap_size) !found
+    in
+    Apriori.of_supports ~rounds:!cap_size ~truncated:!truncated kept
+  end

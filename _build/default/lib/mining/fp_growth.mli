@@ -1,0 +1,19 @@
+(** FP-Growth frequent-itemset mining (Han, Pei & Yin 2000).
+
+    Section III: "the essence of our method is not dependent on which
+    frequent itemset mining algorithm is used." This second miner makes
+    that claim executable: it produces exactly the same frequent itemsets
+    and supports as {!Apriori} (a property checked in the test suite), via
+    a compressed FP-tree and recursive conditional-tree projection instead
+    of level-wise candidate generation — typically faster at low support
+    thresholds, where Apriori's candidate sets explode.
+
+    The [max_itemsets] cap is honored in spirit: mining stops growing
+    *longer* patterns once a size class exceeds the cap, mirroring
+    Apriori's per-round termination (results up to and including the
+    offending size are kept, and the result is marked truncated). *)
+
+val mine : ?config:Apriori.config -> cards:int array -> int array array ->
+  Apriori.t
+(** Same contract as {!Apriori.mine} — including the result type, so the
+    two miners are interchangeable downstream. *)

@@ -1,0 +1,1 @@
+lib/prob/dirichlet.ml: Array Dist Float Rng

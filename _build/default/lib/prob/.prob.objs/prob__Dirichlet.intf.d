@@ -1,0 +1,1 @@
+lib/prob/dirichlet.mli: Dist Rng

@@ -1,0 +1,1 @@
+lib/prob/divergence.ml: Array Dist Float

@@ -1,0 +1,15 @@
+let sample_asymmetric rng alphas =
+  if Array.length alphas = 0 then invalid_arg "Dirichlet.sample_asymmetric";
+  Array.iter
+    (fun a ->
+      if a <= 0. then
+        invalid_arg "Dirichlet.sample_asymmetric: concentrations must be > 0")
+    alphas;
+  (* Standard construction: normalize independent Gamma(alpha_i) draws.
+     A tiny floor guards against underflow for very small alpha. *)
+  let g = Array.map (fun a -> Float.max 1e-300 (Rng.gamma rng a)) alphas in
+  Dist.of_weights g
+
+let sample rng ~alpha n =
+  if n < 1 then invalid_arg "Dirichlet.sample: need at least one value";
+  sample_asymmetric rng (Array.make n alpha)

@@ -1,0 +1,16 @@
+(** Dirichlet sampling, used to generate random Bayesian-network parameters.
+
+    The paper "randomly select[s] probability distributions for each random
+    variable" (Section VI-A) without specifying the law; we use a symmetric
+    Dirichlet whose concentration is an explicit, documented experiment
+    parameter (see DESIGN.md, substitutions table). *)
+
+val sample : Rng.t -> alpha:float -> int -> Dist.t
+(** [sample rng ~alpha n] draws from Dirichlet(alpha, …, alpha) over [n]
+    values. [alpha < 1] yields peaked distributions (meaningful top-1
+    targets); [alpha = 1] is uniform on the simplex. Requires [alpha > 0]
+    and [n >= 1]. *)
+
+val sample_asymmetric : Rng.t -> float array -> Dist.t
+(** Draw from Dirichlet with the given per-coordinate concentrations
+    (all positive). *)

@@ -1,0 +1,39 @@
+let check p q name =
+  if Dist.size p <> Dist.size q then invalid_arg (name ^ ": size mismatch")
+
+let kl p q =
+  check p q "Divergence.kl";
+  let acc = ref 0. in
+  for i = 0 to Dist.size p - 1 do
+    let pi = Dist.prob p i and qi = Dist.prob q i in
+    if pi > 0. then
+      if qi > 0. then acc := !acc +. (pi *. log (pi /. qi))
+      else acc := infinity
+  done;
+  !acc
+
+let total_variation p q =
+  check p q "Divergence.total_variation";
+  let acc = ref 0. in
+  for i = 0 to Dist.size p - 1 do
+    acc := !acc +. Float.abs (Dist.prob p i -. Dist.prob q i)
+  done;
+  0.5 *. !acc
+
+let hellinger p q =
+  check p q "Divergence.hellinger";
+  let acc = ref 0. in
+  for i = 0 to Dist.size p - 1 do
+    let d = sqrt (Dist.prob p i) -. sqrt (Dist.prob q i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (0.5 *. !acc)
+
+let jensen_shannon p q =
+  check p q "Divergence.jensen_shannon";
+  let n = Dist.size p in
+  let m =
+    Dist.of_weights
+      (Array.init n (fun i -> 0.5 *. (Dist.prob p i +. Dist.prob q i)))
+  in
+  (0.5 *. kl p m) +. (0.5 *. kl q m)

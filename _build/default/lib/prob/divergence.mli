@@ -1,0 +1,21 @@
+(** Divergence measures between discrete distributions.
+
+    The paper's accuracy metric is Kullback–Leibler divergence of the inferred
+    distribution from the true BN posterior (Section VI-A). The additional
+    measures are used by tests and the extended evaluation. All functions
+    require distributions of equal size. *)
+
+val kl : Dist.t -> Dist.t -> float
+(** [kl p q] = Σᵢ pᵢ log(pᵢ/qᵢ), the divergence of [q] from the reference
+    [p]. Terms with [pᵢ = 0] contribute 0; [qᵢ = 0] with [pᵢ > 0] yields
+    [infinity] (our smoothed CPDs are always positive, so this only occurs
+    on hand-built inputs). *)
+
+val total_variation : Dist.t -> Dist.t -> float
+(** ½ Σᵢ |pᵢ − qᵢ|, in [0, 1]. *)
+
+val hellinger : Dist.t -> Dist.t -> float
+(** Hellinger distance, in [0, 1]. *)
+
+val jensen_shannon : Dist.t -> Dist.t -> float
+(** Symmetrized, bounded KL: JS(p, q) = ½KL(p‖m) + ½KL(q‖m), m = ½(p+q). *)

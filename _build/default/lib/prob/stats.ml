@@ -1,0 +1,53 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. (n -. 1.)
+
+let stddev xs = sqrt (variance xs)
+
+let mean_ci95 xs =
+  let n = float_of_int (List.length xs) in
+  if n < 1. then (0., 0.)
+  else (mean xs, 1.96 *. stddev xs /. sqrt n)
+
+let sorted xs = List.sort Float.compare xs
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median xs = match xs with [] -> 0. | _ -> percentile 50. xs
+
+let linear_fit pts =
+  match pts with
+  | [] | [ _ ] -> invalid_arg "Stats.linear_fit: need at least two points"
+  | _ ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+      let denom = (n *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-12 then
+        invalid_arg "Stats.linear_fit: degenerate abscissae";
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      (slope, intercept)

@@ -1,0 +1,24 @@
+(** Summary statistics for experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val variance : float list -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val stddev : float list -> float
+
+val mean_ci95 : float list -> float * float
+(** [(mean, halfwidth)] of a normal-approximation 95% confidence interval. *)
+
+val median : float list -> float
+(** Median; 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0, 100], by linear interpolation between
+    order statistics. Raises on the empty list or out-of-range [p]. *)
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares [(slope, intercept)] — used to overlay the regression
+    lines of the paper's Fig 9. Requires at least two points with distinct
+    abscissae. *)

@@ -1,0 +1,1 @@
+lib/probdb/algebra.ml: Array Block Float Hashtbl List Option Pdb Predicate Relation

@@ -1,0 +1,1 @@
+lib/probdb/algebra.mli: Pdb Predicate

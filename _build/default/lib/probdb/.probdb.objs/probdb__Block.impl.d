@@ -1,0 +1,1 @@
+lib/probdb/block.ml: Array Float Format List Mrsl Printf Prob Relation

@@ -1,0 +1,1 @@
+lib/probdb/block.mli: Format Mrsl Relation

@@ -1,0 +1,1 @@
+lib/probdb/export.ml: Array Block Buffer List Out_channel Pdb Printf Relation String

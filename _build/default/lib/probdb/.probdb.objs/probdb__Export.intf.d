@@ -1,0 +1,1 @@
+lib/probdb/export.mli: Pdb

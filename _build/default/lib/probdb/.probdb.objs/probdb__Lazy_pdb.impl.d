@@ -1,0 +1,1 @@
+lib/probdb/lazy_pdb.ml: Array Block List Mrsl Pdb Predicate Prob Relation

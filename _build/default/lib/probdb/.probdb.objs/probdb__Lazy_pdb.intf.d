@@ -1,0 +1,1 @@
+lib/probdb/lazy_pdb.mli: Mrsl Pdb Predicate Prob Relation

@@ -1,0 +1,1 @@
+lib/probdb/pdb.ml: Array Block Format Hashtbl List Mrsl Predicate Prob Relation

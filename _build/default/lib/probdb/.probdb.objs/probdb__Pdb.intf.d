@@ -1,0 +1,1 @@
+lib/probdb/pdb.mli: Block Format Mrsl Predicate Prob Relation

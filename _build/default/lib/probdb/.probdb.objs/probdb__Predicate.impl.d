@@ -1,0 +1,1 @@
+lib/probdb/predicate.ml: Array Format Int List Option Relation

@@ -1,0 +1,1 @@
+lib/probdb/predicate.mli: Format Relation

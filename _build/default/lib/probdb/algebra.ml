@@ -1,0 +1,101 @@
+let select pred db =
+  let blocks =
+    Array.to_list (Pdb.blocks db)
+    |> List.filter_map (Block.restrict (Predicate.eval pred))
+  in
+  Pdb.make (Pdb.schema db) blocks
+
+module Key = struct
+  type t = int array
+
+  let equal (a : t) (b : t) = a = b
+  let hash = Hashtbl.hash
+end
+
+module Key_table = Hashtbl.Make (Key)
+
+let check_attrs schema attrs =
+  if attrs = [] then invalid_arg "Algebra: empty attribute list";
+  List.iter
+    (fun a ->
+      if a < 0 || a >= Relation.Schema.arity schema then
+        invalid_arg "Algebra: attribute index out of range")
+    attrs
+
+(* Per block, the probability mass of each projected value vector. *)
+let block_projection attrs (b : Block.t) =
+  let table = Key_table.create 8 in
+  List.iter
+    (fun (alt : Block.alternative) ->
+      let key = Array.of_list (List.map (fun a -> alt.point.(a)) attrs) in
+      let prev = Option.value ~default:0. (Key_table.find_opt table key) in
+      Key_table.replace table key (prev +. alt.prob))
+    b.alternatives;
+  table
+
+let project_expected attrs db =
+  check_attrs (Pdb.schema db) attrs;
+  let acc = Key_table.create 64 in
+  Array.iter
+    (fun b ->
+      Key_table.iter
+        (fun key p ->
+          let prev = Option.value ~default:0. (Key_table.find_opt acc key) in
+          Key_table.replace acc key (prev +. p))
+        (block_projection attrs b))
+    (Pdb.blocks db);
+  Key_table.fold (fun key v l -> (key, v) :: l) acc []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let project_exists attrs db =
+  check_attrs (Pdb.schema db) attrs;
+  (* P(∃) per key: 1 − Π over blocks of (1 − per-block mass of the key). *)
+  let acc = Key_table.create 64 in
+  Array.iter
+    (fun b ->
+      Key_table.iter
+        (fun key p ->
+          let prev = Option.value ~default:1. (Key_table.find_opt acc key) in
+          Key_table.replace acc key (prev *. (1. -. p)))
+        (block_projection attrs b))
+    (Pdb.blocks db);
+  Key_table.fold (fun key none l -> (key, 1. -. none) :: l) acc []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let group_expected_count ~by ?(where = Predicate.True) db =
+  let schema = Pdb.schema db in
+  check_attrs schema [ by ];
+  let card = Relation.Schema.cardinality schema by in
+  List.init card (fun v ->
+      (v, Pdb.expected_count db (Predicate.And (where, Predicate.Eq (by, v)))))
+
+let expected_join_count left right ~on =
+  if on = [] then invalid_arg "Algebra.expected_join_count: empty join condition";
+  check_attrs (Pdb.schema left) (List.map fst on);
+  check_attrs (Pdb.schema right) (List.map snd on);
+  let left_attrs = List.map fst on and right_attrs = List.map snd on in
+  (* Project each side per block, then sum products of matching masses:
+     E[#pairs] = Σ_{i,j} Σ_key P_i(key) · Q_j(key) by independence. The
+     per-key totals cannot be combined across blocks on the same side
+     first for existence, but for *expected counts* linearity lets us sum
+     sides independently. *)
+  let side_totals attrs db =
+    let acc = Key_table.create 64 in
+    Array.iter
+      (fun b ->
+        Key_table.iter
+          (fun key p ->
+            let prev = Option.value ~default:0. (Key_table.find_opt acc key) in
+            Key_table.replace acc key (prev +. p))
+          (block_projection attrs b))
+      (Pdb.blocks db);
+    acc
+  in
+  let l = side_totals left_attrs left in
+  let r = side_totals right_attrs right in
+  Key_table.fold
+    (fun key lp acc ->
+      match Key_table.find_opt r key with
+      | Some rp -> acc +. (lp *. rp)
+      | None -> acc)
+    l 0.

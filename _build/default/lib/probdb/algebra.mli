@@ -1,0 +1,44 @@
+(** Relational-algebra operators with probabilistic semantics over
+    disjoint-independent databases.
+
+    The paper closes by calling query optimization over the derived
+    databases "an intriguing problem" (Section VIII). These operators
+    cover the safe fragment where block disjointness and cross-block
+    independence give closed forms — no possible-world enumeration:
+
+    - selection restricts each block's alternatives (the block then exists
+      in a world only with the surviving mass — the standard
+      maybe-tuple);
+    - projection yields expected multiplicities or existence probabilities
+      per projected value vector;
+    - grouping aggregates expected counts by an attribute;
+    - equi-join across two *independent* databases yields expected join
+      cardinality. *)
+
+val select : Predicate.t -> Pdb.t -> Pdb.t
+(** Keep, in each block, only the alternatives satisfying the predicate;
+    their lost mass becomes the block's absence probability. Blocks with
+    no surviving alternative are removed entirely. Expected counts over
+    the result equal [Pdb.expected_count] of the conjunction. *)
+
+val project_expected : int list -> Pdb.t -> (int array * float) list
+(** [project_expected attrs db] — for every distinct value vector of
+    [attrs], the expected number of tuples carrying it (bag-projection
+    semantics), descending. The floats sum to the expected database size
+    (Σ block masses). *)
+
+val project_exists : int list -> Pdb.t -> (int array * float) list
+(** Same keys, with the probability that *at least one* tuple carries the
+    value vector (set-projection semantics), by cross-block
+    independence. *)
+
+val group_expected_count : by:int -> ?where:Predicate.t -> Pdb.t ->
+  (int * float) list
+(** Expected number of tuples satisfying [where] (default [True]) per
+    value of the grouping attribute, in value order. *)
+
+val expected_join_count : Pdb.t -> Pdb.t -> on:(int * int) list -> float
+(** Expected number of pairs (one tuple from each database) agreeing on
+    every attribute pair in [on]. Requires the two databases to be
+    independent (derived from different relations); raises
+    [Invalid_argument] on an empty [on] list or out-of-range indices. *)

@@ -1,0 +1,69 @@
+type alternative = { point : int array; prob : float }
+
+type t = {
+  source : Relation.Tuple.t;
+  alternatives : alternative list;
+  truncated_mass : float;
+}
+
+let of_estimate ?(min_prob = 0.) (est : Mrsl.Gibbs.estimate) =
+  if min_prob < 0. || min_prob >= 1. then
+    invalid_arg "Block.of_estimate: min_prob must be in [0, 1)";
+  let missing = Array.of_list est.missing in
+  let base = Array.map (function Some v -> v | None -> 0) est.tuple in
+  let kept = ref [] in
+  let dropped = ref 0. in
+  Relation.Domain.iter est.cards (fun code values ->
+      let p = Prob.Dist.prob est.joint code in
+      if p >= min_prob then begin
+        let point = Array.copy base in
+        Array.iteri (fun k a -> point.(a) <- values.(k)) missing;
+        kept := { point; prob = p } :: !kept
+      end
+      else dropped := !dropped +. p);
+  let alternatives =
+    List.sort (fun a b -> Float.compare b.prob a.prob) !kept
+  in
+  (match alternatives with
+  | [] -> invalid_arg "Block.of_estimate: min_prob dropped every alternative"
+  | _ -> ());
+  { source = est.tuple; alternatives; truncated_mass = !dropped }
+
+let of_point point =
+  {
+    source = Relation.Tuple.of_point point;
+    alternatives = [ { point = Array.copy point; prob = 1.0 } ];
+    truncated_mass = 0.;
+  }
+
+let restrict keep t =
+  let kept, dropped = List.partition (fun a -> keep a.point) t.alternatives in
+  match kept with
+  | [] -> None
+  | _ ->
+      let lost = List.fold_left (fun acc a -> acc +. a.prob) 0. dropped in
+      Some { t with alternatives = kept; truncated_mass = t.truncated_mass +. lost }
+
+let alternative_count t = List.length t.alternatives
+
+let top t =
+  match t.alternatives with
+  | a :: _ -> a
+  | [] -> assert false
+
+let prob_of_point t point =
+  List.fold_left
+    (fun acc a -> if a.point = point then acc +. a.prob else acc)
+    0. t.alternatives
+
+let pp schema ppf t =
+  Format.fprintf ppf "@[<v>block for %a (%d alternatives%s)@,%a@]"
+    (Relation.Tuple.pp schema) t.source (alternative_count t)
+    (if t.truncated_mass > 0. then
+       Printf.sprintf ", %.4f mass truncated" t.truncated_mass
+     else "")
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf a ->
+         Format.fprintf ppf "%a  p=%.4f"
+           (Relation.Tuple.pp schema)
+           (Relation.Tuple.of_point a.point) a.prob))
+    t.alternatives

@@ -1,0 +1,43 @@
+(** Blocks of the disjoint-independent model (Dalvi & Suciu, PODS 2007).
+
+    Each incomplete tuple gives rise to a block: a probability distribution
+    over its mutually exclusive complete versions (the call-out of Fig 1).
+    A possible world picks one alternative per block, independently across
+    blocks. *)
+
+type alternative = { point : int array; prob : float }
+
+type t = private {
+  source : Relation.Tuple.t;  (** the incomplete tuple the block completes *)
+  alternatives : alternative list;
+      (** descending probability; sums to 1 up to truncation *)
+  truncated_mass : float;
+      (** probability mass dropped by [min_prob] truncation *)
+}
+
+val of_estimate : ?min_prob:float -> Mrsl.Gibbs.estimate -> t
+(** Materialize a block from a joint inference estimate. Alternatives with
+    probability below [min_prob] (default 0: keep everything) are dropped
+    and their mass recorded in [truncated_mass]; remaining probabilities
+    are *not* re-normalized, so reported query probabilities stay
+    conservative lower bounds. *)
+
+val of_point : int array -> t
+(** A certain block: one alternative with probability 1 (used for the
+    complete tuples of the source relation). *)
+
+val restrict : (int array -> bool) -> t -> t option
+(** Keep only the alternatives whose point satisfies the predicate, adding
+    the removed mass to [truncated_mass]; [None] when nothing survives.
+    The selection operator of {!Algebra}. *)
+
+val alternative_count : t -> int
+
+val top : t -> alternative
+(** Most probable completion. Never fails: blocks always have at least one
+    alternative. *)
+
+val prob_of_point : t -> int array -> float
+(** Probability of one complete version (0 when absent). *)
+
+val pp : Relation.Schema.t -> Format.formatter -> t -> unit

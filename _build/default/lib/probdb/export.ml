@@ -1,0 +1,63 @@
+let to_csv db =
+  let schema = Pdb.schema db in
+  let buf = Buffer.create 4096 in
+  let field s = Relation.Csv_io.escape_field s in
+  Buffer.add_string buf
+    (String.concat ","
+       ("block"
+       :: Array.to_list
+            (Array.map
+               (fun a -> field (Relation.Attribute.name a))
+               (Relation.Schema.attributes schema))
+       @ [ "prob" ]));
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i (b : Block.t) ->
+      List.iteri
+        (fun j (alt : Block.alternative) ->
+          let cells =
+            Printf.sprintf "t%d.%d" (i + 1) (j + 1)
+            :: List.mapi
+                 (fun a v ->
+                   field
+                     (Relation.Attribute.value_label
+                        (Relation.Schema.attribute schema a)
+                        v))
+                 (Array.to_list alt.point)
+            @ [ Printf.sprintf "%.6f" alt.prob ]
+          in
+          Buffer.add_string buf (String.concat "," cells);
+          Buffer.add_char buf '\n')
+        b.alternatives)
+    (Pdb.blocks db);
+  Buffer.contents buf
+
+let to_file path db =
+  Out_channel.with_open_bin path (fun oc -> output_string oc (to_csv db))
+
+let summary db =
+  let blocks = Pdb.blocks db in
+  let n = Array.length blocks in
+  let alt_counts =
+    Array.map (fun b -> Block.alternative_count b) blocks
+  in
+  let total_alts = Array.fold_left ( + ) 0 alt_counts in
+  let max_alts = Array.fold_left max 0 alt_counts in
+  let truncated =
+    Array.fold_left (fun acc (b : Block.t) -> acc +. b.truncated_mass) 0. blocks
+  in
+  let expected_size =
+    Array.fold_left
+      (fun acc (b : Block.t) ->
+        acc
+        +. List.fold_left
+             (fun s (a : Block.alternative) -> s +. a.prob)
+             0. b.alternatives)
+      0. blocks
+  in
+  Printf.sprintf
+    "%d blocks; %.6g possible worlds; expected size %.2f; alternatives \
+     mean %.2f max %d; truncated mass %.4f"
+    n (Pdb.possible_worlds db) expected_size
+    (if n = 0 then 0. else float_of_int total_alts /. float_of_int n)
+    max_alts truncated

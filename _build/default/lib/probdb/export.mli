@@ -1,0 +1,20 @@
+(** Exporting a derived probabilistic database.
+
+    The call-out of the paper's Fig 1 shows the natural tabular form of a
+    derived block: one row per completion, annotated with a probability and
+    grouped by source tuple (t12.1 … t12.4). This module renders a whole
+    database in that form — a CSV with a block-id column and a probability
+    column — which downstream probabilistic-DB systems (and spreadsheets)
+    ingest directly. *)
+
+val to_csv : Pdb.t -> string
+(** Header: [block,<attr…>,prob]. Rows are grouped by block in database
+    order; each block's alternatives appear in descending probability with
+    ids [t<i>.<j>] echoing Fig 1's numbering. Value labels come from the
+    schema; probabilities are printed with 6 decimals. *)
+
+val to_file : string -> Pdb.t -> unit
+
+val summary : Pdb.t -> string
+(** A short human-readable digest: block count, possible worlds, expected
+    size, mean/max alternatives per block, total truncated mass. *)

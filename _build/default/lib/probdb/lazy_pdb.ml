@@ -1,0 +1,92 @@
+type t = {
+  rng : Prob.Rng.t;
+  config : Mrsl.Gibbs.config;
+  min_prob : float option;
+  sampler : Mrsl.Gibbs.sampler;
+  tuples : Relation.Tuple.t array;
+  blocks : Block.t option array;  (* cache, one slot per tuple *)
+  (* Identical incomplete tuples share one inference run. *)
+  shared : Block.t Relation.Tuple.Table.t;
+}
+
+let create ?(config = Mrsl.Gibbs.default_config) ?method_ ?min_prob rng model
+    inst =
+  if
+    not
+      (Relation.Schema.equal
+         (Relation.Instance.schema inst)
+         (Mrsl.Model.schema model))
+  then
+    invalid_arg "Lazy_pdb.create: instance schema does not match model schema";
+  {
+    rng;
+    config;
+    min_prob;
+    sampler = Mrsl.Gibbs.sampler ?method_ model;
+    tuples = Relation.Instance.tuples inst;
+    blocks = Array.make (Relation.Instance.size inst) None;
+    shared = Relation.Tuple.Table.create 64;
+  }
+
+let tuple_count t = Array.length t.tuples
+
+let materialized_count t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i b ->
+      match b with
+      | Some _ when not (Relation.Tuple.is_complete t.tuples.(i)) -> incr n
+      | Some _ | None -> ())
+    t.blocks;
+  !n
+
+let block t i =
+  match t.blocks.(i) with
+  | Some b -> b
+  | None ->
+      let tup = t.tuples.(i) in
+      let b =
+        match Relation.Tuple.to_point tup with
+        | Some point -> Block.of_point point
+        | None -> (
+            match Relation.Tuple.Table.find_opt t.shared tup with
+            | Some b -> b
+            | None ->
+                let est = Mrsl.Gibbs.run ~config:t.config t.rng t.sampler tup in
+                let b = Block.of_estimate ?min_prob:t.min_prob est in
+                Relation.Tuple.Table.replace t.shared tup b;
+                b)
+      in
+      t.blocks.(i) <- Some b;
+      b
+
+let tuple_prob t pred i =
+  if i < 0 || i >= Array.length t.tuples then
+    invalid_arg "Lazy_pdb.tuple_prob: tuple index out of range";
+  match Predicate.eval_partial pred t.tuples.(i) with
+  | Some true -> 1.
+  | Some false -> 0.
+  | None ->
+      List.fold_left
+        (fun acc (a : Block.alternative) ->
+          if Predicate.eval pred a.point then acc +. a.prob else acc)
+        0.
+        (block t i).alternatives
+
+let expected_count t pred =
+  let acc = ref 0. in
+  for i = 0 to Array.length t.tuples - 1 do
+    acc := !acc +. tuple_prob t pred i
+  done;
+  !acc
+
+let prob_exists t pred =
+  let none = ref 1. in
+  for i = 0 to Array.length t.tuples - 1 do
+    none := !none *. (1. -. tuple_prob t pred i)
+  done;
+  1. -. !none
+
+let force t =
+  let blocks = List.init (Array.length t.tuples) (fun i -> block t i) in
+  Pdb.make (Mrsl.Model.schema (Mrsl.Gibbs.model t.sampler)) blocks

@@ -1,0 +1,192 @@
+type t = { schema : Relation.Schema.t; blocks : Block.t array }
+
+let make schema blocks =
+  let arity = Relation.Schema.arity schema in
+  List.iter
+    (fun (b : Block.t) ->
+      if Array.length b.source <> arity then
+        invalid_arg "Pdb.make: block arity does not match schema";
+      List.iter
+        (fun (a : Block.alternative) ->
+          if Array.length a.point <> arity then
+            invalid_arg "Pdb.make: alternative arity does not match schema")
+        b.alternatives)
+    blocks;
+  { schema; blocks = Array.of_list blocks }
+
+let derive ?config ?method_ ?strategy ?min_prob rng model inst =
+  let schema = Relation.Instance.schema inst in
+  if not (Relation.Schema.equal schema (Mrsl.Model.schema model)) then
+    invalid_arg "Pdb.derive: instance schema does not match model schema";
+  let incomplete = Array.to_list (Relation.Instance.incomplete_part inst) in
+  let sampler = Mrsl.Gibbs.sampler ?method_ model in
+  let by_tuple = Relation.Tuple.Table.create 64 in
+  if incomplete <> [] then begin
+    let result = Mrsl.Workload.run ?config ?strategy rng sampler incomplete in
+    List.iter
+      (fun (tup, est) -> Relation.Tuple.Table.replace by_tuple tup est)
+      result.estimates
+  end;
+  let blocks =
+    List.map
+      (fun tup ->
+        match Relation.Tuple.to_point tup with
+        | Some point -> Block.of_point point
+        | None ->
+            Block.of_estimate ?min_prob
+              (Relation.Tuple.Table.find by_tuple tup))
+      (Array.to_list (Relation.Instance.tuples inst))
+  in
+  make schema blocks
+
+let schema t = t.schema
+let blocks t = Array.copy t.blocks
+let block_count t = Array.length t.blocks
+
+let possible_worlds t =
+  Array.fold_left
+    (fun acc b -> acc *. float_of_int (Block.alternative_count b))
+    1. t.blocks
+
+let world_log_prob t world =
+  if Array.length world <> Array.length t.blocks then
+    invalid_arg "Pdb.world_log_prob: one point per block required";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i point ->
+      let p = Block.prob_of_point t.blocks.(i) point in
+      if p <= 0. then acc := neg_infinity
+      else acc := !acc +. log p)
+    world;
+  !acc
+
+let most_probable_world t =
+  let world =
+    Array.map (fun b -> Array.copy (Block.top b).Block.point) t.blocks
+  in
+  (world, world_log_prob t world)
+
+(* Best-first enumeration over per-block alternative ranks (Lawler-style
+   k-best): the top world is rank-vector 0; successors bump one block's
+   rank. A max-heap keyed by log-probability plus a visited set gives the
+   k best without touching the exponential world space. *)
+let top_k_worlds t k =
+  if k < 1 then invalid_arg "Pdb.top_k_worlds: k must be >= 1";
+  let blocks =
+    Array.map (fun (b : Block.t) -> Array.of_list b.alternatives) t.blocks
+  in
+  let n = Array.length blocks in
+  let logp_of ranks =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let (a : Block.alternative) = blocks.(i).(ranks.(i)) in
+      acc := !acc +. log a.prob
+    done;
+    !acc
+  in
+  let world_of ranks =
+    Array.init n (fun i -> Array.copy blocks.(i).(ranks.(i)).Block.point)
+  in
+  if n = 0 then [ ([||], 0.) ]
+  else begin
+    (* Priority queue on (logp, ranks). A plain list with linear-scan pop
+       is fine: the frontier holds at most k·blocks entries for the k
+       worlds we extract. *)
+    let heap = ref [] in
+    let push item = heap := item :: !heap in
+    let pop () =
+      match !heap with
+      | [] -> None
+      | first :: rest ->
+          let best =
+            List.fold_left
+              (fun acc item -> if fst item > fst acc then item else acc)
+              first rest
+          in
+          (* Remove one occurrence of the best element. *)
+          let removed = ref false in
+          heap :=
+            List.filter
+              (fun item ->
+                if (not !removed) && item == best then begin
+                  removed := true;
+                  false
+                end
+                else true)
+              !heap;
+          Some best
+    in
+    let visited = Hashtbl.create 64 in
+    let start = Array.make n 0 in
+    Hashtbl.replace visited (Array.to_list start) ();
+    push (logp_of start, start);
+    let out = ref [] in
+    let found = ref 0 in
+    let continue = ref true in
+    while !continue && !found < k do
+      match pop () with
+      | None -> continue := false
+      | Some (logp, ranks) ->
+          out := (world_of ranks, logp) :: !out;
+          incr found;
+          for i = 0 to n - 1 do
+            if ranks.(i) + 1 < Array.length blocks.(i) then begin
+              let next = Array.copy ranks in
+              next.(i) <- next.(i) + 1;
+              let key = Array.to_list next in
+              if not (Hashtbl.mem visited key) then begin
+                Hashtbl.replace visited key ();
+                push (logp_of next, next)
+              end
+            end
+          done
+    done;
+    List.rev !out
+  end
+
+let sample_world rng t =
+  Array.map
+    (fun (b : Block.t) ->
+      let total =
+        List.fold_left (fun s (a : Block.alternative) -> s +. a.prob) 0.
+          b.alternatives
+      in
+      let u = Prob.Rng.float rng *. total in
+      let rec pick acc = function
+        | [ (a : Block.alternative) ] -> Array.copy a.point
+        | a :: rest ->
+            let acc = acc +. a.Block.prob in
+            if u < acc then Array.copy a.Block.point else pick acc rest
+        | [] -> assert false
+      in
+      pick 0. b.alternatives)
+    t.blocks
+
+let tuple_prob t pred i =
+  if i < 0 || i >= Array.length t.blocks then
+    invalid_arg "Pdb.tuple_prob: block index out of range";
+  List.fold_left
+    (fun acc (a : Block.alternative) ->
+      if Predicate.eval pred a.point then acc +. a.prob else acc)
+    0.
+    t.blocks.(i).alternatives
+
+let expected_count t pred =
+  let acc = ref 0. in
+  for i = 0 to Array.length t.blocks - 1 do
+    acc := !acc +. tuple_prob t pred i
+  done;
+  !acc
+
+let prob_exists t pred =
+  let none = ref 1. in
+  for i = 0 to Array.length t.blocks - 1 do
+    none := !none *. (1. -. tuple_prob t pred i)
+  done;
+  1. -. !none
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>probabilistic database: %d blocks, %.3g worlds@,%a@]"
+    (block_count t) (possible_worlds t)
+    (Format.pp_print_seq ~pp_sep:Format.pp_print_cut (Block.pp t.schema))
+    (Array.to_seq t.blocks)

@@ -1,0 +1,66 @@
+type t =
+  | True
+  | Eq of int * int
+  | Neq of int * int
+  | In of int * int list
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let rec eval p point =
+  match p with
+  | True -> true
+  | Eq (a, v) -> point.(a) = v
+  | Neq (a, v) -> point.(a) <> v
+  | In (a, vs) -> List.mem point.(a) vs
+  | And (l, r) -> eval l point && eval r point
+  | Or (l, r) -> eval l point || eval r point
+  | Not q -> not (eval q point)
+
+let rec eval_partial p (tup : Relation.Tuple.t) =
+  match p with
+  | True -> Some true
+  | Eq (a, v) -> Option.map (Int.equal v) tup.(a)
+  | Neq (a, v) -> Option.map (fun x -> x <> v) tup.(a)
+  | In (a, vs) -> Option.map (fun x -> List.mem x vs) tup.(a)
+  | And (l, r) -> (
+      match (eval_partial l tup, eval_partial r tup) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _ -> None)
+  | Or (l, r) -> (
+      match (eval_partial l tup, eval_partial r tup) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _ -> None)
+  | Not q -> Option.map not (eval_partial q tup)
+
+let eq_label schema attr value =
+  let a = Relation.Schema.index_of schema attr in
+  let v = Relation.Attribute.value_index (Relation.Schema.attribute schema a) value in
+  Eq (a, v)
+
+let conj = function [] -> True | p :: ps -> List.fold_left (fun a b -> And (a, b)) p ps
+let disj = function [] -> Not True | p :: ps -> List.fold_left (fun a b -> Or (a, b)) p ps
+
+let rec pp schema ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Eq (a, v) ->
+      let attr = Relation.Schema.attribute schema a in
+      Format.fprintf ppf "%s=%s" (Relation.Attribute.name attr)
+        (Relation.Attribute.value_label attr v)
+  | Neq (a, v) ->
+      let attr = Relation.Schema.attribute schema a in
+      Format.fprintf ppf "%s<>%s" (Relation.Attribute.name attr)
+        (Relation.Attribute.value_label attr v)
+  | In (a, vs) ->
+      let attr = Relation.Schema.attribute schema a in
+      Format.fprintf ppf "%s in {%a}" (Relation.Attribute.name attr)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (fun ppf v ->
+             Format.pp_print_string ppf (Relation.Attribute.value_label attr v)))
+        vs
+  | And (l, r) -> Format.fprintf ppf "(%a ∧ %a)" (pp schema) l (pp schema) r
+  | Or (l, r) -> Format.fprintf ppf "(%a ∨ %a)" (pp schema) l (pp schema) r
+  | Not q -> Format.fprintf ppf "¬%a" (pp schema) q

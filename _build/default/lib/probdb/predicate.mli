@@ -1,0 +1,28 @@
+(** Tuple-level predicates for querying a probabilistic database. *)
+
+type t =
+  | True
+  | Eq of int * int  (** attribute index = value index *)
+  | Neq of int * int
+  | In of int * int list  (** attribute value among a set *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : t -> int array -> bool
+(** Evaluate against a complete tuple. *)
+
+val eval_partial : t -> Relation.Tuple.t -> bool option
+(** Three-valued evaluation against an incomplete tuple: [Some b] when the
+    known values alone decide the predicate (every completion evaluates to
+    [b]), [None] when the outcome depends on missing values. Sound and
+    complete for missing-value dependence on atoms; conservative (may
+    return [None] for tautologies) across connectives. *)
+
+val eq_label : Relation.Schema.t -> string -> string -> t
+(** [eq_label schema "age" "30"] — build an equality atom from attribute
+    and value labels. Raises [Not_found] on unknown names. *)
+
+val conj : t list -> t
+val disj : t list -> t
+val pp : Relation.Schema.t -> Format.formatter -> t -> unit

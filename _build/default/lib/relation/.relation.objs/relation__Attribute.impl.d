@@ -1,0 +1,1 @@
+lib/relation/attribute.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/relation/csv_io.ml: Array Attribute Buffer Fun In_channel Instance List Printf Schema String

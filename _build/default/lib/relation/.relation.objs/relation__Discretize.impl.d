@@ -1,0 +1,1 @@
+lib/relation/discretize.ml: Array Attribute Float Fun List Option Printf Seq

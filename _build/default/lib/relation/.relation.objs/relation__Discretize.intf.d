@@ -1,0 +1,1 @@
+lib/relation/discretize.mli: Attribute Tuple

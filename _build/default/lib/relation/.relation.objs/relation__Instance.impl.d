@@ -1,0 +1,1 @@
+lib/relation/instance.ml: Array Attribute Float Format Fun List Printf Prob Schema Seq Tuple

@@ -1,0 +1,1 @@
+lib/relation/instance.mli: Format Prob Schema Tuple

@@ -1,0 +1,1 @@
+lib/relation/join.ml: Array Attribute Fun Hashtbl Instance List Schema

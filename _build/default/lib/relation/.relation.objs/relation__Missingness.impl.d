@@ -1,0 +1,1 @@
+lib/relation/missingness.ml: Array Instance List Prob Schema

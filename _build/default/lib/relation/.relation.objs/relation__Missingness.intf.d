@@ -1,0 +1,1 @@
+lib/relation/missingness.mli: Instance Prob Schema

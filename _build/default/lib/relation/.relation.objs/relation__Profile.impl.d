@@ -1,0 +1,1 @@
+lib/relation/profile.ml: Array Attribute Buffer Float Instance List Printf Schema

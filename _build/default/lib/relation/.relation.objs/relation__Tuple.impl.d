@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Attribute Format Hashtbl Option Schema Set Stdlib

@@ -1,0 +1,48 @@
+type t = { name : string; values : string array }
+
+let missing_marker = "?"
+
+let make name values =
+  if name = "" then invalid_arg "Attribute.make: empty name";
+  if values = [] then invalid_arg "Attribute.make: empty domain";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if v = missing_marker then
+        invalid_arg "Attribute.make: \"?\" is reserved for missing values";
+      if Hashtbl.mem seen v then
+        invalid_arg ("Attribute.make: duplicate value " ^ v);
+      Hashtbl.add seen v ())
+    values;
+  { name; values = Array.of_list values }
+
+let indexed name card =
+  if card < 1 then invalid_arg "Attribute.indexed: cardinality must be >= 1";
+  make name (List.init card (fun i -> "v" ^ string_of_int i))
+
+let name t = t.name
+let cardinality t = Array.length t.values
+
+let value_label t i =
+  if i < 0 || i >= Array.length t.values then
+    invalid_arg
+      (Printf.sprintf "Attribute.value_label: %d out of range for %s" i t.name);
+  t.values.(i)
+
+let value_index t label =
+  let n = Array.length t.values in
+  let rec find i =
+    if i = n then raise Not_found
+    else if t.values.(i) = label then i
+    else find (i + 1)
+  in
+  find 0
+
+let equal a b = a.name = b.name && a.values = b.values
+
+let pp ppf t =
+  Format.fprintf ppf "%s{%a}" t.name
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_string)
+    t.values

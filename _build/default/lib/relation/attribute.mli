@@ -1,0 +1,30 @@
+(** Discrete finite-valued attributes.
+
+    The paper limits discussion to discrete finite domains, bucketing
+    continuous attributes (Section II). An attribute couples a name with an
+    ordered array of value labels; tuples store *value indices* into that
+    array, which keeps mining and sampling allocation-free. *)
+
+type t = private { name : string; values : string array }
+
+val make : string -> string list -> t
+(** [make name values] builds an attribute. Raises [Invalid_argument] on an
+    empty name, an empty value list, duplicate values, or a value equal to
+    the missing-value marker ["?"]. *)
+
+val indexed : string -> int -> t
+(** [indexed name card] builds an attribute with values ["v0" … "v<card-1>"]
+    — the synthetic-domain constructor used by the Bayesian-network
+    benchmark. *)
+
+val name : t -> string
+val cardinality : t -> int
+
+val value_label : t -> int -> string
+(** Label of a value index. Raises [Invalid_argument] when out of range. *)
+
+val value_index : t -> string -> int
+(** Index of a label. Raises [Not_found] for an unknown label. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+let missing_marker = "?"
+
+let parse_line line =
+  let n = String.length line in
+  let buf = Buffer.create 32 in
+  let fields = ref [] in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  (* Two-state scanner: inside/outside a quoted field. *)
+  let rec outside i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush ();
+          outside (i + 1)
+      | '"' -> inside (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          outside (i + 1)
+  and inside i =
+    if i >= n then failwith "Csv_io.parse_line: unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          inside (i + 2)
+      | '"' -> outside (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          inside (i + 1)
+  in
+  outside 0;
+  List.rev !fields
+
+let escape_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let non_empty_lines text =
+  String.split_on_char '\n' text
+  |> List.map (fun l ->
+         if String.length l > 0 && l.[String.length l - 1] = '\r' then
+           String.sub l 0 (String.length l - 1)
+         else l)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let is_missing field = field = missing_marker || String.trim field = ""
+
+let infer_schema header rows =
+  let ncols = List.length header in
+  let domains = Array.make ncols [] in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i field ->
+          if (not (is_missing field)) && not (List.mem field domains.(i)) then
+            domains.(i) <- domains.(i) @ [ field ])
+        row)
+    rows;
+  let attrs =
+    List.mapi
+      (fun i name ->
+        let dom = if domains.(i) = [] then [ "v0" ] else domains.(i) in
+        Attribute.make name dom)
+      header
+  in
+  Schema.make attrs
+
+let read_string ?schema text =
+  match non_empty_lines text with
+  | [] -> failwith "Csv_io.read_string: empty document"
+  | header_line :: data_lines ->
+      let header = parse_line header_line in
+      let ncols = List.length header in
+      let rows =
+        List.mapi
+          (fun lineno line ->
+            let row = parse_line line in
+            if List.length row <> ncols then
+              failwith
+                (Printf.sprintf
+                   "Csv_io.read_string: row %d has %d fields, expected %d"
+                   (lineno + 2) (List.length row) ncols);
+            row)
+          data_lines
+      in
+      let schema =
+        match schema with
+        | Some s ->
+            if Schema.arity s <> ncols then
+              failwith "Csv_io.read_string: column count does not match schema";
+            s
+        | None -> infer_schema header rows
+      in
+      let decode row =
+        Array.of_list
+          (List.mapi
+             (fun i field ->
+               if is_missing field then None
+               else
+                 let attr = Schema.attribute schema i in
+                 match Attribute.value_index attr field with
+                 | v -> Some v
+                 | exception Not_found ->
+                     failwith
+                       (Printf.sprintf
+                          "Csv_io.read_string: unknown value %S for attribute %s"
+                          field (Attribute.name attr)))
+             row)
+      in
+      Instance.make schema (List.map decode rows)
+
+let read_file ?schema path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> read_string ?schema (In_channel.input_all ic))
+
+let write_string inst =
+  let schema = Instance.schema inst in
+  let buf = Buffer.create 1024 in
+  let row fields =
+    Buffer.add_string buf (String.concat "," (List.map escape_field fields));
+    Buffer.add_char buf '\n'
+  in
+  row
+    (Array.to_list
+       (Array.map Attribute.name (Schema.attributes schema)));
+  Array.iter
+    (fun tup ->
+      row
+        (List.mapi
+           (fun i v ->
+             match v with
+             | None -> missing_marker
+             | Some x -> Attribute.value_label (Schema.attribute schema i) x)
+           (Array.to_list tup)))
+    (Instance.tuples inst);
+  Buffer.contents buf
+
+let write_file path inst =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (write_string inst))

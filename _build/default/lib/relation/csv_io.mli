@@ -1,0 +1,26 @@
+(** Minimal CSV reader/writer for relation instances.
+
+    Hand-rolled (the container has no CSV package): comma-separated, first
+    row is the header, ["?"] (or an empty cell) marks a missing value,
+    double-quoted fields with doubled inner quotes are supported. *)
+
+val parse_line : string -> string list
+(** Split one CSV record into fields. Raises [Failure] on an unterminated
+    quoted field. *)
+
+val escape_field : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val read_string : ?schema:Schema.t -> string -> Instance.t
+(** Parse a whole CSV document. Without [schema], the domain of each column
+    is the set of distinct non-missing values in file order. With [schema],
+    column count and value labels are validated against it. Raises
+    [Failure] on ragged rows, an empty document, or (with [schema]) unknown
+    labels. *)
+
+val read_file : ?schema:Schema.t -> string -> Instance.t
+
+val write_string : Instance.t -> string
+(** Render an instance back to CSV, using ["?"] for missing values. *)
+
+val write_file : string -> Instance.t -> unit

@@ -1,0 +1,52 @@
+type strategy = Equal_width | Equal_frequency
+
+let cut_points strategy ~bins values =
+  if bins < 1 then invalid_arg "Discretize.cut_points: bins must be >= 1";
+  if Array.length values = 0 then
+    invalid_arg "Discretize.cut_points: no values";
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then invalid_arg "Discretize.cut_points: NaN value")
+    values;
+  match strategy with
+  | Equal_width ->
+      let lo = Array.fold_left Float.min values.(0) values in
+      let hi = Array.fold_left Float.max values.(0) values in
+      let width = (hi -. lo) /. float_of_int bins in
+      Array.init (bins - 1) (fun i -> lo +. (width *. float_of_int (i + 1)))
+  | Equal_frequency ->
+      let sorted = Array.copy values in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      Array.init (bins - 1) (fun i ->
+          let rank = (i + 1) * n / bins in
+          sorted.(min rank (n - 1)))
+
+let bucket_of cuts x =
+  let n = Array.length cuts in
+  let rec count i = if i < n && cuts.(i) <= x then count (i + 1) else i in
+  count 0
+
+let range_label cuts bucket =
+  let n = Array.length cuts in
+  let lo = if bucket = 0 then "-inf" else Printf.sprintf "%g" cuts.(bucket - 1) in
+  let hi = if bucket = n then "+inf" else Printf.sprintf "%g" cuts.(bucket) in
+  Printf.sprintf "[%s,%s)" lo hi
+
+let column ?(strategy = Equal_frequency) ~bins ~name values =
+  let present =
+    Array.of_seq (Seq.filter_map Fun.id (Array.to_seq values))
+  in
+  let cuts = cut_points strategy ~bins present in
+  let labels = List.init bins (range_label cuts) in
+  (* Duplicate boundaries can make duplicate labels; disambiguate. *)
+  let labels =
+    List.mapi
+      (fun i l ->
+        let earlier = List.filteri (fun j _ -> j < i) labels in
+        if List.mem l earlier then Printf.sprintf "%s#%d" l i else l)
+      labels
+  in
+  let attr = Attribute.make name labels in
+  let tuple = Array.map (Option.map (bucket_of cuts)) values in
+  (attr, tuple)

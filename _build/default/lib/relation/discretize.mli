@@ -1,0 +1,28 @@
+(** Discretization of continuous attributes.
+
+    The paper limits itself to discrete finite domains and proposes "to
+    break up the domains of continuous attributes into sub-ranges, treating
+    each sub-range as a discrete value" (Section II). This module performs
+    that bucketing for numeric columns, preserving missing values. *)
+
+type strategy =
+  | Equal_width  (** bins of equal numeric width over [min, max] *)
+  | Equal_frequency  (** bins holding (approximately) equal point counts *)
+
+val cut_points : strategy -> bins:int -> float array -> float array
+(** [cut_points strategy ~bins values] — the [bins - 1] interior
+    boundaries. Requires [bins >= 1], at least one finite value, and no
+    NaNs. Boundaries are non-decreasing; duplicate boundaries (possible
+    under [Equal_frequency] with heavy ties) are allowed and simply leave
+    some buckets empty. *)
+
+val bucket_of : float array -> float -> int
+(** [bucket_of cuts x] — index of the bucket containing [x]: the number of
+    boundaries ≤ [x]. *)
+
+val column : ?strategy:strategy -> bins:int -> name:string ->
+  float option array -> Attribute.t * Tuple.t
+(** Discretize one column ([None] = missing). Returns the bucketed
+    attribute — its value labels spell out the sub-ranges, e.g.
+    ["[1.5,2.75)"] — and the column of bucket indices (a tuple in column
+    orientation). [strategy] defaults to [Equal_frequency]. *)

@@ -1,0 +1,51 @@
+let count cards =
+  Array.fold_left
+    (fun acc c ->
+      if c < 1 then invalid_arg "Domain.count: radix must be >= 1";
+      let next = acc * c in
+      if acc <> 0 && next / acc <> c then
+        invalid_arg "Domain.count: domain size overflows";
+      next)
+    1 cards
+
+let encode cards values =
+  if Array.length cards <> Array.length values then
+    invalid_arg "Domain.encode: length mismatch";
+  let code = ref 0 in
+  for i = 0 to Array.length cards - 1 do
+    let v = values.(i) in
+    if v < 0 || v >= cards.(i) then
+      invalid_arg "Domain.encode: value out of range";
+    code := (!code * cards.(i)) + v
+  done;
+  !code
+
+let decode cards code =
+  let n = Array.length cards in
+  let values = Array.make n 0 in
+  let rest = ref code in
+  for i = n - 1 downto 0 do
+    values.(i) <- !rest mod cards.(i);
+    rest := !rest / cards.(i)
+  done;
+  if !rest <> 0 then invalid_arg "Domain.decode: code out of range";
+  values
+
+let iter cards f =
+  let n = Array.length cards in
+  let total = count cards in
+  let values = Array.make n 0 in
+  for code = 0 to total - 1 do
+    f code values;
+    (* Odometer increment: bump the last position, carrying leftward. *)
+    let rec bump i =
+      if i >= 0 then begin
+        values.(i) <- values.(i) + 1;
+        if values.(i) = cards.(i) then begin
+          values.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (n - 1)
+  done

@@ -1,0 +1,22 @@
+(** Mixed-radix encodings of joint value assignments.
+
+    Joint distributions over a set of attributes (the Cartesian product of
+    their domains — the "dom. size" of Table I) are represented as flat
+    distributions indexed by a mixed-radix code: the first attribute varies
+    slowest. Shared by exact BN posteriors, Gibbs estimates, and the
+    probabilistic-database blocks, so the codes line up across modules. *)
+
+val count : int array -> int
+(** Product of the radices. Raises [Invalid_argument] if any radix < 1 or
+    the product overflows [max_int]. *)
+
+val encode : int array -> int array -> int
+(** [encode cards values] — the code of a joint assignment. Requires equal
+    lengths and each value within its radix. *)
+
+val decode : int array -> int -> int array
+(** Inverse of {!encode}. *)
+
+val iter : int array -> (int -> int array -> unit) -> unit
+(** [iter cards f] calls [f code values] for every assignment in code
+    order. The [values] array is reused between calls; copy it to keep it. *)

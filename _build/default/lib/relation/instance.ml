@@ -1,0 +1,100 @@
+type t = { schema : Schema.t; tuples : Tuple.t array }
+
+let validate schema tup =
+  if Array.length tup <> Schema.arity schema then
+    invalid_arg "Instance.make: tuple arity does not match schema";
+  Array.iteri
+    (fun i v ->
+      match v with
+      | None -> ()
+      | Some x ->
+          if x < 0 || x >= Schema.cardinality schema i then
+            invalid_arg
+              (Printf.sprintf
+                 "Instance.make: value %d out of range for attribute %s" x
+                 (Attribute.name (Schema.attribute schema i))))
+    tup
+
+let make schema tuples =
+  List.iter (validate schema) tuples;
+  { schema; tuples = Array.of_list tuples }
+
+let of_points schema points =
+  make schema (List.map Tuple.of_point points)
+
+let schema t = t.schema
+let size t = Array.length t.tuples
+let tuples t = Array.copy t.tuples
+
+let complete_part t =
+  Array.of_seq
+    (Seq.filter_map Tuple.to_point (Array.to_seq t.tuples))
+
+let incomplete_part t =
+  Array.of_seq
+    (Seq.filter (fun tup -> not (Tuple.is_complete tup)) (Array.to_seq t.tuples))
+
+let support t tup =
+  let points = complete_part t in
+  let n = Array.length points in
+  if n = 0 then 0.
+  else begin
+    let hits = ref 0 in
+    Array.iter (fun p -> if Tuple.matches ~point:p tup then incr hits) points;
+    float_of_int !hits /. float_of_int n
+  end
+
+let split rng ~train_fraction t =
+  if train_fraction <= 0. || train_fraction >= 1. then
+    invalid_arg "Instance.split: train_fraction must be in (0, 1)";
+  let order = Array.init (Array.length t.tuples) Fun.id in
+  Prob.Rng.shuffle rng order;
+  let n_train =
+    int_of_float (Float.round (train_fraction *. float_of_int (Array.length order)))
+  in
+  let n_train = max 1 (min (Array.length order - 1) n_train) in
+  let pick lo hi = Array.init (hi - lo) (fun i -> t.tuples.(order.(lo + i))) in
+  ( { schema = t.schema; tuples = pick 0 n_train },
+    { schema = t.schema; tuples = pick n_train (Array.length order) } )
+
+let mask_one rng ~missing tup =
+  let n = Array.length tup in
+  if missing < 0 || missing > n then invalid_arg "Instance.mask_exact: missing";
+  let masked = Array.copy tup in
+  let already = Tuple.missing_count tup in
+  if already < missing then begin
+    let known_idx =
+      Array.of_list (List.map fst (Tuple.known tup))
+    in
+    let extra =
+      Prob.Rng.sample_without_replacement rng (missing - already)
+        (Array.length known_idx)
+    in
+    List.iter (fun j -> masked.(known_idx.(j)) <- None) extra
+  end;
+  masked
+
+let mask_exact rng ~missing t =
+  { t with tuples = Array.map (mask_one rng ~missing) t.tuples }
+
+let mask_uniform rng ~max_missing t =
+  if max_missing < 1 || max_missing > Schema.arity t.schema then
+    invalid_arg "Instance.mask_uniform: max_missing out of range";
+  let mask tup =
+    let k = 1 + Prob.Rng.int rng max_missing in
+    mask_one rng ~missing:(max k (Tuple.missing_count tup)) tup
+  in
+  { t with tuples = Array.map mask t.tuples }
+
+let append a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Instance.append: schema mismatch";
+  { schema = a.schema; tuples = Array.append a.tuples b.tuples }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a: %d tuples@,%a@]" Schema.pp t.schema
+    (Array.length t.tuples)
+    (Format.pp_print_seq
+       ~pp_sep:Format.pp_print_cut
+       (Tuple.pp t.schema))
+    (Array.to_seq t.tuples)

@@ -1,0 +1,46 @@
+(** Relation instances: a schema plus a bag of (possibly incomplete) tuples.
+
+    The paper views a relation [R] as the disjoint union of its complete part
+    [Rc] (points) and incomplete part [Ri] (Section II). *)
+
+type t
+
+val make : Schema.t -> Tuple.t list -> t
+(** Validates every tuple: correct arity, every value index within its
+    attribute's domain. Raises [Invalid_argument] otherwise. *)
+
+val of_points : Schema.t -> int array list -> t
+(** Build a fully complete relation. *)
+
+val schema : t -> Schema.t
+val size : t -> int
+val tuples : t -> Tuple.t array
+
+val complete_part : t -> int array array
+(** [Rc] — the points, in order of appearance. *)
+
+val incomplete_part : t -> Tuple.t array
+(** [Ri] — tuples with at least one missing value, in order. *)
+
+val support : t -> Tuple.t -> float
+(** [support r t] — fraction of [Rc] matching the incomplete tuple [t]
+    (Def 2.3). 0 when [Rc] is empty. *)
+
+val split : Prob.Rng.t -> train_fraction:float -> t -> t * t
+(** Random (train, test) partition of the tuples. [train_fraction] in
+    (0, 1). *)
+
+val mask_exact : Prob.Rng.t -> missing:int -> t -> t
+(** Replace exactly [missing] attribute values, chosen uniformly at random,
+    in each tuple (the paper's test-set processing). Requires
+    [0 <= missing <= arity]. Tuples that already have missing values keep
+    them and lose additional ones up to the target count. *)
+
+val mask_uniform : Prob.Rng.t -> max_missing:int -> t -> t
+(** Per tuple, draw the number of values to blank uniformly from
+    [1 .. max_missing], then blank that many uniformly chosen attributes. *)
+
+val append : t -> t -> t
+(** Concatenate two instances over equal schemas. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+let primary_foreign ~fact ~fk ~dim ~pk =
+  let fact_schema = Instance.schema fact in
+  let dim_schema = Instance.schema dim in
+  if fk < 0 || fk >= Schema.arity fact_schema then
+    invalid_arg "Join.primary_foreign: fk out of range";
+  if pk < 0 || pk >= Schema.arity dim_schema then
+    invalid_arg "Join.primary_foreign: pk out of range";
+  let pk_attr = Schema.attribute dim_schema pk in
+  (* Index dimension tuples by key label, checking key-ness as we go. *)
+  let by_key = Hashtbl.create 64 in
+  Array.iter
+    (fun tup ->
+      match tup.(pk) with
+      | None ->
+          invalid_arg
+            "Join.primary_foreign: dimension key column has missing values"
+      | Some v ->
+          let label = Attribute.value_label pk_attr v in
+          if Hashtbl.mem by_key label then
+            invalid_arg "Join.primary_foreign: duplicate dimension key";
+          Hashtbl.add by_key label tup)
+    (Instance.tuples dim);
+  (* Joined schema: all fact attributes, then the dimension's non-key
+     attributes, renamed to stay unique. *)
+  let prefix = Attribute.name pk_attr ^ "_" in
+  let dim_positions =
+    List.filter (fun i -> i <> pk) (List.init (Schema.arity dim_schema) Fun.id)
+  in
+  let appended =
+    List.map
+      (fun i ->
+        let a = Schema.attribute dim_schema i in
+        Attribute.make
+          (prefix ^ Attribute.name a)
+          (List.init (Attribute.cardinality a) (Attribute.value_label a)))
+      dim_positions
+  in
+  let joined_schema =
+    Schema.make
+      (Array.to_list (Schema.attributes fact_schema) @ appended)
+  in
+  let fk_attr = Schema.attribute fact_schema fk in
+  let join_tuple tup =
+    let extension =
+      match tup.(fk) with
+      | None -> List.map (fun _ -> None) dim_positions
+      | Some v -> (
+          match Hashtbl.find_opt by_key (Attribute.value_label fk_attr v) with
+          | None -> List.map (fun _ -> None) dim_positions
+          | Some dim_tup -> List.map (fun i -> dim_tup.(i)) dim_positions)
+    in
+    Array.append tup (Array.of_list extension)
+  in
+  Instance.make joined_schema
+    (List.map join_tuple (Array.to_list (Instance.tuples fact)))

@@ -1,0 +1,23 @@
+(** Primary–foreign-key joins between relation instances.
+
+    The paper (Section I-B) notes that correlations holding *across*
+    relations can be exploited "by computing a primary-foreign key join when
+    appropriate" and then learning over the joined relation. This module
+    provides that join for categorical instances: the foreign-key attribute
+    of the fact relation refers to the primary-key attribute of the
+    dimension relation by *value label*. *)
+
+val primary_foreign :
+  fact:Instance.t -> fk:int -> dim:Instance.t -> pk:int -> Instance.t
+(** [primary_foreign ~fact ~fk ~dim ~pk] joins each fact tuple with the
+    dimension tuple whose [pk] value label equals the fact's [fk] value
+    label, appending the dimension's non-key attributes (prefixed with the
+    dimension key attribute's name to keep schema names unique).
+
+    - A fact tuple with a missing foreign key, or one referencing a key
+      absent from the dimension, keeps all appended attributes missing —
+      exactly the incomplete-tuple semantics the MRSL pipeline expects.
+    - Missing values inside the matched dimension tuple stay missing.
+
+    Raises [Invalid_argument] if [pk] is not key-like in [dim] (a complete
+    column with distinct values), or on out-of-range attribute indices. *)

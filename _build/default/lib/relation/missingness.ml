@@ -1,0 +1,90 @@
+type mechanism =
+  | Mcar of float
+  | Mar of {
+      trigger : int;
+      value : int;
+      p_match : float;
+      p_other : float;
+      targets : int list;
+    }
+  | Mnar of { target : int; value : int; p_match : float; p_other : float }
+
+let name = function
+  | Mcar _ -> "MCAR"
+  | Mar _ -> "MAR"
+  | Mnar _ -> "MNAR"
+
+let check_prob p =
+  if p < 0. || p > 1. then
+    invalid_arg "Missingness: probabilities must be in [0, 1]"
+
+let validate schema = function
+  | Mcar p -> check_prob p
+  | Mar { trigger; p_match; p_other; targets; _ } ->
+      check_prob p_match;
+      check_prob p_other;
+      if trigger < 0 || trigger >= Schema.arity schema then
+        invalid_arg "Missingness: trigger out of range";
+      List.iter
+        (fun a ->
+          if a < 0 || a >= Schema.arity schema then
+            invalid_arg "Missingness: target out of range";
+          if a = trigger then
+            invalid_arg "Missingness: trigger cannot be a target")
+        targets
+  | Mnar { target; p_match; p_other; _ } ->
+      check_prob p_match;
+      check_prob p_other;
+      if target < 0 || target >= Schema.arity schema then
+        invalid_arg "Missingness: target out of range"
+
+let mask rng mechanism inst =
+  let schema = Instance.schema inst in
+  validate schema mechanism;
+  let mask_tuple tup =
+    let tup = Array.copy tup in
+    (match mechanism with
+    | Mcar p ->
+        Array.iteri
+          (fun a v ->
+            if v <> None && Prob.Rng.float rng < p then tup.(a) <- None)
+          tup
+    | Mar { trigger; value; p_match; p_other; targets } ->
+        let p =
+          match tup.(trigger) with
+          | Some v when v = value -> p_match
+          | Some _ -> p_other
+          | None -> p_other
+        in
+        List.iter
+          (fun a ->
+            if tup.(a) <> None && Prob.Rng.float rng < p then tup.(a) <- None)
+          targets
+    | Mnar { target; value; p_match; p_other } -> (
+        match tup.(target) with
+        | Some v ->
+            let p = if v = value then p_match else p_other in
+            if Prob.Rng.float rng < p then tup.(target) <- None
+        | None -> ()));
+    tup
+  in
+  Instance.make schema (List.map mask_tuple (Array.to_list (Instance.tuples inst)))
+
+let expected_missing_rate mechanism schema =
+  let arity = float_of_int (Schema.arity schema) in
+  match mechanism with
+  | Mcar p -> p
+  | Mar { trigger; value; p_match; p_other; targets; _ } ->
+      let trigger_card =
+        float_of_int (Schema.cardinality schema trigger)
+      in
+      ignore value;
+      let p_avg =
+        (p_match /. trigger_card)
+        +. (p_other *. (trigger_card -. 1.) /. trigger_card)
+      in
+      p_avg *. float_of_int (List.length targets) /. arity
+  | Mnar { target; value; p_match; p_other } ->
+      let card = float_of_int (Schema.cardinality schema target) in
+      ignore value;
+      ((p_match /. card) +. (p_other *. (card -. 1.) /. card)) /. arity

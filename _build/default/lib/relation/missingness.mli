@@ -1,0 +1,49 @@
+(** Missingness mechanisms.
+
+    The paper makes no assumption about "how many" and "which" attribute
+    values are missing (Section I-B), but its *evaluation* only exercises
+    uniform masking. This module implements the three standard mechanisms
+    (Little & Rubin), so the robustness of complete-case learning — MRSL
+    learns from [Rc] only — can be measured when the assumption-free claim
+    is stressed:
+
+    - {e MCAR} (missing completely at random): each value is masked
+      independently.
+    - {e MAR} (missing at random): target attributes are masked with a
+      probability that depends on the *observed* value of a trigger
+      attribute (which itself always stays observed).
+    - {e MNAR} (missing not at random): an attribute is masked with a
+      probability that depends on its *own* value.
+
+    Under MCAR the complete part is an unbiased sample; under MAR and MNAR
+    it is selection-biased, which is exactly what the extension experiment
+    quantifies. *)
+
+type mechanism =
+  | Mcar of float  (** per-value masking probability, in [0, 1] *)
+  | Mar of {
+      trigger : int;  (** attribute whose observed value drives masking *)
+      value : int;  (** triggering value *)
+      p_match : float;  (** masking prob. for targets when trigger=value *)
+      p_other : float;  (** masking prob. otherwise *)
+      targets : int list;  (** attributes that can go missing *)
+    }
+  | Mnar of {
+      target : int;  (** the self-censoring attribute *)
+      value : int;
+      p_match : float;  (** masking prob. when target=value *)
+      p_other : float;
+    }
+
+val name : mechanism -> string
+(** ["MCAR"], ["MAR"], or ["MNAR"]. *)
+
+val mask : Prob.Rng.t -> mechanism -> Instance.t -> Instance.t
+(** Apply the mechanism to every tuple (already-missing values stay
+    missing; MAR triggers are never masked). Raises [Invalid_argument] on
+    out-of-range probabilities or attribute indices, or if a MAR target
+    list contains the trigger. *)
+
+val expected_missing_rate : mechanism -> Schema.t -> float
+(** Rough per-value masking rate assuming uniform attribute values — used
+    to calibrate mechanisms to comparable intensity in experiments. *)

@@ -1,0 +1,129 @@
+type attribute_summary = {
+  attr : int;
+  name : string;
+  cardinality : int;
+  missing_rate : float;
+  entropy : float;
+  modal_value : string;
+}
+
+type pair_mi = { a : int; b : int; mi : float; normalized : float }
+
+let entropy_of_counts counts total =
+  if total = 0 then 0.
+  else
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. float_of_int total in
+          acc -. (p *. log p))
+      0. counts
+
+let attributes inst =
+  let schema = Instance.schema inst in
+  let n = Instance.size inst in
+  let tuples = Instance.tuples inst in
+  List.init (Schema.arity schema) (fun a ->
+      let attr = Schema.attribute schema a in
+      let counts = Array.make (Attribute.cardinality attr) 0 in
+      let missing = ref 0 in
+      Array.iter
+        (fun tup ->
+          match tup.(a) with
+          | Some v -> counts.(v) <- counts.(v) + 1
+          | None -> incr missing)
+        tuples;
+      let observed = n - !missing in
+      let modal = ref 0 in
+      Array.iteri (fun v c -> if c > counts.(!modal) then modal := v) counts;
+      {
+        attr = a;
+        name = Attribute.name attr;
+        cardinality = Attribute.cardinality attr;
+        missing_rate =
+          (if n = 0 then 0. else float_of_int !missing /. float_of_int n);
+        entropy = entropy_of_counts counts observed;
+        modal_value = Attribute.value_label attr !modal;
+      })
+
+let mutual_information inst =
+  let schema = Instance.schema inst in
+  let points = Instance.complete_part inst in
+  let n = Array.length points in
+  if n < 2 then []
+  else begin
+    let arity = Schema.arity schema in
+    let marginal a =
+      let counts = Array.make (Schema.cardinality schema a) 0 in
+      Array.iter (fun p -> counts.(p.(a)) <- counts.(p.(a)) + 1) points;
+      counts
+    in
+    let marginals = Array.init arity marginal in
+    let entropies =
+      Array.map (fun counts -> entropy_of_counts counts n) marginals
+    in
+    let pairs = ref [] in
+    for a = 0 to arity - 1 do
+      for b = a + 1 to arity - 1 do
+        let ca = Schema.cardinality schema a in
+        let cb = Schema.cardinality schema b in
+        let joint = Array.make_matrix ca cb 0 in
+        Array.iter
+          (fun p -> joint.(p.(a)).(p.(b)) <- joint.(p.(a)).(p.(b)) + 1)
+          points;
+        let mi = ref 0. in
+        for va = 0 to ca - 1 do
+          for vb = 0 to cb - 1 do
+            let c = joint.(va).(vb) in
+            if c > 0 then begin
+              let pxy = float_of_int c /. float_of_int n in
+              let px = float_of_int marginals.(a).(va) /. float_of_int n in
+              let py = float_of_int marginals.(b).(vb) /. float_of_int n in
+              mi := !mi +. (pxy *. log (pxy /. (px *. py)))
+            end
+          done
+        done;
+        let mi = Float.max 0. !mi in
+        let h_min = Float.min entropies.(a) entropies.(b) in
+        pairs :=
+          {
+            a;
+            b;
+            mi;
+            normalized = (if h_min <= 1e-12 then 0. else mi /. h_min);
+          }
+          :: !pairs
+      done
+    done;
+    List.sort (fun x y -> Float.compare y.mi x.mi) !pairs
+  end
+
+let render inst =
+  let schema = Instance.schema inst in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d tuples (%d complete)\n\n" (Instance.size inst)
+       (Array.length (Instance.complete_part inst)));
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %6s %9s %9s %s\n" "attribute" "card"
+       "missing" "entropy" "mode");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %6d %8.1f%% %9.3f %s\n" s.name s.cardinality
+           (100. *. s.missing_rate) s.entropy s.modal_value))
+    (attributes inst);
+  let mis = mutual_information inst in
+  if mis <> [] then begin
+    Buffer.add_string buf "\npairwise mutual information (complete part):\n";
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s ~ %s  MI %.4f  (normalized %.3f)\n"
+             (Attribute.name (Schema.attribute schema p.a))
+             (Attribute.name (Schema.attribute schema p.b))
+             p.mi p.normalized))
+      mis
+  end;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Dataset profiling for incomplete relations.
+
+    Before learning an MRSL model it helps to know where the holes are and
+    which attributes actually co-vary — the support threshold and the
+    voting method both interact with correlation strength (Section VI-C).
+    This module computes per-attribute summaries and pairwise mutual
+    information over the complete part. *)
+
+type attribute_summary = {
+  attr : int;
+  name : string;
+  cardinality : int;
+  missing_rate : float;  (** share of tuples missing this attribute *)
+  entropy : float;  (** of the observed value distribution, in nats *)
+  modal_value : string;  (** most frequent observed label *)
+}
+
+type pair_mi = { a : int; b : int; mi : float; normalized : float }
+(** [normalized] divides MI by the smaller attribute entropy — 0 for
+    independent attributes, 1 when one determines the other (0 when either
+    entropy vanishes). *)
+
+val attributes : Instance.t -> attribute_summary list
+(** Per-attribute summaries, in schema order. Entropy and the modal value
+    are computed over observed (non-missing) cells; both default to 0 /
+    first label when a column is entirely missing. *)
+
+val mutual_information : Instance.t -> pair_mi list
+(** Pairwise MI over [Rc] (the complete tuples), all unordered pairs,
+    sorted by descending MI. Empty when fewer than 2 complete tuples. *)
+
+val render : Instance.t -> string
+(** Both tables as text. *)

@@ -1,0 +1,53 @@
+type t = { attrs : Attribute.t array; by_name : (string, int) Hashtbl.t }
+
+let make attrs =
+  if attrs = [] then invalid_arg "Schema.make: empty attribute list";
+  let arr = Array.of_list attrs in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i a ->
+      let n = Attribute.name a in
+      if Hashtbl.mem by_name n then
+        invalid_arg ("Schema.make: duplicate attribute " ^ n);
+      Hashtbl.add by_name n i)
+    arr;
+  { attrs = arr; by_name }
+
+let of_cardinalities ?(prefix = "a") cards =
+  if cards = [] then invalid_arg "Schema.of_cardinalities: empty list";
+  make
+    (List.mapi
+       (fun i card -> Attribute.indexed (prefix ^ string_of_int i) card)
+       cards)
+
+let arity t = Array.length t.attrs
+
+let attribute t i =
+  if i < 0 || i >= Array.length t.attrs then
+    invalid_arg "Schema.attribute: index out of range";
+  t.attrs.(i)
+
+let attributes t = Array.copy t.attrs
+
+let index_of t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let cardinality t i = Attribute.cardinality (attribute t i)
+
+let domain_size t =
+  Array.fold_left
+    (fun acc a -> acc *. float_of_int (Attribute.cardinality a))
+    1. t.attrs
+
+let equal a b =
+  Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2 Attribute.equal a.attrs b.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Attribute.pp)
+    t.attrs

@@ -1,0 +1,30 @@
+(** Relation schemas: an ordered collection of discrete attributes. *)
+
+type t
+
+val make : Attribute.t list -> t
+(** Raises [Invalid_argument] on an empty list or duplicate attribute
+    names. *)
+
+val of_cardinalities : ?prefix:string -> int list -> t
+(** [of_cardinalities [c0; c1; …]] builds a synthetic schema with attributes
+    [a0 : c0 values], [a1 : c1 values], … — the benchmark constructor.
+    [prefix] defaults to ["a"]. *)
+
+val arity : t -> int
+val attribute : t -> int -> Attribute.t
+val attributes : t -> Attribute.t array
+
+val index_of : t -> string -> int
+(** Position of a named attribute. Raises [Not_found]. *)
+
+val cardinality : t -> int -> int
+(** Cardinality of the attribute at a position. *)
+
+val domain_size : t -> float
+(** Product of all cardinalities (the "dom. size" column of Table I), as a
+    float since it reaches 518,400 in the paper and can overflow quickly on
+    wider schemas. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

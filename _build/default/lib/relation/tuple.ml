@@ -1,0 +1,105 @@
+type t = int option array
+
+let of_point p = Array.map (fun v -> Some v) p
+
+let is_complete t = Array.for_all Option.is_some t
+
+let to_point t =
+  if is_complete t then Some (Array.map Option.get t) else None
+
+let known t =
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    match t.(i) with Some v -> acc := (i, v) :: !acc | None -> ()
+  done;
+  !acc
+
+let known_count t =
+  Array.fold_left (fun n v -> if Option.is_some v then n + 1 else n) 0 t
+
+let missing t =
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    match t.(i) with None -> acc := i :: !acc | Some _ -> ()
+  done;
+  !acc
+
+let missing_count t = Array.length t - known_count t
+
+let matches ~point t =
+  if Array.length point <> Array.length t then
+    invalid_arg "Tuple.matches: arity mismatch";
+  let n = Array.length t in
+  let rec check i =
+    i = n
+    || (match t.(i) with Some v -> point.(i) = v | None -> true) && check (i + 1)
+  in
+  check 0
+
+let agrees_on_known t1 t2 =
+  if Array.length t1 <> Array.length t2 then
+    invalid_arg "Tuple.agrees_on_known: arity mismatch";
+  let n = Array.length t1 in
+  let rec check i =
+    i = n
+    ||
+    (match (t1.(i), t2.(i)) with
+    | Some a, Some b -> a = b
+    | _ -> true)
+    && check (i + 1)
+  in
+  check 0
+
+let subsumes t1 t2 =
+  if Array.length t1 <> Array.length t2 then
+    invalid_arg "Tuple.subsumes: arity mismatch";
+  let n = Array.length t1 in
+  (* t1's complete portion must be included in t2's with equal values … *)
+  let rec included i =
+    i = n
+    ||
+    (match (t1.(i), t2.(i)) with
+    | Some a, Some b -> a = b
+    | Some _, None -> false
+    | None, _ -> true)
+    && included (i + 1)
+  in
+  (* … and strictly smaller. *)
+  included 0 && known_count t1 < known_count t2
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let hash (t : t) =
+  (* FNV-style fold over the value slots; -1 encodes a missing value and
+     cannot collide with a value index. *)
+  Array.fold_left
+    (fun h v -> (h * 1000003) lxor match v with Some x -> x | None -> -1)
+    0x811C9DC5 t
+
+let pp schema ppf t =
+  let cell ppf (i, v) =
+    match v with
+    | Some x ->
+        Format.pp_print_string ppf
+          (Attribute.value_label (Schema.attribute schema i) x)
+    | None -> Format.pp_print_string ppf "?"
+  in
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       cell)
+    (Array.to_seqi t)
+
+let to_string schema t = Format.asprintf "%a" (pp schema) t
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Set = Set.Make (Key)
+module Table = Hashtbl.Make (Key)

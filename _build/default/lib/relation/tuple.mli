@@ -1,0 +1,53 @@
+(** Complete and incomplete tuples (paper Definitions 2.1–2.4).
+
+    A tuple over a schema of arity [n] is an [int option array] of length
+    [n]: [Some v] assigns value index [v] to the attribute at that position,
+    [None] marks a missing value ("?"). A *point* (complete tuple) is a plain
+    [int array]. The representation is deliberately concrete: tuples are the
+    data plane of the mining and sampling loops. *)
+
+type t = int option array
+
+val of_point : int array -> t
+(** Embed a complete tuple. *)
+
+val to_point : t -> int array option
+(** [Some point] when the tuple is complete, [None] otherwise. *)
+
+val is_complete : t -> bool
+
+val known : t -> (int * int) list
+(** [(attribute index, value)] pairs of the complete portion, in position
+    order. *)
+
+val known_count : t -> int
+
+val missing : t -> int list
+(** Attribute indices with missing values, in position order. *)
+
+val missing_count : t -> int
+
+val matches : point:int array -> t -> bool
+(** [matches ~point t]: the point agrees with [t] on every attribute of
+    [t]'s complete portion (Def 2.3). Lengths must agree. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes t1 t2] holds when [t2 ≺ t1] (Def 2.4): the complete portion
+    of [t1] is a *proper* subset of that of [t2], with equal values on the
+    shared attributes. *)
+
+val agrees_on_known : t -> t -> bool
+(** [agrees_on_known t1 t2]: on every attribute known in both, the values
+    coincide. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Schema.t -> Format.formatter -> t -> unit
+(** Render with value labels, using ["?"] for missing. *)
+
+val to_string : Schema.t -> t -> string
+
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Prob QCheck2 QCheck_alcotest Relation

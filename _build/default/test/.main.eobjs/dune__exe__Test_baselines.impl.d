@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bayesnet Float Helpers Mrsl Printf Prob Relation

@@ -1,0 +1,1 @@
+test/test_bayesnet.ml: Alcotest Array Bayesnet Float Helpers List Prob QCheck2 Relation

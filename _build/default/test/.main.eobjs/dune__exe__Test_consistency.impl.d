@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Bayesnet Float Helpers List Mining Mrsl Prob Probdb QCheck2 Relation

@@ -1,0 +1,1 @@
+test/test_drivers.ml: Alcotest Experiments Float List Mrsl Prob

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Astring_like Bayesnet Experiments Float Helpers List Mrsl Relation String Sys Unix

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers Mrsl Prob Probdb QCheck2 Relation

@@ -1,0 +1,1 @@
+test/test_fp_growth.ml: Alcotest Array Float Helpers List Mining Prob QCheck2 Relation

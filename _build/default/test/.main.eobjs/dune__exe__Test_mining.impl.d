@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Array Format Helpers List Mining Prob QCheck2 Relation

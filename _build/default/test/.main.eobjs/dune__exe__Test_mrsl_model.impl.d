@@ -1,0 +1,1 @@
+test/test_mrsl_model.ml: Alcotest Array Helpers List Mining Mrsl Prob QCheck2 Relation

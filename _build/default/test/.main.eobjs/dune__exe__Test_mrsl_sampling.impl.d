@@ -1,0 +1,1 @@
+test/test_mrsl_sampling.ml: Alcotest Array Bayesnet Experiments Float Helpers Int List Mrsl Prob QCheck2 Relation

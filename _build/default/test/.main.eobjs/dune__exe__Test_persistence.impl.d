@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Filename Float Fun Helpers List Mining Mrsl Prob QCheck2 Relation String Sys

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float Fun Helpers Int List Prob QCheck2

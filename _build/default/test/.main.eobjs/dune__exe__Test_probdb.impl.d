@@ -1,0 +1,1 @@
+test/test_probdb.ml: Alcotest Array Astring_like Filename Float Fun Helpers In_channel List Mrsl Prob Probdb QCheck2 Relation String Sys

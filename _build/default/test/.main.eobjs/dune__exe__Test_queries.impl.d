@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Array Float Helpers List Mrsl Prob Probdb QCheck2 Relation

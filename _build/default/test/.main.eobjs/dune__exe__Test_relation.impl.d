@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Astring_like Filename Fun Helpers List Prob QCheck2 Relation Sys

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bayesnet Helpers List Mining Mrsl Prob Relation

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "mrsl-repro"
+    [
+      ("prob", Test_prob.suite);
+      ("relation", Test_relation.suite);
+      ("bayesnet", Test_bayesnet.suite);
+      ("mining", Test_mining.suite);
+      ("fp-growth", Test_fp_growth.suite);
+      ("mrsl-model", Test_mrsl_model.suite);
+      ("mrsl-sampling", Test_mrsl_sampling.suite);
+      ("probdb", Test_probdb.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("consistency", Test_consistency.suite);
+      ("baselines", Test_baselines.suite);
+      ("persistence", Test_persistence.suite);
+      ("queries", Test_queries.suite);
+      ("stress", Test_stress.suite);
+      ("drivers", Test_drivers.suite);
+    ]

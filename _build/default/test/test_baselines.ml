@@ -1,0 +1,244 @@
+(* Tests for the baselines (structure-learned BN, backoff DN, independent
+   product) and the Gibbs convergence diagnostics. *)
+
+open Helpers
+
+(* --- BN structure learning --- *)
+
+let chain_data n =
+  (* a0 → a1 (equal), a2 independent. *)
+  dependent_points n
+
+let test_bic_prefers_true_edge () =
+  let points = chain_data 500 in
+  let cards = [| 2; 2; 2 |] in
+  let with_parent =
+    Bayesnet.Structure_learn.bic_family_score ~cards points 1 [ 0 ]
+  in
+  let without =
+    Bayesnet.Structure_learn.bic_family_score ~cards points 1 []
+  in
+  Alcotest.(check bool) "dependent family scores higher" true
+    (with_parent > without);
+  let spurious =
+    Bayesnet.Structure_learn.bic_family_score ~cards points 2 [ 0 ]
+  in
+  let independent =
+    Bayesnet.Structure_learn.bic_family_score ~cards points 2 []
+  in
+  Alcotest.(check bool) "independent family penalized" true
+    (independent > spurious)
+
+let test_fit_recovers_dependency () =
+  let points = chain_data 500 in
+  let net, stats = Bayesnet.Structure_learn.fit ~cards:[| 2; 2; 2 |] points in
+  let topo = Bayesnet.Network.topology net in
+  (* a0–a1 must be linked (either direction); a2 isolated. *)
+  let linked a b =
+    Array.mem a (Bayesnet.Topology.parents topo b)
+    || Array.mem b (Bayesnet.Topology.parents topo a)
+  in
+  Alcotest.(check bool) "a0-a1 edge found" true (linked 0 1);
+  Alcotest.(check bool) "a2 isolated" false (linked 0 2 || linked 1 2);
+  Alcotest.(check bool) "took steps" true (stats.iterations >= 1);
+  Alcotest.(check bool) "finite score" true (Float.is_finite stats.score)
+
+let test_fit_posterior_accuracy () =
+  (* Learn a BN from samples of a known network; its posterior must be
+     close to the truth. *)
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let r = rng () in
+  let truth_net = Bayesnet.Network.generate r entry.topology in
+  let points =
+    Array.init 3000 (fun _ -> Bayesnet.Network.sample_point r truth_net)
+  in
+  let learned, _ =
+    Bayesnet.Structure_learn.fit
+      ~cards:(Bayesnet.Topology.cardinalities entry.topology)
+      points
+  in
+  let tup : Relation.Tuple.t = [| Some 0; None; None; Some 1 |] in
+  let _, want = Bayesnet.Network.posterior_joint truth_net tup in
+  let _, got = Bayesnet.Network.posterior_joint learned tup in
+  let kl = Prob.Divergence.kl want got in
+  if kl > 0.1 then Alcotest.failf "learned BN posterior KL too large: %f" kl
+
+let test_fit_respects_max_parents () =
+  let r = rng () in
+  let points =
+    Array.init 400 (fun _ -> Array.init 5 (fun _ -> Prob.Rng.int r 2))
+  in
+  let net, _ =
+    Bayesnet.Structure_learn.fit ~max_parents:1 ~cards:(Array.make 5 2) points
+  in
+  let topo = Bayesnet.Network.topology net in
+  for v = 0 to 4 do
+    Alcotest.(check bool) "parent bound" true
+      (Array.length (Bayesnet.Topology.parents topo v) <= 1)
+  done
+
+let test_fit_rejects_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Structure_learn.fit: empty data") (fun () ->
+      ignore (Bayesnet.Structure_learn.fit ~cards:[| 2 |] [||]))
+
+(* --- DN backoff --- *)
+
+let test_dn_conditional_dense_context () =
+  let dn = Baselines.Dn_backoff.fit ~cards:[| 2; 2; 2 |] (dependent_points 400) in
+  (* Context (a0=1, a2=0) appears ~100 times; conditional of a1 must be
+     sharply 1 (a1 = a0). *)
+  let d = Baselines.Dn_backoff.conditional dn [| 1; 0; 0 |] 1 in
+  Alcotest.(check bool) "dependency captured" true (Prob.Dist.prob d 1 > 0.95)
+
+let test_dn_backoff_on_sparse_context () =
+  (* Train on 8 points over 3 attributes of cardinality 2: most full
+     contexts are unseen, so queries back off to the marginal. *)
+  let points = Array.sub (dependent_points 8) 0 8 in
+  let dn = Baselines.Dn_backoff.fit ~min_count:5 ~cards:[| 2; 2; 2 |] points in
+  let _ = Baselines.Dn_backoff.conditional dn [| 1; 0; 1 |] 1 in
+  Alcotest.(check bool) "some backoff happened" true
+    (Baselines.Dn_backoff.backoff_fraction dn > 0.)
+
+let test_dn_infer_joint () =
+  let dn = Baselines.Dn_backoff.fit ~cards:[| 2; 2; 2 |] (dependent_points 400) in
+  let joint =
+    Baselines.Dn_backoff.infer_joint ~burn_in:20 ~samples:500 (rng ()) dn
+      [| Some 1; None; None |]
+  in
+  check_dist_sums_to_one "joint normalized" joint;
+  (* Marginal over a1 (first missing attribute, slowest-varying): codes 2,3
+     have a1=1. *)
+  let p_a1_1 = Prob.Dist.prob joint 2 +. Prob.Dist.prob joint 3 in
+  Alcotest.(check bool) "dependency via Gibbs" true (p_a1_1 > 0.85)
+
+let test_dn_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dn_backoff.fit: empty data")
+    (fun () -> ignore (Baselines.Dn_backoff.fit ~cards:[| 2 |] [||]));
+  let dn = Baselines.Dn_backoff.fit ~cards:[| 2 |] [| [| 0 |] |] in
+  Alcotest.check_raises "complete"
+    (Invalid_argument "Dn_backoff.infer_joint: tuple is complete") (fun () ->
+      ignore (Baselines.Dn_backoff.infer_joint (rng ()) dn [| Some 0 |]))
+
+(* --- independent product --- *)
+
+let test_independent_product_factorizes () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 400) in
+  let tup : Relation.Tuple.t = [| Some 1; None; None |] in
+  let joint = Baselines.Independent_product.infer_joint model tup in
+  let d1 = Mrsl.Infer_single.infer model tup 1 in
+  let d2 = Mrsl.Infer_single.infer model tup 2 in
+  Relation.Domain.iter [| 2; 2 |] (fun code values ->
+      check_float ~eps:1e-9 "product structure"
+        (Prob.Dist.prob d1 values.(0) *. Prob.Dist.prob d2 values.(1))
+        (Prob.Dist.prob joint code))
+
+let test_independent_product_misses_correlation () =
+  (* XOR-style dependency between the two missing attributes: the product
+     baseline cannot represent it; Gibbs can. *)
+  let r = rng () in
+  let points =
+    Array.init 600 (fun _ ->
+        let a = Prob.Rng.int r 2 and b = Prob.Rng.int r 2 in
+        [| a; b; a lxor b |])
+  in
+  let schema = Relation.Schema.of_cardinalities [ 2; 2; 2 ] in
+  let model =
+    Mrsl.Model.learn_points
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.01 }
+      schema points
+  in
+  (* Observe a2 = 0: the joint over (a0, a1) concentrates on {00, 11}. *)
+  let tup : Relation.Tuple.t = [| None; None; Some 0 |] in
+  let product = Baselines.Independent_product.infer_joint model tup in
+  let sampler = Mrsl.Gibbs.sampler model in
+  let gibbs =
+    (Mrsl.Gibbs.run ~config:{ burn_in = 50; samples = 2000 } r sampler tup).joint
+  in
+  let mass_correct d = Prob.Dist.prob d 0 +. Prob.Dist.prob d 3 in
+  Alcotest.(check bool) "gibbs recovers the XOR correlation" true
+    (mass_correct gibbs > 0.9);
+  Alcotest.(check bool) "product cannot" true (mass_correct product < 0.7)
+
+(* --- diagnostics --- *)
+
+let test_psrf_identical_chains () =
+  let chain = Array.init 100 (fun i -> float_of_int (i mod 7)) in
+  let r =
+    Mrsl.Diagnostics.potential_scale_reduction [| chain; Array.copy chain |]
+  in
+  check_float ~eps:0.05 "identical chains converge" 1.0 r
+
+let test_psrf_divergent_chains () =
+  let a = Array.make 100 0. and b = Array.make 100 1. in
+  (* Perturb to keep within-chain variance nonzero. *)
+  a.(0) <- 0.1;
+  b.(0) <- 0.9;
+  let r = Mrsl.Diagnostics.potential_scale_reduction [| a; b |] in
+  Alcotest.(check bool) "divergent chains flagged" true (r > 2.)
+
+let test_psrf_rejects () =
+  Alcotest.check_raises "one chain"
+    (Invalid_argument "Diagnostics.potential_scale_reduction: need >= 2 chains")
+    (fun () ->
+      ignore (Mrsl.Diagnostics.potential_scale_reduction [| [| 1.; 2.; 3.; 4. |] |]))
+
+let test_ess_iid_vs_correlated () =
+  let r = rng () in
+  let iid = Array.init 500 (fun _ -> Prob.Rng.float r) in
+  let sticky = Array.make 500 0. in
+  (* Strongly autocorrelated: change rarely. *)
+  let state = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      if Prob.Rng.float r < 0.02 then state := Prob.Rng.float r;
+      sticky.(i) <- !state)
+    sticky;
+  let ess_iid = Mrsl.Diagnostics.effective_sample_size iid in
+  let ess_sticky = Mrsl.Diagnostics.effective_sample_size sticky in
+  Alcotest.(check bool) "iid keeps most samples" true (ess_iid > 250.);
+  Alcotest.(check bool) "autocorrelation shrinks ESS" true
+    (ess_sticky < ess_iid /. 4.)
+
+let test_diagnose_converges_on_easy_model () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 400) in
+  let sampler = Mrsl.Gibbs.sampler model in
+  let report =
+    Mrsl.Diagnostics.diagnose ~chains:3 ~draws:300 ~burn_in:50 (rng ()) sampler
+      [| Some 0; None; None |]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "converged (R-hat %.3f)" report.psrf_max)
+    true
+    (Mrsl.Diagnostics.converged report);
+  Alcotest.(check bool) "positive ESS" true (report.ess_min >= 1.)
+
+let test_diagnose_rejects_complete () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 50) in
+  let sampler = Mrsl.Gibbs.sampler model in
+  Alcotest.check_raises "complete"
+    (Invalid_argument "Diagnostics.diagnose: tuple is complete") (fun () ->
+      ignore
+        (Mrsl.Diagnostics.diagnose (rng ()) sampler [| Some 0; Some 0; Some 0 |]))
+
+let suite =
+  [
+    ("BIC prefers true edges", `Quick, test_bic_prefers_true_edge);
+    ("hill climbing recovers dependency", `Quick, test_fit_recovers_dependency);
+    ("learned BN posterior accuracy", `Slow, test_fit_posterior_accuracy);
+    ("max_parents respected", `Quick, test_fit_respects_max_parents);
+    ("structure learning rejects empty data", `Quick, test_fit_rejects_empty);
+    ("DN conditional on dense context", `Quick, test_dn_conditional_dense_context);
+    ("DN backoff on sparse context", `Quick, test_dn_backoff_on_sparse_context);
+    ("DN joint inference", `Quick, test_dn_infer_joint);
+    ("DN rejects", `Quick, test_dn_rejects);
+    ("independent product factorizes", `Quick, test_independent_product_factorizes);
+    ("independent product misses XOR", `Quick,
+     test_independent_product_misses_correlation);
+    ("PSRF on identical chains", `Quick, test_psrf_identical_chains);
+    ("PSRF on divergent chains", `Quick, test_psrf_divergent_chains);
+    ("PSRF input validation", `Quick, test_psrf_rejects);
+    ("ESS: iid vs autocorrelated", `Quick, test_ess_iid_vs_correlated);
+    ("diagnose converges", `Quick, test_diagnose_converges_on_easy_model);
+    ("diagnose rejects complete tuples", `Quick, test_diagnose_rejects_complete);
+  ]

@@ -1,0 +1,282 @@
+(* Tests for the Bayesian-network substrate: topologies, networks (forward
+   sampling + exact posteriors), and the Table I catalog. *)
+
+open Helpers
+
+let test_chain_shape () =
+  let t = Bayesnet.Topology.chain [ 2; 2; 2 ] in
+  Alcotest.(check int) "size" 3 (Bayesnet.Topology.size t);
+  Alcotest.(check (array int)) "parents of 1" [| 0 |]
+    (Bayesnet.Topology.parents t 1);
+  Alcotest.(check (array int)) "children of 0" [| 1 |]
+    (Bayesnet.Topology.children t 0);
+  Alcotest.(check int) "depth counts nodes" 3 (Bayesnet.Topology.depth t);
+  Alcotest.(check int) "edges" 2 (Bayesnet.Topology.edge_count t)
+
+let test_independent_shape () =
+  let t = Bayesnet.Topology.independent [ 2; 3 ] in
+  Alcotest.(check int) "depth 0" 0 (Bayesnet.Topology.depth t);
+  Alcotest.(check int) "edges" 0 (Bayesnet.Topology.edge_count t)
+
+let test_crown_shape () =
+  let t = Bayesnet.Topology.crown [ 2; 2; 2; 2 ] in
+  Alcotest.(check int) "depth 2" 2 (Bayesnet.Topology.depth t);
+  Alcotest.(check (array int)) "roots have no parents" [||]
+    (Bayesnet.Topology.parents t 0);
+  Alcotest.(check int) "children have two parents" 2
+    (Array.length (Bayesnet.Topology.parents t 2))
+
+let test_layered_shape () =
+  let t = Bayesnet.Topology.layered ~layers:[ 2; 2; 1 ] [ 2; 2; 2; 2; 2 ] in
+  Alcotest.(check int) "depth = layers" 3 (Bayesnet.Topology.depth t);
+  Alcotest.(check int) "last node has parents in layer 2" 2
+    (Array.length (Bayesnet.Topology.parents t 4))
+
+let test_topology_validation () =
+  let mk parents =
+    Bayesnet.Topology.make ~names:[| "a"; "b" |] ~cards:[| 2; 2 |] ~parents
+  in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Topology.make: self-loop") (fun () ->
+      ignore (mk [| [| 0 |]; [||] |]));
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Topology.make: graph contains a cycle") (fun () ->
+      ignore (mk [| [| 1 |]; [| 0 |] |]));
+  Alcotest.check_raises "card too small"
+    (Invalid_argument "Topology.make: cardinalities must be >= 2") (fun () ->
+      ignore
+        (Bayesnet.Topology.make ~names:[| "a" |] ~cards:[| 1 |]
+           ~parents:[| [||] |]))
+
+let test_topological_order () =
+  let t = Bayesnet.Topology.chain [ 2; 2; 2; 2 ] in
+  let order = Bayesnet.Topology.topological_order t in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  for v = 0 to 3 do
+    Array.iter
+      (fun p ->
+        Alcotest.(check bool) "parents precede children" true (pos.(p) < pos.(v)))
+      (Bayesnet.Topology.parents t v)
+  done
+
+let test_topology_schema () =
+  let t = Bayesnet.Topology.chain [ 2; 3 ] in
+  let s = Bayesnet.Topology.schema t in
+  Alcotest.(check int) "arity" 2 (Relation.Schema.arity s);
+  Alcotest.(check int) "cards carried over" 3 (Relation.Schema.cardinality s 1)
+
+(* A hand-built 2-variable network: P(a0=1)=0.3; P(a1=1|a0=0)=0.2,
+   P(a1=1|a0=1)=0.9. All posterior checks below are analytic. *)
+let hand_network () =
+  let topo =
+    Bayesnet.Topology.make ~names:[| "x"; "y" |] ~cards:[| 2; 2 |]
+      ~parents:[| [||]; [| 0 |] |]
+  in
+  Bayesnet.Network.make topo
+    [|
+      [| Prob.Dist.of_weights [| 0.7; 0.3 |] |];
+      [|
+        Prob.Dist.of_weights [| 0.8; 0.2 |];
+        Prob.Dist.of_weights [| 0.1; 0.9 |];
+      |];
+    |]
+
+let test_network_validation () =
+  let topo = Bayesnet.Topology.chain [ 2; 2 ] in
+  Alcotest.check_raises "row count"
+    (Invalid_argument "Network.make: variable 1 expects 2 CPT rows") (fun () ->
+      ignore
+        (Bayesnet.Network.make topo
+           [|
+             [| Prob.Dist.uniform 2 |];
+             [| Prob.Dist.uniform 2 |];
+           |]))
+
+let test_network_prob () =
+  let net = hand_network () in
+  check_float "P(0,0)" (0.7 *. 0.8) (Bayesnet.Network.prob net [| 0; 0 |]);
+  check_float "P(1,1)" (0.3 *. 0.9) (Bayesnet.Network.prob net [| 1; 1 |]);
+  check_float "log consistency"
+    (log (0.3 *. 0.1))
+    (Bayesnet.Network.log_prob net [| 1; 0 |])
+
+let test_network_cpd () =
+  let net = hand_network () in
+  check_float "cpd row" 0.9 (Prob.Dist.prob (Bayesnet.Network.cpd net 1 [| 1 |]) 1)
+
+let test_posterior_single_analytic () =
+  let net = hand_network () in
+  (* P(x | y = 1) ∝ [0.7*0.2; 0.3*0.9]. *)
+  let post =
+    Bayesnet.Network.posterior_single net [| None; Some 1 |] 0
+  in
+  let z = (0.7 *. 0.2) +. (0.3 *. 0.9) in
+  check_float "posterior x=0" (0.7 *. 0.2 /. z) (Prob.Dist.prob post 0);
+  check_float "posterior x=1" (0.3 *. 0.9 /. z) (Prob.Dist.prob post 1)
+
+let test_posterior_joint_no_evidence () =
+  let net = hand_network () in
+  let missing, joint = Bayesnet.Network.posterior_joint net [| None; None |] in
+  Alcotest.(check (list int)) "missing attrs" [ 0; 1 ] missing;
+  (* Joint code order: x varies slowest. *)
+  check_float "P(0,0)" (0.7 *. 0.8) (Prob.Dist.prob joint 0);
+  check_float "P(0,1)" (0.7 *. 0.2) (Prob.Dist.prob joint 1);
+  check_float "P(1,0)" (0.3 *. 0.1) (Prob.Dist.prob joint 2);
+  check_float "P(1,1)" (0.3 *. 0.9) (Prob.Dist.prob joint 3)
+
+let test_posterior_rejects_complete () =
+  let net = hand_network () in
+  Alcotest.check_raises "complete tuple"
+    (Invalid_argument "Network.posterior_joint: tuple is complete") (fun () ->
+      ignore (Bayesnet.Network.posterior_joint net [| Some 0; Some 0 |]))
+
+let test_posterior_single_marginalizes () =
+  (* With two missing attributes, posterior_single must sum the other one
+     out: P(x | nothing) = prior of x. *)
+  let net = hand_network () in
+  let post = Bayesnet.Network.posterior_single net [| None; None |] 0 in
+  check_float "marginal prior" 0.3 (Prob.Dist.prob post 1)
+
+let test_forward_sampling_frequencies () =
+  let net = hand_network () in
+  let r = rng () in
+  let n = 50_000 in
+  let c00 = ref 0 and c11 = ref 0 in
+  for _ = 1 to n do
+    match Bayesnet.Network.sample_point r net with
+    | [| 0; 0 |] -> incr c00
+    | [| 1; 1 |] -> incr c11
+    | _ -> ()
+  done;
+  check_float ~eps:0.01 "freq(0,0)" (0.7 *. 0.8)
+    (float_of_int !c00 /. float_of_int n);
+  check_float ~eps:0.01 "freq(1,1)" (0.3 *. 0.9)
+    (float_of_int !c11 /. float_of_int n)
+
+let test_sample_instance () =
+  let net = hand_network () in
+  let inst = Bayesnet.Network.sample_instance (rng ()) net 25 in
+  Alcotest.(check int) "size" 25 (Relation.Instance.size inst);
+  Alcotest.(check int) "all complete" 25
+    (Array.length (Relation.Instance.complete_part inst))
+
+let test_generate_valid_cpts () =
+  let topo = Bayesnet.Topology.crown [ 3; 3; 3; 3 ] in
+  let net = Bayesnet.Network.generate (rng ()) topo in
+  (* Every CPT row of every variable must be a proper distribution. *)
+  for v = 0 to 3 do
+    let parents = Bayesnet.Topology.parents topo v in
+    let cards = Array.map (Bayesnet.Topology.cardinality topo) parents in
+    Relation.Domain.iter cards (fun _ values ->
+        let row = Bayesnet.Network.cpd net v values in
+        check_dist_sums_to_one "row normalized" row)
+  done
+
+let test_generate_deterministic () =
+  let topo = Bayesnet.Topology.chain [ 2; 2 ] in
+  let a = Bayesnet.Network.generate (Prob.Rng.create 5) topo in
+  let b = Bayesnet.Network.generate (Prob.Rng.create 5) topo in
+  check_float "same seed, same parameters"
+    (Bayesnet.Network.prob a [| 0; 1 |])
+    (Bayesnet.Network.prob b [| 0; 1 |])
+
+(* Catalog: every entry must match its Table I row. *)
+let test_catalog_matches_table1 () =
+  Alcotest.(check int) "20 networks" 20 (List.length Bayesnet.Catalog.all);
+  List.iter
+    (fun (e : Bayesnet.Catalog.entry) ->
+      Alcotest.(check int)
+        (e.id ^ " attrs")
+        e.paper_num_attrs
+        (Bayesnet.Topology.size e.topology);
+      Alcotest.(check int)
+        (e.id ^ " depth")
+        e.paper_depth
+        (Bayesnet.Topology.depth e.topology);
+      check_float (e.id ^ " dom size") e.paper_dom_size
+        (Bayesnet.Topology.domain_size e.topology);
+      (* Cardinalities match the paper's average within half a unit
+         (integer factorization constraint, documented in DESIGN.md). *)
+      let avg = Bayesnet.Topology.average_cardinality e.topology in
+      if Float.abs (avg -. e.paper_avg_card) > 0.5 then
+        Alcotest.failf "%s avg card %f vs paper %f" e.id avg e.paper_avg_card)
+    Bayesnet.Catalog.all
+
+let test_catalog_find () =
+  let e = Bayesnet.Catalog.find "bn8" in
+  Alcotest.(check string) "case insensitive" "BN8" e.id;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Bayesnet.Catalog.find "BN99"))
+
+let test_catalog_subsets () =
+  Alcotest.(check int) "model building set" 10
+    (List.length Bayesnet.Catalog.model_building_networks);
+  Alcotest.(check int) "single inference set" 14
+    (List.length Bayesnet.Catalog.single_inference_networks);
+  Alcotest.(check int) "multi inference set" 10
+    (List.length Bayesnet.Catalog.multi_inference_networks);
+  List.iter
+    (fun (e : Bayesnet.Catalog.entry) ->
+      Alcotest.(check string) (e.id ^ " crown") "crown" e.shape)
+    Bayesnet.Catalog.fig8_size_networks;
+  List.iter
+    (fun (e : Bayesnet.Catalog.entry) ->
+      Alcotest.(check string) (e.id ^ " line") "line" e.shape)
+    Bayesnet.Catalog.fig8_cardinality_networks
+
+let test_posterior_sums_to_one_random_net () =
+  let e = Bayesnet.Catalog.find "BN9" in
+  let net = Bayesnet.Network.generate (rng ()) e.topology in
+  let tup = Array.make 6 None in
+  tup.(0) <- Some 0;
+  tup.(3) <- Some 1;
+  let _, joint = Bayesnet.Network.posterior_joint net tup in
+  check_dist_sums_to_one "posterior normalized" joint
+
+(* Property: for random small networks, the posterior of one variable given
+   full evidence matches Bayes' rule computed from the joint. *)
+let prop_posterior_consistent =
+  qcheck ~count:50 "posterior consistent with joint enumeration"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let r = Prob.Rng.create seed in
+      let topo = Bayesnet.Topology.chain [ 2; 3; 2 ] in
+      let net = Bayesnet.Network.generate r topo in
+      let tup = [| Some 1; None; Some 0 |] in
+      let post = Bayesnet.Network.posterior_single net tup 1 in
+      let weights =
+        Array.init 3 (fun v -> Bayesnet.Network.prob net [| 1; v; 0 |])
+      in
+      let z = Array.fold_left ( +. ) 0. weights in
+      Array.for_all
+        (fun i -> float_close ~eps:1e-9 (weights.(i) /. z) (Prob.Dist.prob post i))
+        [| 0; 1; 2 |])
+
+let suite =
+  [
+    ("chain shape", `Quick, test_chain_shape);
+    ("independent shape", `Quick, test_independent_shape);
+    ("crown shape", `Quick, test_crown_shape);
+    ("layered shape", `Quick, test_layered_shape);
+    ("topology validation", `Quick, test_topology_validation);
+    ("topological order", `Quick, test_topological_order);
+    ("topology schema", `Quick, test_topology_schema);
+    ("network validation", `Quick, test_network_validation);
+    ("joint probability", `Quick, test_network_prob);
+    ("cpd lookup", `Quick, test_network_cpd);
+    ("posterior single (analytic)", `Quick, test_posterior_single_analytic);
+    ("posterior joint without evidence", `Quick, test_posterior_joint_no_evidence);
+    ("posterior rejects complete tuples", `Quick, test_posterior_rejects_complete);
+    ("posterior single marginalizes", `Quick, test_posterior_single_marginalizes);
+    ("forward sampling frequencies", `Slow, test_forward_sampling_frequencies);
+    ("sample instance", `Quick, test_sample_instance);
+    ("generated CPTs valid", `Quick, test_generate_valid_cpts);
+    ("generation deterministic", `Quick, test_generate_deterministic);
+    ("catalog matches Table I", `Quick, test_catalog_matches_table1);
+    ("catalog find", `Quick, test_catalog_find);
+    ("catalog experiment subsets", `Quick, test_catalog_subsets);
+    ("posterior normalized on catalog net", `Quick,
+     test_posterior_sums_to_one_random_net);
+    prop_posterior_consistent;
+  ]

@@ -1,0 +1,165 @@
+(* Smoke-scale unit tests for the experiment drivers: each artifact's
+   compute function must produce well-formed rows/series (this is the
+   bench harness's own test coverage). *)
+
+
+
+let scale = Experiments.Scale.smoke
+let finite x = Float.is_finite x
+
+let test_fig4_shapes () =
+  let rng = Prob.Rng.create 1 in
+  let vs_train = Experiments.Fig4.compute_vs_train rng scale in
+  Alcotest.(check int) "one point per train size"
+    (List.length scale.train_sizes)
+    (List.length vs_train);
+  List.iter
+    (fun (p : Experiments.Fig4.point) ->
+      Alcotest.(check bool) "positive time" true (p.build_time >= 0.);
+      Alcotest.(check bool) "nonzero model" true (p.model_size > 0.))
+    vs_train;
+  let vs_support = Experiments.Fig4.compute_vs_support rng scale in
+  Alcotest.(check int) "one point per support"
+    (List.length scale.supports)
+    (List.length vs_support);
+  (* Model size decreases (weakly) as support rises. *)
+  let sizes = List.map (fun (p : Experiments.Fig4.point) -> p.model_size) vs_support in
+  let sorted = List.sort (fun a b -> Float.compare b a) sizes in
+  Alcotest.(check bool) "model size anti-monotone in support" true
+    (sizes = sorted)
+
+let test_table2_shapes () =
+  let rng = Prob.Rng.create 2 in
+  let rows = Experiments.Table2.compute rng scale in
+  Alcotest.(check int) "14 networks" 14 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Table2.row) ->
+      Alcotest.(check int) "four methods" 4 (List.length r.per_method);
+      List.iter
+        (fun (_, (a : Experiments.Framework.accuracy)) ->
+          Alcotest.(check bool) "finite KL" true (finite a.kl);
+          Alcotest.(check bool) "top1 in [0,1]" true
+            (a.top1 >= 0. && a.top1 <= 1.))
+        r.per_method)
+    rows
+
+let test_fig5_fig6_shapes () =
+  let rng = Prob.Rng.create 3 in
+  let f5 = Experiments.Fig5.compute rng scale in
+  Alcotest.(check int) "fig5 x count" (List.length scale.train_sizes)
+    (List.length f5);
+  let f6 = Experiments.Fig6.compute rng scale in
+  Alcotest.(check int) "fig6 x count" (List.length scale.supports)
+    (List.length f6);
+  List.iter
+    (fun (p : Experiments.Fig5.point) ->
+      Alcotest.(check int) "four methods" 4 (List.length p.per_method))
+    (f5 @ f6)
+
+let test_fig8_shapes () =
+  let rng = Prob.Rng.create 4 in
+  Alcotest.(check int) "topology panel" 3
+    (List.length (Experiments.Fig8.compute_topology rng scale));
+  Alcotest.(check int) "size panel" 4
+    (List.length (Experiments.Fig8.compute_size rng scale));
+  Alcotest.(check int) "cardinality panel" 4
+    (List.length (Experiments.Fig8.compute_cardinality rng scale))
+
+let test_fig9_shapes () =
+  let rng = Prob.Rng.create 5 in
+  let points = Experiments.Fig9.compute rng scale in
+  Alcotest.(check bool) "points exist" true (points <> []);
+  List.iter
+    (fun (p : Experiments.Fig9.point) ->
+      Alcotest.(check bool) "positive batch" true (p.batch > 0);
+      Alcotest.(check bool) "time finite" true (finite p.seconds))
+    points
+
+let test_fig10_shapes () =
+  let rng = Prob.Rng.create 6 in
+  let points = Experiments.Fig10.compute rng scale in
+  List.iter
+    (fun (p : Experiments.Fig10.point) ->
+      Alcotest.(check bool) "network known" true
+        (List.mem p.network Experiments.Fig10.networks);
+      Alcotest.(check bool) "finite kl" true (finite p.kl))
+    points;
+  (* BN8 is 4 attributes: a 3-missing cell exists, 5-missing cannot. *)
+  Alcotest.(check bool) "no impossible cells" true
+    (List.for_all
+       (fun (p : Experiments.Fig10.point) ->
+         p.network <> "BN8" || p.missing < 4)
+       points)
+
+let test_fig11_shapes () =
+  let rng = Prob.Rng.create 7 in
+  let points = Experiments.Fig11.compute rng scale in
+  Alcotest.(check bool) "points exist" true (points <> []);
+  (* For every (network, workload) pair, the tuple-DAG run uses no more
+     sampled points than tuple-at-a-time. *)
+  List.iter
+    (fun (p : Experiments.Fig11.point) ->
+      if p.strategy = Mrsl.Workload.Tuple_dag then
+        match
+          List.find_opt
+            (fun (q : Experiments.Fig11.point) ->
+              q.network = p.network && q.workload = p.workload
+              && q.strategy = Mrsl.Workload.Tuple_at_a_time)
+            points
+        with
+        | Some q ->
+            Alcotest.(check bool) "DAG never samples more" true
+              (p.sampled_points <= q.sampled_points)
+        | None -> Alcotest.fail "missing baseline observation")
+    points
+
+let test_baselines_shapes () =
+  let rng = Prob.Rng.create 8 in
+  let rows = Experiments.Baselines_exp.compute rng scale in
+  Alcotest.(check int) "4 methods x 3 networks" 12 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Baselines_exp.row) ->
+      Alcotest.(check bool) "finite" true (finite r.kl && finite r.learn_seconds))
+    rows
+
+let test_missingness_shapes () =
+  let rng = Prob.Rng.create 9 in
+  let rows = Experiments.Missingness_exp.compute rng scale in
+  Alcotest.(check int) "3 mechanisms x 2 networks" 6 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Missingness_exp.row) ->
+      Alcotest.(check bool) "fraction in (0,1]" true
+        (r.complete_fraction > 0. && r.complete_fraction <= 1.);
+      Alcotest.(check bool) "scored something" true (r.tuples > 0))
+    rows
+
+let test_ablation_shapes () =
+  let rng = Prob.Rng.create 10 in
+  let caps = Experiments.Ablations.max_itemsets rng scale in
+  Alcotest.(check int) "four caps" 4 (List.length caps);
+  (* Model size grows (weakly) with the cap. *)
+  let sizes = List.map (fun (r : Experiments.Ablations.max_itemsets_row) -> r.model_size) caps in
+  Alcotest.(check bool) "monotone in cap" true
+    (List.sort Float.compare sizes = sizes);
+  let strategies = Experiments.Ablations.strategies rng scale in
+  Alcotest.(check int) "three strategies" 3 (List.length strategies);
+  let memo = Experiments.Ablations.memoization rng scale in
+  (match memo with
+  | [ off; on ] ->
+      Alcotest.(check bool) "cache on is faster" true (on.seconds <= off.seconds);
+      Alcotest.(check bool) "cache hits recorded" true (on.cache_hits > 0)
+  | _ -> Alcotest.fail "expected off/on rows")
+
+let suite =
+  [
+    ("fig4 driver", `Slow, test_fig4_shapes);
+    ("table2 driver", `Slow, test_table2_shapes);
+    ("fig5/fig6 drivers", `Slow, test_fig5_fig6_shapes);
+    ("fig8 driver", `Slow, test_fig8_shapes);
+    ("fig9 driver", `Slow, test_fig9_shapes);
+    ("fig10 driver", `Slow, test_fig10_shapes);
+    ("fig11 driver", `Slow, test_fig11_shapes);
+    ("baselines driver", `Slow, test_baselines_shapes);
+    ("missingness driver", `Slow, test_missingness_shapes);
+    ("ablations driver", `Slow, test_ablation_shapes);
+  ]

@@ -1,0 +1,187 @@
+(* Tests for the experimental framework: report rendering, scale presets,
+   and framework plumbing at smoke scale. *)
+
+open Helpers
+
+let scale = Experiments.Scale.smoke
+
+let test_report_render () =
+  let out =
+    Experiments.Report.render ~title:"T" ~header:[ "a"; "b" ]
+      [ [ Experiments.Report.S "x"; Experiments.Report.I 3 ] ]
+  in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0 && String.sub out 0 1 = "T");
+  Alcotest.(check bool) "contains row" true
+    (Astring_like.contains out "x")
+
+and test_report_width_mismatch () =
+  Alcotest.check_raises "width"
+    (Invalid_argument "Report.render: row width does not match header")
+    (fun () ->
+      ignore
+        (Experiments.Report.render ~title:"T" ~header:[ "a"; "b" ]
+           [ [ Experiments.Report.I 3 ] ]))
+
+let test_report_series () =
+  let out =
+    Experiments.Report.render_series ~title:"S" ~x_label:"x"
+      ~series:[ "s1"; "s2" ]
+      [ (1., [ 0.5; 0.25 ]) ]
+  in
+  Alcotest.(check bool) "contains values" true
+    (Astring_like.contains out "0.5000" && Astring_like.contains out "0.2500")
+
+let test_scale_presets () =
+  Alcotest.(check string) "smoke" "smoke" Experiments.Scale.smoke.name;
+  Alcotest.(check string) "default" "default" Experiments.Scale.default.name;
+  Alcotest.(check string) "full" "full" Experiments.Scale.full.name;
+  (* The full preset must reproduce the paper's headline parameters. *)
+  Alcotest.(check int) "paper max train" 100_000
+    (List.fold_left max 0 Experiments.Scale.full.train_sizes);
+  Alcotest.(check bool) "paper min support" true
+    (List.mem 0.001 Experiments.Scale.full.supports);
+  Alcotest.(check int) "paper workload samples" 500
+    Experiments.Scale.full.workload_samples;
+  Alcotest.(check int) "paper instances" 3 Experiments.Scale.full.instances;
+  Alcotest.(check int) "paper splits" 3 Experiments.Scale.full.splits
+
+let test_framework_prepare () =
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let reps = Experiments.Framework.prepare (rng ()) scale entry ~train_size:200 in
+  Alcotest.(check int) "instances × splits" (scale.instances * scale.splits)
+    (List.length reps);
+  List.iter
+    (fun (p : Experiments.Framework.prepared) ->
+      Alcotest.(check bool) "train close to requested" true
+        (abs (Relation.Instance.size p.train - 200) <= 3);
+      Alcotest.(check bool) "test points exist" true
+        (Array.length p.test_points > 0))
+    reps
+
+let test_framework_learn_and_eval () =
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let prepared =
+    List.hd (Experiments.Framework.prepare (rng ()) scale entry ~train_size:800)
+  in
+  let model, seconds =
+    Experiments.Framework.learn_timed prepared ~support:0.01
+  in
+  Alcotest.(check bool) "learning takes time" true (seconds >= 0.);
+  Alcotest.(check bool) "model nonempty" true (Mrsl.Model.size model > 4);
+  let accs =
+    Experiments.Framework.eval_single (rng ()) prepared model
+      ~methods:Mrsl.Voting.all_methods ~max_tuples:20
+  in
+  Alcotest.(check int) "four methods" 4 (List.length accs);
+  List.iter
+    (fun (_, (a : Experiments.Framework.accuracy)) ->
+      Alcotest.(check bool) "kl finite" true (Float.is_finite a.kl);
+      Alcotest.(check bool) "top1 in range" true (a.top1 >= 0. && a.top1 <= 1.);
+      Alcotest.(check bool) "counted tuples" true (a.count > 0))
+    accs
+
+let test_framework_merge () =
+  let a = { Experiments.Framework.kl = 0.1; top1 = 1.0; count = 10 } in
+  let b = { Experiments.Framework.kl = 0.3; top1 = 0.5; count = 30 } in
+  let m = Experiments.Framework.merge [ a; b ] in
+  check_float "pooled kl" 0.25 m.kl;
+  check_float "pooled top1" 0.625 m.top1;
+  Alcotest.(check int) "pooled count" 40 m.count;
+  let empty = Experiments.Framework.merge [] in
+  Alcotest.(check int) "empty merge" 0 empty.count
+
+let test_framework_eval_joint () =
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let prepared =
+    List.hd (Experiments.Framework.prepare (rng ()) scale entry ~train_size:800)
+  in
+  let model, _ = Experiments.Framework.learn_timed prepared ~support:0.01 in
+  let acc =
+    Experiments.Framework.eval_joint (rng ()) prepared model ~missing:2
+      ~samples:200 ~burn_in:20 ~max_tuples:5
+  in
+  Alcotest.(check bool) "finite" true (Float.is_finite acc.kl);
+  Alcotest.(check int) "five tuples" 5 acc.count
+
+let test_framework_workload () =
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let prepared =
+    List.hd (Experiments.Framework.prepare (rng ()) scale entry ~train_size:400)
+  in
+  let workload =
+    Experiments.Framework.make_workload (rng ()) prepared ~size:30
+  in
+  Alcotest.(check int) "requested size" 30 (List.length workload);
+  (* All distinct. *)
+  let dag = Mrsl.Tuple_dag.build workload in
+  Alcotest.(check int) "all distinct" 30 (Mrsl.Tuple_dag.node_count dag);
+  let model, _ = Experiments.Framework.learn_timed prepared ~support:0.02 in
+  let stats =
+    Experiments.Framework.workload_stats (rng ()) model
+      ~strategy:Mrsl.Workload.Tuple_dag ~samples:50 ~burn_in:10 workload
+  in
+  Alcotest.(check bool) "sweeps counted" true (stats.sweeps > 0)
+
+let test_table1_rows () =
+  let rows = Experiments.Table1.compute () in
+  Alcotest.(check int) "20 rows" 20 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Table1.row) ->
+      Alcotest.(check int) (r.id ^ " attrs match") r.paper_num_attrs r.num_attrs;
+      Alcotest.(check int) (r.id ^ " depth match") r.paper_depth r.depth)
+    rows;
+  let rendered = Experiments.Table1.render () in
+  Alcotest.(check bool) "rendered contains BN20" true
+    (Astring_like.contains rendered "BN20")
+
+let suite =
+  [
+    ("report render", `Quick, test_report_render);
+    ("report width mismatch", `Quick, test_report_width_mismatch);
+    ("report series", `Quick, test_report_series);
+    ("scale presets", `Quick, test_scale_presets);
+    ("framework prepare", `Quick, test_framework_prepare);
+    ("framework learn + eval_single", `Quick, test_framework_learn_and_eval);
+    ("framework merge", `Quick, test_framework_merge);
+    ("framework eval_joint", `Quick, test_framework_eval_joint);
+    ("framework workload", `Quick, test_framework_workload);
+    ("table1 rows", `Quick, test_table1_rows);
+  ]
+
+let test_report_percentage_cells () =
+  let out =
+    Experiments.Report.render ~title:"P" ~header:[ "v" ]
+      [ [ Experiments.Report.P 0.255 ]; [ Experiments.Report.P 1.0 ] ]
+  in
+  Alcotest.(check bool) "renders percentages" true
+    (Astring_like.contains out "25.5%" && Astring_like.contains out "100.0%")
+
+let test_report_tiny_floats_scientific () =
+  let out =
+    Experiments.Report.render ~title:"F" ~header:[ "v" ]
+      [ [ Experiments.Report.F 1e-7 ] ]
+  in
+  Alcotest.(check bool) "scientific for tiny magnitudes" true
+    (Astring_like.contains out "1.00e-07")
+
+let test_scale_env_selection () =
+  (* current () must fall back to default on unknown values. *)
+  let saved = Sys.getenv_opt "MRSL_SCALE" in
+  Unix.putenv "MRSL_SCALE" "bogus-value";
+  let s = Experiments.Scale.current () in
+  Alcotest.(check string) "fallback" "default" s.name;
+  Unix.putenv "MRSL_SCALE" "smoke";
+  Alcotest.(check string) "smoke selected" "smoke"
+    (Experiments.Scale.current ()).name;
+  (match saved with
+  | Some v -> Unix.putenv "MRSL_SCALE" v
+  | None -> Unix.putenv "MRSL_SCALE" "default")
+
+let suite =
+  suite
+  @ [
+      ("report percentage cells", `Quick, test_report_percentage_cells);
+      ("report tiny floats", `Quick, test_report_tiny_floats_scientific);
+      ("scale env selection", `Quick, test_scale_env_selection);
+    ]

@@ -1,0 +1,437 @@
+(* Tests for Meta_rule, Lattice, Voting, Model (Algorithm 1), and
+   Infer_single (Algorithm 2), including the paper's worked examples. *)
+
+open Helpers
+
+let iset = Mining.Itemset.of_list
+
+let mk_rule body head_attr head_value confidence body_support :
+    Mining.Assoc_rule.t =
+  {
+    body;
+    head_attr;
+    head_value;
+    confidence;
+    body_support;
+    rule_support = confidence *. body_support;
+  }
+
+(* Meta_rule *)
+
+let test_meta_rule_paper_cpd () =
+  (* Section II: meta-rule m = {r1, r2, r3} with body {edu = HS}, head age,
+     estimating P(age|edu=HS) = [0.06/0.41; 0.29/0.41; 0.06/0.41]
+     = [0.15; 0.70; 0.15] (after rounding; Fig 2). *)
+  let body = iset [ (1, 0) ] in
+  let m =
+    Mrsl.Meta_rule.of_rules ~head_card:3
+      [
+        mk_rule body 0 0 (0.06 /. 0.41) 0.41;
+        mk_rule body 0 1 (0.29 /. 0.41) 0.41;
+        mk_rule body 0 2 (0.06 /. 0.41) 0.41;
+      ]
+  in
+  check_float ~eps:1e-6 "P(20|HS)" (0.06 /. 0.41) (Prob.Dist.prob m.cpd 0);
+  check_float ~eps:1e-6 "P(30|HS)" (0.29 /. 0.41) (Prob.Dist.prob m.cpd 1);
+  check_float "weight is body support" 0.41 m.weight
+
+let test_meta_rule_smooths_missing_values () =
+  (* Only one head value accounted for at confidence 0.6: the remaining
+     0.4 is distributed equally, per Section III. *)
+  let body = iset [ (1, 0) ] in
+  let m = Mrsl.Meta_rule.of_rules ~head_card:2 [ mk_rule body 0 0 0.6 0.5 ] in
+  check_float ~eps:1e-6 "observed value" 0.8 (Prob.Dist.prob m.cpd 0);
+  check_float ~eps:1e-6 "unobserved value" 0.2 (Prob.Dist.prob m.cpd 1);
+  check_dist_positive "positive" m.cpd
+
+let test_meta_rule_rejects () =
+  let body = iset [ (1, 0) ] in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Meta_rule.of_rules: empty rule list") (fun () ->
+      ignore (Mrsl.Meta_rule.of_rules ~head_card:2 []));
+  Alcotest.check_raises "different bodies"
+    (Invalid_argument "Meta_rule.of_rules: bodies differ") (fun () ->
+      ignore
+        (Mrsl.Meta_rule.of_rules ~head_card:2
+           [ mk_rule body 0 0 0.5 0.5; mk_rule (iset [ (2, 0) ]) 0 1 0.5 0.5 ]));
+  Alcotest.check_raises "duplicate head value"
+    (Invalid_argument "Meta_rule.of_rules: duplicate head value") (fun () ->
+      ignore
+        (Mrsl.Meta_rule.of_rules ~head_card:2
+           [ mk_rule body 0 0 0.5 0.5; mk_rule body 0 0 0.3 0.5 ]));
+  Alcotest.check_raises "head in body"
+    (Invalid_argument "Meta_rule.make: head attribute appears in the body")
+    (fun () ->
+      ignore
+        (Mrsl.Meta_rule.make ~body:(iset [ (0, 1) ]) ~head_attr:0 ~weight:0.5
+           ~raw_cpd:[| 0.5; 0.5 |] ()))
+
+let test_meta_rule_subsumption () =
+  let m1 =
+    Mrsl.Meta_rule.make ~body:(iset [ (1, 0) ]) ~head_attr:0 ~weight:0.5
+      ~raw_cpd:[| 0.5; 0.5 |] ()
+  in
+  let m2 =
+    Mrsl.Meta_rule.make ~body:(iset [ (1, 0); (2, 1) ]) ~head_attr:0
+      ~weight:0.3 ~raw_cpd:[| 0.5; 0.5 |] ()
+  in
+  Alcotest.(check bool) "m1 subsumes m2" true (Mrsl.Meta_rule.subsumes m1 m2);
+  Alcotest.(check bool) "m2 does not subsume m1" false
+    (Mrsl.Meta_rule.subsumes m2 m1);
+  Alcotest.(check bool) "no self subsumption" false
+    (Mrsl.Meta_rule.subsumes m1 m1);
+  Alcotest.(check int) "specificity" 2 (Mrsl.Meta_rule.specificity m2)
+
+let test_meta_rule_matches () =
+  let m =
+    Mrsl.Meta_rule.make ~body:(iset [ (1, 0) ]) ~head_attr:0 ~weight:0.5
+      ~raw_cpd:[| 0.5; 0.5 |] ()
+  in
+  Alcotest.(check bool) "matches" true
+    (Mrsl.Meta_rule.matches m [| None; Some 0; Some 1 |]);
+  Alcotest.(check bool) "wrong value" false
+    (Mrsl.Meta_rule.matches m [| None; Some 1; Some 1 |]);
+  Alcotest.(check bool) "missing body attr" false
+    (Mrsl.Meta_rule.matches m [| None; None; Some 1 |])
+
+(* Lattice *)
+
+let root2 attr =
+  Mrsl.Meta_rule.make ~body:Mining.Itemset.empty ~head_attr:attr ~weight:1.0
+    ~raw_cpd:[| 0.5; 0.5 |] ()
+
+let mk_meta body weight =
+  Mrsl.Meta_rule.make ~body ~head_attr:0 ~weight ~raw_cpd:[| 0.7; 0.3 |] ()
+
+let sample_lattice () =
+  Mrsl.Lattice.create ~head_attr:0 ~head_card:2 ~root:(root2 0)
+    [
+      mk_meta (iset [ (1, 0) ]) 0.5;
+      mk_meta (iset [ (2, 1) ]) 0.4;
+      mk_meta (iset [ (1, 0); (2, 1) ]) 0.2;
+      mk_meta (iset [ (1, 1) ]) 0.5;
+    ]
+
+let test_lattice_size_and_find () =
+  let l = sample_lattice () in
+  Alcotest.(check int) "size includes root" 5 (Mrsl.Lattice.size l);
+  Alcotest.(check int) "max body size" 2 (Mrsl.Lattice.max_body_size l);
+  Alcotest.(check bool) "find" true
+    (Mrsl.Lattice.find l (iset [ (1, 0) ]) <> None);
+  Alcotest.(check bool) "find absent" true
+    (Mrsl.Lattice.find l (iset [ (2, 0) ]) = None)
+
+let test_lattice_matching () =
+  let l = sample_lattice () in
+  (* Tuple with a1=0, a2=1 known: matches root, {a1=0}, {a2=1}, both. *)
+  let matches = Mrsl.Lattice.matching l [| None; Some 0; Some 1 |] in
+  Alcotest.(check int) "all matches" 4 (List.length matches);
+  (* Tuple with only a1=1: root and {a1=1}. *)
+  let matches2 = Mrsl.Lattice.matching l [| None; Some 1; None |] in
+  Alcotest.(check int) "fewer matches" 2 (List.length matches2);
+  (* Nothing known: root only. *)
+  let matches3 = Mrsl.Lattice.matching l [| None; None; None |] in
+  Alcotest.(check int) "root always matches" 1 (List.length matches3)
+
+let test_lattice_most_specific () =
+  let l = sample_lattice () in
+  let matches = Mrsl.Lattice.matching l [| None; Some 0; Some 1 |] in
+  let best = Mrsl.Lattice.most_specific matches in
+  Alcotest.(check int) "single most specific" 1 (List.length best);
+  Alcotest.(check int) "it is the 2-item body" 2
+    (Mrsl.Meta_rule.specificity (List.hd best))
+
+let test_lattice_most_specific_incomparable () =
+  let l = sample_lattice () in
+  (* Remove the deep rule from play by matching a tuple where only the two
+     1-item bodies apply: both are maximal. *)
+  let matches = Mrsl.Lattice.matching l [| None; Some 0; None |] in
+  let best = Mrsl.Lattice.most_specific matches in
+  Alcotest.(check int) "one maximal" 1 (List.length best)
+
+let test_lattice_cover_edges () =
+  let l = sample_lattice () in
+  let edges = Mrsl.Lattice.cover_edges l in
+  (* Root covers the three 1-item bodies; the two compatible 1-item bodies
+     cover the 2-item body: 3 + 2 = 5 cover edges. The root must NOT have a
+     direct edge to the 2-item body (transitively reduced). *)
+  Alcotest.(check int) "edge count" 5 (List.length edges);
+  let root_to_deep =
+    List.exists
+      (fun ((p : Mrsl.Meta_rule.t), (c : Mrsl.Meta_rule.t)) ->
+        Mining.Itemset.is_empty p.body && Mrsl.Meta_rule.specificity c = 2)
+      edges
+  in
+  Alcotest.(check bool) "no transitive edge" false root_to_deep
+
+let test_lattice_rejects () =
+  Alcotest.check_raises "root with body"
+    (Invalid_argument "Lattice.create: root body must be empty") (fun () ->
+      ignore
+        (Mrsl.Lattice.create ~head_attr:0 ~head_card:2
+           ~root:(mk_meta (iset [ (1, 0) ]) 0.5)
+           []));
+  Alcotest.check_raises "duplicate body"
+    (Invalid_argument "Lattice.create: duplicate body") (fun () ->
+      ignore
+        (Mrsl.Lattice.create ~head_attr:0 ~head_card:2 ~root:(root2 0)
+           [ mk_meta (iset [ (1, 0) ]) 0.5; mk_meta (iset [ (1, 0) ]) 0.4 ]))
+
+(* Voting *)
+
+let test_voting_names () =
+  Alcotest.(check string) "name" "best averaged"
+    (Mrsl.Voting.method_name Mrsl.Voting.best_averaged);
+  Alcotest.(check bool) "parse dashes" true
+    (Mrsl.Voting.method_of_string "Best-Weighted"
+    = Some Mrsl.Voting.best_weighted);
+  Alcotest.(check bool) "parse underscores" true
+    (Mrsl.Voting.method_of_string "all_averaged"
+    = Some Mrsl.Voting.all_averaged);
+  Alcotest.(check bool) "reject junk" true
+    (Mrsl.Voting.method_of_string "bogus" = None);
+  Alcotest.(check int) "four methods" 4 (List.length Mrsl.Voting.all_methods)
+
+let test_voting_combine () =
+  let a =
+    Mrsl.Meta_rule.make ~body:Mining.Itemset.empty ~head_attr:0 ~weight:1.0
+      ~raw_cpd:[| 1.; 0. |] ()
+  in
+  let b =
+    Mrsl.Meta_rule.make ~body:(iset [ (1, 0) ]) ~head_attr:0 ~weight:0.25
+      ~raw_cpd:[| 0.; 1. |] ()
+  in
+  let avg = Mrsl.Voting.combine Mrsl.Voting.Averaged [ a; b ] in
+  check_float ~eps:1e-4 "averaged" 0.5 (Prob.Dist.prob avg 0);
+  let wavg = Mrsl.Voting.combine Mrsl.Voting.Weighted [ a; b ] in
+  check_float ~eps:1e-4 "weighted" 0.8 (Prob.Dist.prob wavg 0)
+
+(* Model learning (Algorithm 1) *)
+
+let test_model_learn_dependent_data () =
+  let points = dependent_points 400 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  Alcotest.(check int) "three lattices" 3
+    (Array.length (Mrsl.Model.lattices model));
+  (* Dependency a1 = a0 must be captured: the lattice for a1 has a meta-rule
+     with body {a0 = 0} predicting a1 = 0 with near-certainty. *)
+  let l1 = Mrsl.Model.lattice model 1 in
+  match Mrsl.Lattice.find l1 (iset [ (0, 0) ]) with
+  | None -> Alcotest.fail "missing meta-rule for a0=0"
+  | Some m ->
+      Alcotest.(check bool) "dependency captured" true
+        (Prob.Dist.prob m.cpd 0 > 0.99)
+
+let test_model_root_always_present () =
+  let points = dependent_points 50 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  Array.iter
+    (fun l ->
+      let root = Mrsl.Lattice.root l in
+      check_float "root weight" 1.0 root.weight;
+      check_dist_positive "root positive" root.cpd)
+    (Mrsl.Model.lattices model)
+
+let test_model_root_matches_marginals () =
+  let points = dependent_points 400 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  let root = Mrsl.Lattice.root (Mrsl.Model.lattice model 0) in
+  (* a0 alternates 0/1 evenly. *)
+  check_float ~eps:1e-3 "marginal" 0.5 (Prob.Dist.prob root.cpd 0)
+
+let test_model_size_decreases_with_threshold () =
+  let points = dependent_points 400 in
+  let learn th =
+    Mrsl.Model.learn_points
+      ~params:{ Mrsl.Model.default_params with support_threshold = th }
+      dependent_schema points
+  in
+  Alcotest.(check bool) "monotone" true
+    (Mrsl.Model.size (learn 0.4) <= Mrsl.Model.size (learn 0.01))
+
+let test_model_learn_from_instance_uses_complete_part () =
+  (* Incomplete tuples must not contribute to supports. *)
+  let tuples =
+    List.init 100 (fun i ->
+        if i < 50 then Relation.Tuple.of_point [| 0; 0; 0 |]
+        else [| Some 1; None; Some 1 |])
+  in
+  let inst = Relation.Instance.make dependent_schema tuples in
+  let model = Mrsl.Model.learn inst in
+  let root = Mrsl.Lattice.root (Mrsl.Model.lattice model 0) in
+  (* All complete points have a0 = 0. *)
+  Alcotest.(check bool) "only complete part counted" true
+    (Prob.Dist.prob root.cpd 0 > 0.99)
+
+let test_model_rejects_bad_params () =
+  Alcotest.check_raises "threshold"
+    (Invalid_argument "Model.learn: support_threshold must be in [0, 1]")
+    (fun () ->
+      ignore
+        (Mrsl.Model.learn_points
+           ~params:{ Mrsl.Model.default_params with support_threshold = 2. }
+           dependent_schema (dependent_points 10)));
+  Alcotest.check_raises "floor"
+    (Invalid_argument "Model.learn: smoothing_floor must be in (0, 0.5)")
+    (fun () ->
+      ignore
+        (Mrsl.Model.learn_points
+           ~params:{ Mrsl.Model.default_params with smoothing_floor = 0.9 }
+           dependent_schema (dependent_points 10)))
+
+let test_model_empty_training () =
+  (* No points at all: roots fall back to uniform, no other meta-rules. *)
+  let model = Mrsl.Model.learn_points dependent_schema [||] in
+  Alcotest.(check int) "only roots" 3 (Mrsl.Model.size model);
+  let root = Mrsl.Lattice.root (Mrsl.Model.lattice model 2) in
+  check_float "uniform root" 0.5 (Prob.Dist.prob root.cpd 0)
+
+(* Single-attribute inference (Algorithm 2) *)
+
+let test_infer_single_learns_dependency () =
+  let points = dependent_points 400 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  let d =
+    Mrsl.Infer_single.infer ~method_:Mrsl.Voting.best_averaged model
+      [| Some 1; None; Some 0 |] 1
+  in
+  Alcotest.(check int) "predicts a1 = a0" 1 (Prob.Dist.mode d);
+  Alcotest.(check bool) "confident" true (Prob.Dist.prob d 1 > 0.9)
+
+let test_infer_single_no_evidence_gives_marginal () =
+  let points = dependent_points 400 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  let d = Mrsl.Infer_single.infer model [| None; None; None |] 0 in
+  check_float ~eps:1e-3 "marginal" 0.5 (Prob.Dist.prob d 0)
+
+let test_infer_single_rejects () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 10) in
+  Alcotest.check_raises "not missing"
+    (Invalid_argument "Infer_single: attribute is not missing in the tuple")
+    (fun () ->
+      ignore (Mrsl.Infer_single.infer model [| Some 0; Some 0; Some 0 |] 0));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Infer_single: tuple arity does not match model schema")
+    (fun () -> ignore (Mrsl.Infer_single.infer model [| None |] 0))
+
+let test_infer_single_voters () =
+  let points = dependent_points 400 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  let tup : Relation.Tuple.t = [| Some 0; None; Some 1 |] in
+  let all = Mrsl.Infer_single.voters ~method_:Mrsl.Voting.all_averaged model tup 1 in
+  let best =
+    Mrsl.Infer_single.voters ~method_:Mrsl.Voting.best_averaged model tup 1
+  in
+  Alcotest.(check bool) "best is a subset" true
+    (List.length best <= List.length all);
+  Alcotest.(check bool) "all includes root" true
+    (List.exists
+       (fun (m : Mrsl.Meta_rule.t) -> Mining.Itemset.is_empty m.body)
+       all)
+
+let test_infer_all_missing () =
+  let points = dependent_points 400 in
+  let model = Mrsl.Model.learn_points dependent_schema points in
+  let ests = Mrsl.Infer_single.infer_all_missing model [| Some 0; None; None |] in
+  Alcotest.(check (list int)) "covers missing attrs" [ 1; 2 ]
+    (List.map fst ests)
+
+let test_voting_methods_differ_on_example () =
+  (* Section I-B: for tuple t1 of Fig 1, all-averaged and best-weighted give
+     different CPDs. We verify the four methods all produce valid, not
+     necessarily equal, estimates on the Fig 1 data. *)
+  let r = fig1_relation () in
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.01 }
+      r
+  in
+  let tup : Relation.Tuple.t = [| None; Some 0; Some 0; Some 1 |] in
+  List.iter
+    (fun m ->
+      let d = Mrsl.Infer_single.infer ~method_:m model tup 0 in
+      check_dist_positive (Mrsl.Voting.method_name m) d;
+      check_dist_sums_to_one (Mrsl.Voting.method_name m) d)
+    Mrsl.Voting.all_methods
+
+(* Properties *)
+
+let prop_inference_always_valid =
+  qcheck ~count:80 "inference yields positive normalized CPDs"
+    QCheck2.Gen.(tup2 (int_range 0 1000) (int_range 0 2))
+    (fun (seed, attr) ->
+      let r = Prob.Rng.create seed in
+      let points =
+        Array.init 60 (fun _ ->
+            Array.init 3 (fun _ -> Prob.Rng.int r 2))
+      in
+      let model =
+        Mrsl.Model.learn_points
+          ~params:{ Mrsl.Model.default_params with support_threshold = 0.05 }
+          dependent_schema points
+      in
+      let tup = Array.init 3 (fun i -> if i = attr then None else Some 0) in
+      List.for_all
+        (fun m ->
+          let d = Mrsl.Infer_single.infer ~method_:m model tup attr in
+          let arr = Prob.Dist.to_array d in
+          Array.for_all (fun p -> p > 0.) arr
+          && float_close ~eps:1e-9 1.0 (Array.fold_left ( +. ) 0. arr))
+        Mrsl.Voting.all_methods)
+
+let prop_best_voters_are_maximal =
+  qcheck ~count:80 "best voters subsume no other match"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let r = Prob.Rng.create seed in
+      let points =
+        Array.init 80 (fun _ -> Array.init 3 (fun _ -> Prob.Rng.int r 2))
+      in
+      let model =
+        Mrsl.Model.learn_points
+          ~params:{ Mrsl.Model.default_params with support_threshold = 0.05 }
+          dependent_schema points
+      in
+      let tup : Relation.Tuple.t = [| None; Some 0; Some 1 |] in
+      let all = Mrsl.Infer_single.voters ~method_:Mrsl.Voting.all_averaged model tup 0 in
+      let best =
+        Mrsl.Infer_single.voters ~method_:Mrsl.Voting.best_averaged model tup 0
+      in
+      List.for_all
+        (fun b -> not (List.exists (fun o -> Mrsl.Meta_rule.subsumes b o) all))
+        best)
+
+let suite =
+  [
+    ("meta-rule CPD from paper example", `Quick, test_meta_rule_paper_cpd);
+    ("meta-rule smoothing", `Quick, test_meta_rule_smooths_missing_values);
+    ("meta-rule rejects", `Quick, test_meta_rule_rejects);
+    ("meta-rule subsumption (Def 2.7)", `Quick, test_meta_rule_subsumption);
+    ("meta-rule matching", `Quick, test_meta_rule_matches);
+    ("lattice size/find", `Quick, test_lattice_size_and_find);
+    ("lattice matching", `Quick, test_lattice_matching);
+    ("lattice most specific", `Quick, test_lattice_most_specific);
+    ("lattice most specific incomparable", `Quick,
+     test_lattice_most_specific_incomparable);
+    ("lattice cover edges", `Quick, test_lattice_cover_edges);
+    ("lattice rejects", `Quick, test_lattice_rejects);
+    ("voting names", `Quick, test_voting_names);
+    ("voting combine", `Quick, test_voting_combine);
+    ("model learns dependency", `Quick, test_model_learn_dependent_data);
+    ("model roots present", `Quick, test_model_root_always_present);
+    ("model root marginals", `Quick, test_model_root_matches_marginals);
+    ("model size vs threshold", `Quick, test_model_size_decreases_with_threshold);
+    ("model uses complete part only", `Quick,
+     test_model_learn_from_instance_uses_complete_part);
+    ("model rejects bad params", `Quick, test_model_rejects_bad_params);
+    ("model from empty training", `Quick, test_model_empty_training);
+    ("inference learns dependency", `Quick, test_infer_single_learns_dependency);
+    ("inference without evidence", `Quick,
+     test_infer_single_no_evidence_gives_marginal);
+    ("inference rejects", `Quick, test_infer_single_rejects);
+    ("inference voters", `Quick, test_infer_single_voters);
+    ("inference over all missing attrs", `Quick, test_infer_all_missing);
+    ("voting methods on Fig 1 data", `Quick, test_voting_methods_differ_on_example);
+    prop_inference_always_valid;
+    prop_best_voters_are_maximal;
+  ]

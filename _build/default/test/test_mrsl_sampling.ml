@@ -1,0 +1,471 @@
+(* Tests for Gibbs sampling (Section V-A), the tuple DAG (Section V-B), and
+   the workload strategies (Algorithm 3). *)
+
+open Helpers
+
+(* A model over 3 binary attributes with a1 = a0 deterministic-ish and a2
+   independent, learned from enough data to be sharp. *)
+let trained_model () =
+  Mrsl.Model.learn_points
+    ~params:{ Mrsl.Model.default_params with support_threshold = 0.01 }
+    dependent_schema (dependent_points 400)
+
+let test_sampler_conditional_matches_infer () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let point = [| 1; 0; 1 |] in
+  let via_sampler = Mrsl.Gibbs.conditional s point 1 in
+  let via_infer =
+    Mrsl.Infer_single.infer model [| Some 1; None; Some 1 |] 1
+  in
+  check_float "same estimate" (Prob.Dist.prob via_infer 0)
+    (Prob.Dist.prob via_sampler 0)
+
+let test_sampler_memo_hits () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let point = [| 1; 0; 1 |] in
+  ignore (Mrsl.Gibbs.conditional s point 1);
+  ignore (Mrsl.Gibbs.conditional s point 1);
+  ignore (Mrsl.Gibbs.conditional s point 1);
+  let hits, misses = Mrsl.Gibbs.cache_stats s in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "two hits" 2 hits
+
+let test_sampler_memo_distinguishes_states () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  ignore (Mrsl.Gibbs.conditional s [| 1; 0; 1 |] 1);
+  ignore (Mrsl.Gibbs.conditional s [| 0; 0; 1 |] 1);
+  ignore (Mrsl.Gibbs.conditional s [| 1; 0; 1 |] 2);
+  let _, misses = Mrsl.Gibbs.cache_stats s in
+  Alcotest.(check int) "three distinct keys" 3 misses
+
+let test_conditional_ignores_own_slot () =
+  (* The memo key zeroes the resampled attribute, so the current value in
+     that slot must not change the result. *)
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let a = Mrsl.Gibbs.conditional s [| 1; 0; 1 |] 1 in
+  let b = Mrsl.Gibbs.conditional s [| 1; 1; 1 |] 1 in
+  check_float "slot-independent" (Prob.Dist.prob a 0) (Prob.Dist.prob b 0)
+
+let test_chain_keeps_evidence_fixed () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let r = rng () in
+  let c = Mrsl.Gibbs.chain r s [| Some 1; None; None |] in
+  for _ = 1 to 50 do
+    let point = Mrsl.Gibbs.sweep r c in
+    Alcotest.(check int) "evidence fixed" 1 point.(0);
+    Array.iter
+      (fun v ->
+        if v < 0 || v > 1 then Alcotest.failf "value out of range: %d" v)
+      point
+  done
+
+let test_chain_rejects_complete () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  Alcotest.check_raises "complete"
+    (Invalid_argument "Gibbs.chain: tuple is complete") (fun () ->
+      ignore (Mrsl.Gibbs.chain (rng ()) s [| Some 0; Some 0; Some 0 |]))
+
+let test_estimate_of_points () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let tup : Relation.Tuple.t = [| Some 0; None; None |] in
+  (* 3 of 4 points at (a1=0, a2=0), 1 at (a1=1, a2=1). *)
+  let points = [ [| 0; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 1; 1 |] ] in
+  let est = Mrsl.Gibbs.estimate_of_points s tup points in
+  Alcotest.(check (list int)) "missing attrs" [ 1; 2 ] est.missing;
+  Alcotest.(check int) "samples used" 4 est.samples_used;
+  check_float ~eps:1e-3 "cell (0,0)" 0.75 (Prob.Dist.prob est.joint 0);
+  check_float ~eps:1e-3 "cell (1,1)" 0.25 (Prob.Dist.prob est.joint 3);
+  check_dist_positive "smoothed positive" est.joint
+
+let test_estimate_marginal () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let tup : Relation.Tuple.t = [| Some 0; None; None |] in
+  let points = [ [| 0; 0; 0 |]; [| 0; 0; 1 |]; [| 0; 1; 1 |]; [| 0; 1; 1 |] ] in
+  let est = Mrsl.Gibbs.estimate_of_points s tup points in
+  let m1 = Mrsl.Gibbs.marginal est 1 in
+  check_float ~eps:1e-3 "marginal a1=0" 0.5 (Prob.Dist.prob m1 0);
+  let m2 = Mrsl.Gibbs.marginal est 2 in
+  check_float ~eps:1e-3 "marginal a2=1" 0.75 (Prob.Dist.prob m2 1);
+  Alcotest.check_raises "not missing"
+    (Invalid_argument "Gibbs.marginal: attribute not missing in estimate")
+    (fun () -> ignore (Mrsl.Gibbs.marginal est 0))
+
+let test_gibbs_recovers_dependency () =
+  (* With a0 = 1 observed, the sampler must put almost all mass on a1 = 1,
+     and close to half on each value of the independent a2. *)
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let est =
+    Mrsl.Gibbs.run
+      ~config:{ burn_in = 50; samples = 2000 }
+      (rng ()) s
+      [| Some 1; None; None |]
+  in
+  let m1 = Mrsl.Gibbs.marginal est 1 in
+  Alcotest.(check bool) "dependency recovered" true (Prob.Dist.prob m1 1 > 0.9);
+  let m2 = Mrsl.Gibbs.marginal est 2 in
+  Alcotest.(check bool) "independent attr near half" true
+    (Float.abs (Prob.Dist.prob m2 0 -. 0.5) < 0.1)
+
+let test_gibbs_matches_exact_posterior_on_bn () =
+  (* End-to-end: generate a BN, learn MRSL from a large sample, Gibbs-infer
+     a 2-missing tuple, compare with the exact posterior — KL must be small. *)
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let r = rng () in
+  let net = Bayesnet.Network.generate r entry.topology in
+  let data = Bayesnet.Network.sample_instance r net 4000 in
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.005 }
+      data
+  in
+  let s = Mrsl.Gibbs.sampler model in
+  let tup : Relation.Tuple.t = [| Some 0; Some 0; None; None |] in
+  let _, truth = Bayesnet.Network.posterior_joint net tup in
+  let est =
+    Mrsl.Gibbs.run ~config:{ burn_in = 100; samples = 3000 } r s tup
+  in
+  let kl = Prob.Divergence.kl truth est.joint in
+  if kl > 0.25 then Alcotest.failf "Gibbs KL too large: %f" kl
+
+let test_gibbs_run_deterministic () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let run () =
+    Mrsl.Gibbs.run
+      ~config:{ burn_in = 10; samples = 200 }
+      (Prob.Rng.create 11) s
+      [| Some 0; None; None |]
+  in
+  let a = run () and b = run () in
+  check_float "same seed, same estimate" (Prob.Dist.prob a.joint 0)
+    (Prob.Dist.prob b.joint 0)
+
+(* Tuple DAG *)
+
+let fig3_workload () : Relation.Tuple.t list =
+  (* The six incomplete tuples of Fig 3 over the Fig 1 schema:
+     t1=(20,HS,?,?) t3=(20,?,50K,?) t5=(20,?,?,?)
+     t8=(?,HS,?,?) t11=(30,HS,?,?) t12=(30,MS,?,?). *)
+  [
+    [| Some 0; Some 0; None; None |];
+    [| Some 0; None; Some 0; None |];
+    [| Some 0; None; None; None |];
+    [| None; Some 0; None; None |];
+    [| Some 1; Some 0; None; None |];
+    [| Some 1; Some 2; None; None |];
+  ]
+
+let test_tuple_dag_fig3_structure () =
+  let dag = Mrsl.Tuple_dag.build (fig3_workload ()) in
+  Alcotest.(check int) "six nodes" 6 (Mrsl.Tuple_dag.node_count dag);
+  let idx tup =
+    match Mrsl.Tuple_dag.index_of dag tup with
+    | Some i -> i
+    | None -> Alcotest.fail "tuple not in DAG"
+  in
+  let t1 = idx [| Some 0; Some 0; None; None |] in
+  let t3 = idx [| Some 0; None; Some 0; None |] in
+  let t5 = idx [| Some 0; None; None; None |] in
+  let t8 = idx [| None; Some 0; None; None |] in
+  let t11 = idx [| Some 1; Some 0; None; None |] in
+  let t12 = idx [| Some 1; Some 2; None; None |] in
+  (* Fig 3: roots are t5 and t8 (and t12, which no tuple subsumes). *)
+  let roots = Mrsl.Tuple_dag.roots dag in
+  Alcotest.(check bool) "t5 is root" true (List.mem t5 roots);
+  Alcotest.(check bool) "t8 is root" true (List.mem t8 roots);
+  Alcotest.(check bool) "t12 is root" true (List.mem t12 roots);
+  Alcotest.(check bool) "t1 not root" false (List.mem t1 roots);
+  (* Edges of Fig 3: t5→t1, t5→t3, t8→t1, t8→t11. *)
+  Alcotest.(check (list int)) "children of t5" (List.sort Int.compare [ t1; t3 ])
+    (Mrsl.Tuple_dag.children dag t5);
+  Alcotest.(check (list int)) "children of t8" (List.sort Int.compare [ t1; t11 ])
+    (Mrsl.Tuple_dag.children dag t8);
+  Alcotest.(check (list int)) "parents of t1" (List.sort Int.compare [ t5; t8 ])
+    (Mrsl.Tuple_dag.parents dag t1);
+  Alcotest.(check int) "edge count" 4 (Mrsl.Tuple_dag.edge_count dag)
+
+let test_tuple_dag_dedup () =
+  let tup : Relation.Tuple.t = [| Some 0; None; None; None |] in
+  let dag = Mrsl.Tuple_dag.build [ tup; Array.copy tup; Array.copy tup ] in
+  Alcotest.(check int) "deduplicated" 1 (Mrsl.Tuple_dag.node_count dag)
+
+let test_tuple_dag_hasse_reduction () =
+  (* A chain ⊥ ≺ {a0} ≺ {a0,a1}: the top must not link directly to the
+     bottom. *)
+  let w : Relation.Tuple.t list =
+    [
+      [| None; None; None |];
+      [| Some 0; None; None |];
+      [| Some 0; Some 0; None |];
+    ]
+  in
+  let dag = Mrsl.Tuple_dag.build w in
+  Alcotest.(check int) "two cover edges" 2 (Mrsl.Tuple_dag.edge_count dag);
+  let top =
+    match Mrsl.Tuple_dag.index_of dag [| None; None; None |] with
+    | Some i -> i
+    | None -> assert false
+  in
+  Alcotest.(check int) "top has one child" 1
+    (List.length (Mrsl.Tuple_dag.children dag top));
+  let bottom =
+    match Mrsl.Tuple_dag.index_of dag [| Some 0; Some 0; None |] with
+    | Some i -> i
+    | None -> assert false
+  in
+  Alcotest.(check (list int)) "ancestors of bottom" [ top ]
+    (List.filter (fun a -> a = top) (Mrsl.Tuple_dag.ancestors dag bottom))
+
+let test_tuple_dag_rejects_complete () =
+  Alcotest.check_raises "complete tuple"
+    (Invalid_argument "Tuple_dag.build: complete tuples have nothing to infer")
+    (fun () -> ignore (Mrsl.Tuple_dag.build [ [| Some 0; Some 1 |] ]))
+
+let test_tuple_dag_empty () =
+  let dag = Mrsl.Tuple_dag.build [] in
+  Alcotest.(check int) "empty" 0 (Mrsl.Tuple_dag.node_count dag);
+  Alcotest.(check (list int)) "no roots" [] (Mrsl.Tuple_dag.roots dag)
+
+(* Workload strategies *)
+
+let small_workload () : Relation.Tuple.t list =
+  [
+    [| Some 0; None; None |];
+    [| Some 1; None; None |];
+    [| None; None; Some 0 |];
+    [| None; None; None |];
+    [| Some 0; Some 0; None |];
+  ]
+
+let run_strategy strategy =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  Mrsl.Workload.run
+    ~config:{ burn_in = 20; samples = 150 }
+    ~strategy (Prob.Rng.create 3) s (small_workload ())
+
+let test_workload_covers_all_tuples () =
+  List.iter
+    (fun strategy ->
+      let result = run_strategy strategy in
+      Alcotest.(check int)
+        (Mrsl.Workload.strategy_name strategy ^ " covers workload")
+        5
+        (List.length result.estimates);
+      List.iter
+        (fun (_, (est : Mrsl.Gibbs.estimate)) ->
+          Alcotest.(check bool) "reached target samples" true
+            (est.samples_used >= 150);
+          check_dist_sums_to_one "estimate normalized" est.joint)
+        result.estimates)
+    Mrsl.Workload.[ Tuple_at_a_time; Tuple_dag; All_at_a_time ]
+
+let test_workload_tuple_at_a_time_accounting () =
+  let result = run_strategy Mrsl.Workload.Tuple_at_a_time in
+  (* 5 distinct tuples × (20 burn-in + 150 samples). *)
+  Alcotest.(check int) "sweeps" (5 * 170) result.stats.sweeps;
+  Alcotest.(check int) "recorded" (5 * 150) result.stats.recorded;
+  Alcotest.(check int) "nothing shared" 0 result.stats.shared
+
+let test_workload_dag_cheaper () =
+  let baseline = run_strategy Mrsl.Workload.Tuple_at_a_time in
+  let dag = run_strategy Mrsl.Workload.Tuple_dag in
+  Alcotest.(check bool) "tuple-DAG uses fewer sweeps" true
+    (dag.stats.sweeps < baseline.stats.sweeps);
+  Alcotest.(check bool) "some samples shared" true (dag.stats.shared > 0)
+
+let test_workload_strategies_agree () =
+  let baseline = run_strategy Mrsl.Workload.Tuple_at_a_time in
+  let dag = run_strategy Mrsl.Workload.Tuple_dag in
+  (* Section VI-D: "no difference" in accuracy. With 150 samples we allow a
+     generous sampling-noise budget. *)
+  let tv = Experiments.Framework.joint_agreement baseline dag in
+  if tv > 0.2 then Alcotest.failf "strategies disagree: mean TV %f" tv
+
+let test_workload_dedups () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let tup : Relation.Tuple.t = [| Some 0; None; None |] in
+  let result =
+    Mrsl.Workload.run
+      ~config:{ burn_in = 5; samples = 50 }
+      (rng ()) s
+      [ tup; Array.copy tup; Array.copy tup ]
+  in
+  Alcotest.(check int) "one estimate for duplicates" 1
+    (List.length result.estimates)
+
+let test_workload_empty () =
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let result = Mrsl.Workload.run (rng ()) s [] in
+  Alcotest.(check int) "no estimates" 0 (List.length result.estimates);
+  Alcotest.(check int) "no sweeps" 0 result.stats.sweeps
+
+let test_workload_all_at_a_time_cap () =
+  (* With a tiny max_draws, rare-evidence tuples fall back to direct
+     chains but still receive estimates. *)
+  let model = trained_model () in
+  let s = Mrsl.Gibbs.sampler model in
+  let result =
+    Mrsl.Workload.run
+      ~config:{ burn_in = 5; samples = 100 }
+      ~strategy:Mrsl.Workload.All_at_a_time ~max_draws:10 (rng ()) s
+      (small_workload ())
+  in
+  Alcotest.(check int) "all estimated despite cap" 5
+    (List.length result.estimates);
+  List.iter
+    (fun (_, (est : Mrsl.Gibbs.estimate)) ->
+      Alcotest.(check bool) "has samples" true (est.samples_used > 0))
+    result.estimates
+
+(* Property: tuple-DAG roots are exactly the nodes nothing else subsumes. *)
+let prop_dag_roots_unsubsumed =
+  qcheck ~count:60 "DAG roots are unsubsumed"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let r = Prob.Rng.create seed in
+      let workload =
+        List.init 12 (fun _ ->
+            let tup =
+              Array.init 3 (fun _ ->
+                  if Prob.Rng.bool r then Some (Prob.Rng.int r 2) else None)
+            in
+            if Relation.Tuple.is_complete tup then tup.(0) <- None;
+            tup)
+      in
+      let dag = Mrsl.Tuple_dag.build workload in
+      let tuples = Mrsl.Tuple_dag.tuples dag in
+      List.for_all
+        (fun i ->
+          not
+            (Array.exists
+               (fun other -> Relation.Tuple.subsumes other tuples.(i))
+               tuples))
+        (Mrsl.Tuple_dag.roots dag))
+
+(* Property: sharing only ever delivers matching samples, so every strategy
+   produces estimates concentrated on completions consistent with the
+   tuple's evidence. *)
+let prop_estimates_respect_evidence =
+  qcheck ~count:20 "estimates respect evidence"
+    QCheck2.Gen.(int_range 0 100)
+    (fun seed ->
+      let model = trained_model () in
+      let s = Mrsl.Gibbs.sampler model in
+      let result =
+        Mrsl.Workload.run
+          ~config:{ burn_in = 5; samples = 60 }
+          ~strategy:Mrsl.Workload.Tuple_dag (Prob.Rng.create seed) s
+          (small_workload ())
+      in
+      List.for_all
+        (fun ((tup : Relation.Tuple.t), (est : Mrsl.Gibbs.estimate)) ->
+          (* The estimate's missing set must be exactly the tuple's. *)
+          est.missing = Relation.Tuple.missing tup)
+        result.estimates)
+
+let suite =
+  [
+    ("sampler conditional = Algorithm 2", `Quick,
+     test_sampler_conditional_matches_infer);
+    ("sampler memoization", `Quick, test_sampler_memo_hits);
+    ("memo distinguishes states", `Quick, test_sampler_memo_distinguishes_states);
+    ("conditional ignores own slot", `Quick, test_conditional_ignores_own_slot);
+    ("chain keeps evidence fixed", `Quick, test_chain_keeps_evidence_fixed);
+    ("chain rejects complete tuples", `Quick, test_chain_rejects_complete);
+    ("estimate from points", `Quick, test_estimate_of_points);
+    ("estimate marginal", `Quick, test_estimate_marginal);
+    ("gibbs recovers dependency", `Quick, test_gibbs_recovers_dependency);
+    ("gibbs matches exact posterior", `Slow,
+     test_gibbs_matches_exact_posterior_on_bn);
+    ("gibbs deterministic by seed", `Quick, test_gibbs_run_deterministic);
+    ("tuple DAG reproduces Fig 3", `Quick, test_tuple_dag_fig3_structure);
+    ("tuple DAG dedup", `Quick, test_tuple_dag_dedup);
+    ("tuple DAG Hasse reduction", `Quick, test_tuple_dag_hasse_reduction);
+    ("tuple DAG rejects complete", `Quick, test_tuple_dag_rejects_complete);
+    ("tuple DAG empty workload", `Quick, test_tuple_dag_empty);
+    ("workload covers all tuples", `Quick, test_workload_covers_all_tuples);
+    ("tuple-at-a-time accounting", `Quick,
+     test_workload_tuple_at_a_time_accounting);
+    ("tuple-DAG is cheaper", `Quick, test_workload_dag_cheaper);
+    ("strategies agree (Section VI-D)", `Quick, test_workload_strategies_agree);
+    ("workload dedups", `Quick, test_workload_dedups);
+    ("workload empty", `Quick, test_workload_empty);
+    ("all-at-a-time honors cap", `Quick, test_workload_all_at_a_time_cap);
+    prop_dag_roots_unsubsumed;
+    prop_estimates_respect_evidence;
+  ]
+
+(* Parallel workload inference *)
+
+let test_parallel_covers_and_agrees () =
+  let model = trained_model () in
+  let workload = small_workload () in
+  let result =
+    Mrsl.Parallel.run
+      ~config:{ burn_in = 30; samples = 600 }
+      ~domains:3 ~seed:5 model workload
+  in
+  Alcotest.(check int) "all tuples estimated" 5 (List.length result.estimates);
+  (* Accuracy parity with a sequential run (within sampling noise). *)
+  let sampler = Mrsl.Gibbs.sampler model in
+  let sequential =
+    Mrsl.Workload.run
+      ~config:{ burn_in = 30; samples = 600 }
+      (Prob.Rng.create 5) sampler workload
+  in
+  let tv = Experiments.Framework.joint_agreement sequential result in
+  if tv > 0.15 then Alcotest.failf "parallel estimates diverge: TV %f" tv
+
+let test_parallel_deterministic () =
+  let model = trained_model () in
+  let run () =
+    Mrsl.Parallel.run
+      ~config:{ burn_in = 10; samples = 100 }
+      ~domains:2 ~seed:9 model (small_workload ())
+  in
+  let a = run () and b = run () in
+  List.iter2
+    (fun (_, (ea : Mrsl.Gibbs.estimate)) (_, (eb : Mrsl.Gibbs.estimate)) ->
+      check_float "same seed, same estimates"
+        (Prob.Dist.prob ea.joint 0)
+        (Prob.Dist.prob eb.joint 0))
+    a.estimates b.estimates
+
+let test_parallel_single_domain_matches_sequential_shape () =
+  let model = trained_model () in
+  let result =
+    Mrsl.Parallel.run
+      ~config:{ burn_in = 10; samples = 50 }
+      ~domains:1 ~seed:2 model (small_workload ())
+  in
+  Alcotest.(check int) "estimates" 5 (List.length result.estimates);
+  Alcotest.(check bool) "sweeps counted" true (result.stats.sweeps > 0)
+
+let test_parallel_rejects_bad_domains () =
+  let model = trained_model () in
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Parallel.run: domains must be >= 1") (fun () ->
+      ignore
+        (Mrsl.Parallel.run ~domains:0 ~seed:1 model (small_workload ())))
+
+let suite =
+  suite
+  @ [
+      ("parallel covers and agrees", `Quick, test_parallel_covers_and_agrees);
+      ("parallel deterministic", `Quick, test_parallel_deterministic);
+      ("parallel single domain", `Quick,
+       test_parallel_single_domain_matches_sequential_shape);
+      ("parallel rejects bad domains", `Quick, test_parallel_rejects_bad_domains);
+    ]

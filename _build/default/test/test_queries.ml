@@ -1,0 +1,392 @@
+(* Tests for the query-layer extensions: top-k worlds, the probabilistic
+   relational algebra, inference explanations, and missingness
+   mechanisms. *)
+
+open Helpers
+
+(* A small hand-built database with known world probabilities:
+   block 1: certain (0,0,0)
+   block 2: (1,0,0) @ 0.6, (1,1,0) @ 0.3, (1,1,1) @ 0.1
+   block 3: (0,1,0) @ 0.7, (0,1,1) @ 0.3 *)
+let alt_points = [ ([| 1; 0; 0 |], 6), ([| 1; 1; 0 |], 3), ([| 1; 1; 1 |], 1) ]
+
+let hand_db () =
+  let est weights tup =
+    let model = Mrsl.Model.learn_points dependent_schema (dependent_points 50) in
+    let s = Mrsl.Gibbs.sampler model in
+    let missing = Array.of_list (Relation.Tuple.missing tup) in
+    let cards = Array.map (fun _ -> 2) missing in
+    let points = ref [] in
+    Relation.Domain.iter cards (fun code values ->
+        let point = Array.map (function Some v -> v | None -> 0) tup in
+        Array.iteri (fun k a -> point.(a) <- values.(k)) missing;
+        for _ = 1 to weights.(code) do
+          points := point :: !points
+        done);
+    Mrsl.Gibbs.estimate_of_points s tup !points
+  in
+  ignore alt_points;
+  let block2 =
+    (* missing a1, a2 with evidence a0=1; weights over (a1,a2) codes:
+       (0,0)=6, (0,1)=0->skip via tiny, (1,0)=3, (1,1)=1 *)
+    Probdb.Block.of_estimate ~min_prob:0.05
+      (est [| 12; 0; 6; 2 |] [| Some 1; None; None |])
+  in
+  let block3 =
+    Probdb.Block.of_estimate ~min_prob:0.05
+      (est [| 7; 3 |] [| Some 0; Some 1; None |])
+  in
+  Probdb.Pdb.make dependent_schema
+    [ Probdb.Block.of_point [| 0; 0; 0 |]; block2; block3 ]
+
+let test_top_k_first_is_modal () =
+  let db = hand_db () in
+  match Probdb.Pdb.top_k_worlds db 1 with
+  | [ (world, logp) ] ->
+      let modal, modal_logp = Probdb.Pdb.most_probable_world db in
+      Alcotest.(check bool) "same world" true (world = modal);
+      check_float ~eps:1e-9 "same log prob" modal_logp logp
+  | _ -> Alcotest.fail "expected exactly one world"
+
+let test_top_k_ordering_and_count () =
+  let db = hand_db () in
+  let worlds = Probdb.Pdb.top_k_worlds db 6 in
+  Alcotest.(check int) "six worlds" 6 (List.length worlds);
+  let probs = List.map snd worlds in
+  Alcotest.(check bool) "descending" true
+    (List.sort (fun a b -> Float.compare b a) probs = probs);
+  (* Exhaustive k larger than world count: 1 * 3 * 2 = 6 worlds. *)
+  let all = Probdb.Pdb.top_k_worlds db 100 in
+  Alcotest.(check int) "capped at world count" 6 (List.length all);
+  (* Their probabilities sum to (within truncation) 1. *)
+  let total = List.fold_left (fun acc (_, lp) -> acc +. exp lp) 0. all in
+  check_float ~eps:0.05 "probabilities sum to ~1" 1.0 total
+
+let test_top_k_rejects () =
+  let db = hand_db () in
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Pdb.top_k_worlds: k must be >= 1") (fun () ->
+      ignore (Probdb.Pdb.top_k_worlds db 0))
+
+(* Algebra *)
+
+let test_select_preserves_expected_count () =
+  let db = hand_db () in
+  let pred = Probdb.Predicate.Eq (1, 1) in
+  let selected = Probdb.Algebra.select pred db in
+  check_float ~eps:1e-9 "selection consistent with expected_count"
+    (Probdb.Pdb.expected_count db pred)
+    (Array.fold_left
+       (fun acc (b : Probdb.Block.t) ->
+         List.fold_left
+           (fun acc (a : Probdb.Block.alternative) -> acc +. a.prob)
+           acc b.alternatives)
+       0.
+       (Probdb.Pdb.blocks selected));
+  (* The certain block (0,0,0) fails the predicate and is dropped. *)
+  Alcotest.(check int) "blocks without survivors dropped" 2
+    (Probdb.Pdb.block_count selected)
+
+let test_project_expected_totals () =
+  let db = hand_db () in
+  let rows = Probdb.Algebra.project_expected [ 1 ] db in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. rows in
+  (* Sum of block masses: block 2 and 3 are truncated slightly below 1. *)
+  Alcotest.(check bool) "totals near 3" true (Float.abs (total -. 3.) < 0.1);
+  (* Expected count of a1=1 matches Pdb.expected_count. *)
+  let a1_1 = List.assoc [| 1 |] (List.map (fun (k, v) -> (Array.to_list k |> Array.of_list, v)) rows |> List.map (fun (k,v) -> (k,v))) in
+  ignore a1_1
+
+let test_project_expected_matches_pdb () =
+  let db = hand_db () in
+  let rows = Probdb.Algebra.project_expected [ 1 ] db in
+  let lookup key =
+    match List.find_opt (fun (k, _) -> k = key) rows with
+    | Some (_, v) -> v
+    | None -> 0.
+  in
+  check_float ~eps:1e-9 "a1=0 expected"
+    (Probdb.Pdb.expected_count db (Probdb.Predicate.Eq (1, 0)))
+    (lookup [| 0 |]);
+  check_float ~eps:1e-9 "a1=1 expected"
+    (Probdb.Pdb.expected_count db (Probdb.Predicate.Eq (1, 1)))
+    (lookup [| 1 |])
+
+let test_project_exists_matches_pdb () =
+  let db = hand_db () in
+  let rows = Probdb.Algebra.project_exists [ 2 ] db in
+  let lookup key =
+    match List.find_opt (fun (k, _) -> k = key) rows with
+    | Some (_, v) -> v
+    | None -> 0.
+  in
+  check_float ~eps:1e-9 "exists a2=1"
+    (Probdb.Pdb.prob_exists db (Probdb.Predicate.Eq (2, 1)))
+    (lookup [| 1 |])
+
+let test_group_expected_count () =
+  let db = hand_db () in
+  let groups = Probdb.Algebra.group_expected_count ~by:1 db in
+  Alcotest.(check int) "one row per value" 2 (List.length groups);
+  List.iter
+    (fun (v, count) ->
+      check_float ~eps:1e-9 "group matches expected_count"
+        (Probdb.Pdb.expected_count db (Probdb.Predicate.Eq (1, v)))
+        count)
+    groups
+
+let test_expected_join_count () =
+  (* Two single-block certain databases joining on attribute 0. *)
+  let a = Probdb.Pdb.make dependent_schema [ Probdb.Block.of_point [| 1; 0; 0 |] ] in
+  let b = Probdb.Pdb.make dependent_schema [ Probdb.Block.of_point [| 1; 1; 1 |] ] in
+  check_float "certain match" 1.0
+    (Probdb.Algebra.expected_join_count a b ~on:[ (0, 0) ]);
+  let c = Probdb.Pdb.make dependent_schema [ Probdb.Block.of_point [| 0; 1; 1 |] ] in
+  check_float "certain non-match" 0.0
+    (Probdb.Algebra.expected_join_count a c ~on:[ (0, 0) ]);
+  (* Uncertain join: the hand DB's block 2 has a0=1 with mass ~1. *)
+  let db = hand_db () in
+  let expected = Probdb.Algebra.expected_join_count db a ~on:[ (0, 0) ] in
+  (* Only block 2 (a0 = 1, mass ~0.95 after truncation) pairs with [a]. *)
+  Alcotest.(check bool) "uncertain join mass" true
+    (expected > 0.9 && expected <= 1.0)
+
+let test_join_rejects_empty_condition () =
+  let db = hand_db () in
+  Alcotest.check_raises "empty on"
+    (Invalid_argument "Algebra.expected_join_count: empty join condition")
+    (fun () -> ignore (Probdb.Algebra.expected_join_count db db ~on:[]))
+
+(* Explanations *)
+
+let test_explain_contributions () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 300) in
+  let tup : Relation.Tuple.t = [| Some 1; None; Some 0 |] in
+  List.iter
+    (fun method_ ->
+      let exp = Mrsl.Infer_single.explain ~method_ model tup 1 in
+      let direct = Mrsl.Infer_single.infer ~method_ model tup 1 in
+      check_float ~eps:1e-9
+        ("estimate matches infer: " ^ Mrsl.Voting.method_name method_)
+        (Prob.Dist.prob direct 0)
+        (Prob.Dist.prob exp.estimate 0);
+      let total =
+        List.fold_left (fun acc (_, w) -> acc +. w) 0. exp.contributions
+      in
+      check_float ~eps:1e-9 "contributions sum to 1" 1.0 total;
+      (* Descending. *)
+      let ws = List.map snd exp.contributions in
+      Alcotest.(check bool) "descending" true
+        (List.sort (fun a b -> Float.compare b a) ws = ws))
+    Mrsl.Voting.all_methods
+
+let test_explain_weighted_prefers_supported () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 300) in
+  let tup : Relation.Tuple.t = [| Some 1; None; Some 0 |] in
+  let exp =
+    Mrsl.Infer_single.explain ~method_:Mrsl.Voting.all_weighted model tup 1
+  in
+  (* Under weighted voting the root (weight 1) has the largest single
+     contribution. *)
+  match exp.contributions with
+  | ((top_rule : Mrsl.Meta_rule.t), _) :: _ ->
+      Alcotest.(check int) "root contributes most" 0
+        (Mrsl.Meta_rule.specificity top_rule)
+  | [] -> Alcotest.fail "no contributions"
+
+(* Missingness *)
+
+let base_instance n =
+  Relation.Instance.of_points dependent_schema
+    (Array.to_list (dependent_points n))
+
+let missing_rate inst =
+  let total = ref 0 and missing = ref 0 in
+  Array.iter
+    (fun tup ->
+      Array.iter
+        (fun v ->
+          incr total;
+          if v = None then incr missing)
+        tup)
+    (Relation.Instance.tuples inst);
+  float_of_int !missing /. float_of_int !total
+
+let test_mcar_rate () =
+  let inst = base_instance 2000 in
+  let masked =
+    Relation.Missingness.mask (rng ()) (Relation.Missingness.Mcar 0.2) inst
+  in
+  check_float ~eps:0.02 "MCAR rate" 0.2 (missing_rate masked)
+
+let test_mcar_zero_and_one () =
+  let inst = base_instance 100 in
+  let zero = Relation.Missingness.mask (rng ()) (Relation.Missingness.Mcar 0.) inst in
+  check_float "no masking" 0. (missing_rate zero);
+  let one = Relation.Missingness.mask (rng ()) (Relation.Missingness.Mcar 1.) inst in
+  check_float "full masking" 1. (missing_rate one)
+
+let test_mar_depends_on_trigger () =
+  let inst = base_instance 2000 in
+  let mech =
+    Relation.Missingness.Mar
+      { trigger = 0; value = 0; p_match = 0.8; p_other = 0.05; targets = [ 1; 2 ] }
+  in
+  let masked = Relation.Missingness.mask (rng ()) mech inst in
+  (* Trigger never masked; targets missing mostly when a0 = 0. *)
+  let m_when_0 = ref 0 and n0 = ref 0 and m_when_1 = ref 0 and n1 = ref 0 in
+  Array.iter
+    (fun tup ->
+      Alcotest.(check bool) "trigger kept" true (tup.(0) <> None);
+      match tup.(0) with
+      | Some 0 ->
+          incr n0;
+          if tup.(1) = None then incr m_when_0
+      | Some _ ->
+          incr n1;
+          if tup.(1) = None then incr m_when_1
+      | None -> ())
+    (Relation.Instance.tuples masked);
+  let r0 = float_of_int !m_when_0 /. float_of_int !n0 in
+  let r1 = float_of_int !m_when_1 /. float_of_int !n1 in
+  Alcotest.(check bool) "conditional rates differ" true (r0 > 0.6 && r1 < 0.15)
+
+let test_mnar_depends_on_value () =
+  let inst = base_instance 2000 in
+  let mech =
+    Relation.Missingness.Mnar { target = 2; value = 1; p_match = 0.9; p_other = 0.02 }
+  in
+  let masked = Relation.Missingness.mask (rng ()) mech inst in
+  (* Among *surviving* a2 values, value 1 is now rare (self-censoring). *)
+  let ones = ref 0 and zeros = ref 0 in
+  Array.iter
+    (fun tup ->
+      match tup.(2) with
+      | Some 1 -> incr ones
+      | Some 0 -> incr zeros
+      | _ -> ())
+    (Relation.Instance.tuples masked);
+  Alcotest.(check bool) "value-1 censored" true
+    (float_of_int !ones < 0.2 *. float_of_int !zeros)
+
+let test_missingness_validation () =
+  let inst = base_instance 10 in
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Missingness: probabilities must be in [0, 1]")
+    (fun () ->
+      ignore
+        (Relation.Missingness.mask (rng ()) (Relation.Missingness.Mcar 1.5) inst));
+  Alcotest.check_raises "trigger as target"
+    (Invalid_argument "Missingness: trigger cannot be a target") (fun () ->
+      ignore
+        (Relation.Missingness.mask (rng ())
+           (Relation.Missingness.Mar
+              { trigger = 0; value = 0; p_match = 0.5; p_other = 0.1;
+                targets = [ 0 ] })
+           inst))
+
+let test_expected_rate_helper () =
+  let schema = dependent_schema in
+  check_float "mcar" 0.3
+    (Relation.Missingness.expected_missing_rate (Relation.Missingness.Mcar 0.3)
+       schema);
+  let mar =
+    Relation.Missingness.Mar
+      { trigger = 0; value = 0; p_match = 0.4; p_other = 0.; targets = [ 1; 2 ] }
+  in
+  (* p_avg = 0.4/2 = 0.2 over 2 of 3 attributes. *)
+  check_float ~eps:1e-9 "mar" (0.2 *. 2. /. 3.)
+    (Relation.Missingness.expected_missing_rate mar schema)
+
+let test_sampler_memoize_off_matches_on () =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 200) in
+  let s_on = Mrsl.Gibbs.sampler ~memoize:true model in
+  let s_off = Mrsl.Gibbs.sampler ~memoize:false model in
+  let point = [| 1; 0; 1 |] in
+  check_float "same conditional"
+    (Prob.Dist.prob (Mrsl.Gibbs.conditional s_on point 1) 0)
+    (Prob.Dist.prob (Mrsl.Gibbs.conditional s_off point 1) 0);
+  let _, misses = Mrsl.Gibbs.cache_stats s_off in
+  Alcotest.(check int) "no cache activity when off" 0 misses
+
+let suite =
+  [
+    ("top-k first is modal", `Quick, test_top_k_first_is_modal);
+    ("top-k ordering and exhaustion", `Quick, test_top_k_ordering_and_count);
+    ("top-k rejects k=0", `Quick, test_top_k_rejects);
+    ("algebra select", `Quick, test_select_preserves_expected_count);
+    ("algebra project expected matches pdb", `Quick,
+     test_project_expected_matches_pdb);
+    ("algebra project exists matches pdb", `Quick,
+     test_project_exists_matches_pdb);
+    ("algebra group expected count", `Quick, test_group_expected_count);
+    ("algebra expected join count", `Quick, test_expected_join_count);
+    ("algebra join validation", `Quick, test_join_rejects_empty_condition);
+    ("explain matches infer", `Quick, test_explain_contributions);
+    ("explain weighted ranking", `Quick, test_explain_weighted_prefers_supported);
+    ("MCAR rate", `Quick, test_mcar_rate);
+    ("MCAR extremes", `Quick, test_mcar_zero_and_one);
+    ("MAR depends on trigger", `Quick, test_mar_depends_on_trigger);
+    ("MNAR self-censors", `Quick, test_mnar_depends_on_value);
+    ("missingness validation", `Quick, test_missingness_validation);
+    ("expected rate helper", `Quick, test_expected_rate_helper);
+    ("sampler memoize off", `Quick, test_sampler_memoize_off_matches_on);
+  ]
+
+(* Regression: top-k against brute-force world enumeration on random
+   databases (guards the best-first heap). *)
+let est_for_q tup weights =
+  let model = Mrsl.Model.learn_points dependent_schema (dependent_points 50) in
+  let s = Mrsl.Gibbs.sampler model in
+  let missing = Array.of_list (Relation.Tuple.missing tup) in
+  let cards = Array.map (fun _ -> 2) missing in
+  let points = ref [] in
+  Relation.Domain.iter cards (fun code values ->
+      let point = Array.map (function Some v -> v | None -> 0) tup in
+      Array.iteri (fun k a -> point.(a) <- values.(k)) missing;
+      for _ = 1 to weights.(code) do
+        points := point :: !points
+      done);
+  Mrsl.Gibbs.estimate_of_points s tup !points
+
+let prop_top_k_matches_bruteforce =
+  qcheck ~count:30 "top-k equals brute-force enumeration"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let r = Prob.Rng.create seed in
+      let db =
+        let blocks =
+          List.init
+            (1 + Prob.Rng.int r 3)
+            (fun _ ->
+              let weights = Array.init 4 (fun _ -> 1 + Prob.Rng.int r 9) in
+              Probdb.Block.of_estimate
+                (est_for_q [| Some (Prob.Rng.int r 2); None; None |] weights))
+        in
+        Probdb.Pdb.make dependent_schema blocks
+      in
+      let blocks = Probdb.Pdb.blocks db in
+      let alt_counts = Array.map Probdb.Block.alternative_count blocks in
+      (* Brute force: every rank vector. *)
+      let all = ref [] in
+      Relation.Domain.iter alt_counts (fun _ ranks ->
+          let world =
+            Array.mapi
+              (fun i rank ->
+                (List.nth (blocks.(i) : Probdb.Block.t).alternatives rank)
+                  .Probdb.Block.point)
+              ranks
+          in
+          all :=
+            (Array.map Array.copy world, Probdb.Pdb.world_log_prob db world)
+            :: !all);
+      let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) !all in
+      let k = 5 in
+      let got = Probdb.Pdb.top_k_worlds db k in
+      let want = List.filteri (fun i _ -> i < k) sorted in
+      List.length got = min k (List.length sorted)
+      && List.for_all2
+           (fun (_, lg) (_, lw) -> Float.abs (lg -. lw) < 1e-9)
+           got want)
+
+let suite = suite @ [ prop_top_k_matches_bruteforce ]

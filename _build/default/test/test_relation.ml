@@ -1,0 +1,446 @@
+(* Tests for the relation substrate: Attribute, Schema, Tuple, Instance,
+   Domain, Csv_io. Several cases check the paper's running example
+   (Fig 1 / Section II definitions). *)
+
+open Helpers
+
+let test_attribute_make () =
+  let a = Relation.Attribute.make "age" [ "20"; "30"; "40" ] in
+  Alcotest.(check string) "name" "age" (Relation.Attribute.name a);
+  Alcotest.(check int) "cardinality" 3 (Relation.Attribute.cardinality a);
+  Alcotest.(check string) "label" "30" (Relation.Attribute.value_label a 1);
+  Alcotest.(check int) "index" 2 (Relation.Attribute.value_index a "40")
+
+let test_attribute_rejects () =
+  let iv msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  ignore iv;
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Attribute.make: empty name") (fun () ->
+      ignore (Relation.Attribute.make "" [ "x" ]));
+  Alcotest.check_raises "empty domain"
+    (Invalid_argument "Attribute.make: empty domain") (fun () ->
+      ignore (Relation.Attribute.make "a" []));
+  Alcotest.check_raises "duplicate value"
+    (Invalid_argument "Attribute.make: duplicate value x") (fun () ->
+      ignore (Relation.Attribute.make "a" [ "x"; "x" ]));
+  Alcotest.check_raises "reserved marker"
+    (Invalid_argument "Attribute.make: \"?\" is reserved for missing values")
+    (fun () -> ignore (Relation.Attribute.make "a" [ "?" ]))
+
+let test_attribute_unknown_label () =
+  let a = Relation.Attribute.make "a" [ "x" ] in
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Relation.Attribute.value_index a "y"))
+
+let test_indexed_attribute () =
+  let a = Relation.Attribute.indexed "b" 4 in
+  Alcotest.(check int) "card" 4 (Relation.Attribute.cardinality a);
+  Alcotest.(check string) "labels" "v3" (Relation.Attribute.value_label a 3)
+
+let test_schema_basics () =
+  let s = fig1_schema in
+  Alcotest.(check int) "arity" 4 (Relation.Schema.arity s);
+  Alcotest.(check int) "index_of edu" 1 (Relation.Schema.index_of s "edu");
+  Alcotest.(check int) "card inc" 2 (Relation.Schema.cardinality s 2);
+  check_float "domain size" 36. (Relation.Schema.domain_size s)
+
+let test_schema_rejects_duplicates () =
+  Alcotest.check_raises "duplicate attribute"
+    (Invalid_argument "Schema.make: duplicate attribute a") (fun () ->
+      ignore
+        (Relation.Schema.make
+           [ Relation.Attribute.indexed "a" 2; Relation.Attribute.indexed "a" 3 ]))
+
+let test_schema_of_cardinalities () =
+  let s = Relation.Schema.of_cardinalities [ 2; 3 ] in
+  Alcotest.(check string) "names" "a1"
+    (Relation.Attribute.name (Relation.Schema.attribute s 1));
+  Alcotest.(check bool) "equal to itself" true (Relation.Schema.equal s s)
+
+(* Tuple: the paper's Section II examples. *)
+
+let t1 : Relation.Tuple.t = [| Some 0; Some 0; None; None |] (* 20,HS,?,? *)
+let t2_point = [| 0; 1; 0; 0 |] (* 20,BS,50K,100K *)
+let t3 : Relation.Tuple.t = [| Some 0; None; Some 0; None |] (* 20,?,50K,? *)
+let t4_point = [| 0; 0; 1; 1 |] (* 20,HS,100K,500K *)
+let t5 : Relation.Tuple.t = [| Some 0; None; None; None |] (* 20,?,?,? *)
+let t8 : Relation.Tuple.t = [| None; Some 0; None; None |] (* ?,HS,?,? *)
+
+let test_tuple_complete () =
+  Alcotest.(check bool) "t1 incomplete" false (Relation.Tuple.is_complete t1);
+  let p = Relation.Tuple.of_point t2_point in
+  Alcotest.(check bool) "point complete" true (Relation.Tuple.is_complete p);
+  (match Relation.Tuple.to_point p with
+  | Some q -> Alcotest.(check (array int)) "roundtrip" t2_point q
+  | None -> Alcotest.fail "expected point");
+  Alcotest.(check bool) "to_point of incomplete" true
+    (Relation.Tuple.to_point t1 = None)
+
+let test_tuple_known_missing () =
+  Alcotest.(check (list (pair int int))) "known of t1" [ (0, 0); (1, 0) ]
+    (Relation.Tuple.known t1);
+  Alcotest.(check (list int)) "missing of t1" [ 2; 3 ]
+    (Relation.Tuple.missing t1);
+  Alcotest.(check int) "known_count" 2 (Relation.Tuple.known_count t1);
+  Alcotest.(check int) "missing_count" 2 (Relation.Tuple.missing_count t1)
+
+let test_tuple_matches_paper_example () =
+  (* "point t4 supports tuple t1, while point t2 does not" (Def 2.3). *)
+  Alcotest.(check bool) "t4 matches t1" true
+    (Relation.Tuple.matches ~point:t4_point t1);
+  Alcotest.(check bool) "t2 does not match t1" false
+    (Relation.Tuple.matches ~point:t2_point t1)
+
+let test_tuple_subsumption_paper_example () =
+  (* "t1 ≺ t5 and t3 ≺ t5. No subsumption holds between t1 and t3." *)
+  Alcotest.(check bool) "t5 subsumes t1" true (Relation.Tuple.subsumes t5 t1);
+  Alcotest.(check bool) "t5 subsumes t3" true (Relation.Tuple.subsumes t5 t3);
+  Alcotest.(check bool) "t1 vs t3" false (Relation.Tuple.subsumes t1 t3);
+  Alcotest.(check bool) "t3 vs t1" false (Relation.Tuple.subsumes t3 t1);
+  Alcotest.(check bool) "no self subsumption" false
+    (Relation.Tuple.subsumes t1 t1);
+  (* t8 subsumes t1 (Section II: t1 ≺ t8). *)
+  Alcotest.(check bool) "t8 subsumes t1" true (Relation.Tuple.subsumes t8 t1)
+
+let test_tuple_agrees_on_known () =
+  Alcotest.(check bool) "t1 agrees t5" true
+    (Relation.Tuple.agrees_on_known t1 t5);
+  let conflicting : Relation.Tuple.t = [| Some 1; Some 0; None; None |] in
+  Alcotest.(check bool) "conflict detected" false
+    (Relation.Tuple.agrees_on_known t1 conflicting)
+
+let test_tuple_pp () =
+  Alcotest.(check string) "render" "⟨20, HS, ?, ?⟩"
+    (Relation.Tuple.to_string fig1_schema t1)
+
+let test_tuple_hash_equal () =
+  let a : Relation.Tuple.t = [| Some 1; None |] in
+  let b : Relation.Tuple.t = [| Some 1; None |] in
+  Alcotest.(check bool) "equal" true (Relation.Tuple.equal a b);
+  Alcotest.(check int) "hash equal" (Relation.Tuple.hash a)
+    (Relation.Tuple.hash b);
+  let tbl = Relation.Tuple.Table.create 4 in
+  Relation.Tuple.Table.replace tbl a 1;
+  Alcotest.(check (option int)) "table lookup" (Some 1)
+    (Relation.Tuple.Table.find_opt tbl b)
+
+(* Instance *)
+
+let test_instance_parts () =
+  let r = fig1_relation () in
+  Alcotest.(check int) "size" 17 (Relation.Instance.size r);
+  Alcotest.(check int) "complete part" 8
+    (Array.length (Relation.Instance.complete_part r));
+  Alcotest.(check int) "incomplete part" 9
+    (Array.length (Relation.Instance.incomplete_part r))
+
+let test_instance_support_paper () =
+  (* supp(t1) = 3/8 in Fig 1 (points t4, t6, t7 match). *)
+  let r = fig1_relation () in
+  check_float "supp(t1)" (3. /. 8.) (Relation.Instance.support r t1)
+
+let test_instance_validation () =
+  let s = Relation.Schema.of_cardinalities [ 2; 2 ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Instance.make: tuple arity does not match schema")
+    (fun () -> ignore (Relation.Instance.make s [ [| Some 0 |] ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Instance.make: value 7 out of range for attribute a0")
+    (fun () -> ignore (Relation.Instance.make s [ [| Some 7; Some 0 |] ]))
+
+let test_instance_split () =
+  let s = Relation.Schema.of_cardinalities [ 2 ] in
+  let points = List.init 100 (fun i -> [| i mod 2 |]) in
+  let inst = Relation.Instance.of_points s points in
+  let train, test = Relation.Instance.split (rng ()) ~train_fraction:0.9 inst in
+  Alcotest.(check int) "train size" 90 (Relation.Instance.size train);
+  Alcotest.(check int) "test size" 10 (Relation.Instance.size test);
+  Alcotest.(check int) "partition" 100
+    (Relation.Instance.size train + Relation.Instance.size test)
+
+let test_instance_split_invalid () =
+  let s = Relation.Schema.of_cardinalities [ 2 ] in
+  let inst = Relation.Instance.of_points s [ [| 0 |]; [| 1 |] ] in
+  Alcotest.check_raises "fraction 1"
+    (Invalid_argument "Instance.split: train_fraction must be in (0, 1)")
+    (fun () -> ignore (Relation.Instance.split (rng ()) ~train_fraction:1.0 inst))
+
+let test_mask_exact () =
+  let s = Relation.Schema.of_cardinalities [ 2; 2; 2; 2 ] in
+  let inst = Relation.Instance.of_points s (List.init 50 (fun _ -> [| 0; 1; 0; 1 |])) in
+  let masked = Relation.Instance.mask_exact (rng ()) ~missing:2 inst in
+  Array.iter
+    (fun tup ->
+      Alcotest.(check int) "two missing" 2 (Relation.Tuple.missing_count tup))
+    (Relation.Instance.tuples masked)
+
+let test_mask_preserves_existing () =
+  let s = Relation.Schema.of_cardinalities [ 2; 2 ] in
+  let inst = Relation.Instance.make s [ [| None; Some 1 |] ] in
+  let masked = Relation.Instance.mask_exact (rng ()) ~missing:1 inst in
+  (* Already one missing: the tuple is unchanged. *)
+  Alcotest.(check bool) "unchanged" true
+    (Relation.Tuple.equal (Relation.Instance.tuples masked).(0)
+       [| None; Some 1 |])
+
+let test_mask_uniform_range () =
+  let s = Relation.Schema.of_cardinalities [ 2; 2; 2 ] in
+  let inst =
+    Relation.Instance.of_points s (List.init 200 (fun _ -> [| 0; 0; 0 |]))
+  in
+  let masked = Relation.Instance.mask_uniform (rng ()) ~max_missing:2 inst in
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun tup ->
+      let m = Relation.Tuple.missing_count tup in
+      counts.(m) <- counts.(m) + 1)
+    (Relation.Instance.tuples masked);
+  Alcotest.(check int) "none with zero missing" 0 counts.(0);
+  Alcotest.(check int) "none beyond max" 0 counts.(3);
+  Alcotest.(check bool) "both counts appear" true
+    (counts.(1) > 0 && counts.(2) > 0)
+
+let test_instance_append () =
+  let s = Relation.Schema.of_cardinalities [ 2 ] in
+  let a = Relation.Instance.of_points s [ [| 0 |] ] in
+  let b = Relation.Instance.of_points s [ [| 1 |] ] in
+  Alcotest.(check int) "appended" 2
+    (Relation.Instance.size (Relation.Instance.append a b))
+
+(* Domain *)
+
+let test_domain_roundtrip () =
+  let cards = [| 3; 2; 4 |] in
+  Alcotest.(check int) "count" 24 (Relation.Domain.count cards);
+  for code = 0 to 23 do
+    let values = Relation.Domain.decode cards code in
+    Alcotest.(check int) "roundtrip" code (Relation.Domain.encode cards values)
+  done
+
+let test_domain_order () =
+  let cards = [| 2; 3 |] in
+  Alcotest.(check (array int)) "code 0" [| 0; 0 |]
+    (Relation.Domain.decode cards 0);
+  Alcotest.(check (array int)) "code 1 varies last" [| 0; 1 |]
+    (Relation.Domain.decode cards 1);
+  Alcotest.(check (array int)) "code 3 carries" [| 1; 0 |]
+    (Relation.Domain.decode cards 3)
+
+let test_domain_iter () =
+  let cards = [| 2; 2 |] in
+  let seen = ref [] in
+  Relation.Domain.iter cards (fun code values ->
+      seen := (code, Array.copy values) :: !seen);
+  Alcotest.(check int) "visits all" 4 (List.length !seen);
+  List.iteri
+    (fun i (code, values) ->
+      let expected_code = 3 - i in
+      Alcotest.(check int) "code order" expected_code code;
+      Alcotest.(check (array int)) "values consistent"
+        (Relation.Domain.decode cards code)
+        values)
+    !seen
+
+let test_domain_rejects () =
+  Alcotest.check_raises "bad radix"
+    (Invalid_argument "Domain.count: radix must be >= 1") (fun () ->
+      ignore (Relation.Domain.count [| 0 |]));
+  Alcotest.check_raises "value range"
+    (Invalid_argument "Domain.encode: value out of range") (fun () ->
+      ignore (Relation.Domain.encode [| 2 |] [| 2 |]))
+
+(* CSV *)
+
+let test_csv_parse_line () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ]
+    (Relation.Csv_io.parse_line "a,b,c");
+  Alcotest.(check (list string)) "quoted" [ "a,b"; "c\"d" ]
+    (Relation.Csv_io.parse_line "\"a,b\",\"c\"\"d\"");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ]
+    (Relation.Csv_io.parse_line ",,")
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain untouched" "abc"
+    (Relation.Csv_io.escape_field "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\""
+    (Relation.Csv_io.escape_field "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\""
+    (Relation.Csv_io.escape_field "a\"b")
+
+let test_csv_roundtrip () =
+  let r = fig1_relation () in
+  let text = Relation.Csv_io.write_string r in
+  let r2 = Relation.Csv_io.read_string ~schema:fig1_schema text in
+  Alcotest.(check int) "size preserved" (Relation.Instance.size r)
+    (Relation.Instance.size r2);
+  Array.iteri
+    (fun i tup ->
+      Alcotest.(check bool) "tuple preserved" true
+        (Relation.Tuple.equal tup (Relation.Instance.tuples r2).(i)))
+    (Relation.Instance.tuples r)
+
+let test_csv_infer_schema () =
+  let r = Relation.Csv_io.read_string "x,y\n1,a\n2,b\n?,a\n" in
+  let s = Relation.Instance.schema r in
+  Alcotest.(check int) "arity" 2 (Relation.Schema.arity s);
+  Alcotest.(check int) "x card" 2 (Relation.Schema.cardinality s 0);
+  Alcotest.(check int) "incomplete" 1
+    (Array.length (Relation.Instance.incomplete_part r))
+
+let test_csv_errors () =
+  Alcotest.check_raises "ragged"
+    (Failure "Csv_io.read_string: row 3 has 1 fields, expected 2") (fun () ->
+      ignore (Relation.Csv_io.read_string "x,y\n1,2\nonly\n"));
+  Alcotest.check_raises "empty"
+    (Failure "Csv_io.read_string: empty document") (fun () ->
+      ignore (Relation.Csv_io.read_string "  \n"))
+
+let test_csv_file_roundtrip () =
+  let r = fig1_relation () in
+  let path = Filename.temp_file "mrsl_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Relation.Csv_io.write_file path r;
+      let r2 = Relation.Csv_io.read_file ~schema:fig1_schema path in
+      Alcotest.(check int) "file roundtrip" (Relation.Instance.size r)
+        (Relation.Instance.size r2))
+
+(* Properties *)
+
+let tuple_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 6) (opt (int_range 0 3)) >|= Array.of_list)
+
+let prop_subsumption_irreflexive =
+  qcheck "subsumption is irreflexive" tuple_gen (fun t ->
+      not (Relation.Tuple.subsumes t t))
+
+let prop_subsumption_antisymmetric =
+  qcheck "subsumption is antisymmetric"
+    QCheck2.Gen.(tup2 tuple_gen tuple_gen)
+    (fun (a, b) ->
+      Array.length a <> Array.length b
+      || not (Relation.Tuple.subsumes a b && Relation.Tuple.subsumes b a))
+
+let prop_domain_roundtrip =
+  qcheck "domain encode/decode roundtrip"
+    QCheck2.Gen.(
+      list_size (int_range 1 5) (int_range 1 5) >>= fun cards ->
+      let cards = Array.of_list cards in
+      let total = Relation.Domain.count cards in
+      int_range 0 (total - 1) >|= fun code -> (cards, code))
+    (fun (cards, code) ->
+      Relation.Domain.encode cards (Relation.Domain.decode cards code) = code)
+
+let prop_mask_count =
+  qcheck "mask_exact leaves the requested number missing"
+    QCheck2.Gen.(int_range 0 3)
+    (fun missing ->
+      let s = Relation.Schema.of_cardinalities [ 2; 2; 2 ] in
+      let inst = Relation.Instance.of_points s [ [| 0; 1; 0 |] ] in
+      let masked = Relation.Instance.mask_exact (rng ()) ~missing inst in
+      Relation.Tuple.missing_count (Relation.Instance.tuples masked).(0)
+      = missing)
+
+let suite =
+  [
+    ("attribute make", `Quick, test_attribute_make);
+    ("attribute rejects", `Quick, test_attribute_rejects);
+    ("attribute unknown label", `Quick, test_attribute_unknown_label);
+    ("indexed attribute", `Quick, test_indexed_attribute);
+    ("schema basics", `Quick, test_schema_basics);
+    ("schema duplicate names", `Quick, test_schema_rejects_duplicates);
+    ("schema of cardinalities", `Quick, test_schema_of_cardinalities);
+    ("tuple completeness", `Quick, test_tuple_complete);
+    ("tuple known/missing", `Quick, test_tuple_known_missing);
+    ("tuple matching (paper Def 2.3)", `Quick, test_tuple_matches_paper_example);
+    ("tuple subsumption (paper Def 2.4)", `Quick,
+     test_tuple_subsumption_paper_example);
+    ("tuple agrees_on_known", `Quick, test_tuple_agrees_on_known);
+    ("tuple rendering", `Quick, test_tuple_pp);
+    ("tuple hash/equal/table", `Quick, test_tuple_hash_equal);
+    ("instance complete/incomplete parts", `Quick, test_instance_parts);
+    ("instance support (paper supp(t1)=3/8)", `Quick,
+     test_instance_support_paper);
+    ("instance validation", `Quick, test_instance_validation);
+    ("instance split", `Quick, test_instance_split);
+    ("instance split invalid", `Quick, test_instance_split_invalid);
+    ("mask exact", `Quick, test_mask_exact);
+    ("mask preserves existing gaps", `Quick, test_mask_preserves_existing);
+    ("mask uniform range", `Quick, test_mask_uniform_range);
+    ("instance append", `Quick, test_instance_append);
+    ("domain roundtrip", `Quick, test_domain_roundtrip);
+    ("domain code order", `Quick, test_domain_order);
+    ("domain iter", `Quick, test_domain_iter);
+    ("domain rejects", `Quick, test_domain_rejects);
+    ("csv parse line", `Quick, test_csv_parse_line);
+    ("csv escape", `Quick, test_csv_escape);
+    ("csv roundtrip", `Quick, test_csv_roundtrip);
+    ("csv schema inference", `Quick, test_csv_infer_schema);
+    ("csv errors", `Quick, test_csv_errors);
+    ("csv file roundtrip", `Quick, test_csv_file_roundtrip);
+    prop_subsumption_irreflexive;
+    prop_subsumption_antisymmetric;
+    prop_domain_roundtrip;
+    prop_mask_count;
+  ]
+
+(* Profile *)
+
+let test_profile_attributes () =
+  let r = fig1_relation () in
+  let summaries = Relation.Profile.attributes r in
+  Alcotest.(check int) "one summary per attribute" 4 (List.length summaries);
+  let age = List.hd summaries in
+  Alcotest.(check string) "name" "age" age.Relation.Profile.name;
+  (* One of 17 tuples misses age (t8). *)
+  check_float ~eps:1e-9 "missing rate" (1. /. 17.)
+    age.Relation.Profile.missing_rate;
+  Alcotest.(check bool) "entropy positive" true
+    (age.Relation.Profile.entropy > 0.)
+
+let test_profile_mi_detects_dependency () =
+  let s = Relation.Schema.of_cardinalities [ 2; 2; 2 ] in
+  let r = rng () in
+  let points =
+    List.init 400 (fun _ ->
+        let a = Prob.Rng.int r 2 in
+        [| a; a; Prob.Rng.int r 2 |])
+  in
+  let inst = Relation.Instance.of_points s points in
+  match Relation.Profile.mutual_information inst with
+  | top :: rest ->
+      Alcotest.(check (pair int int)) "dependent pair ranks first" (0, 1)
+        (top.Relation.Profile.a, top.Relation.Profile.b);
+      Alcotest.(check bool) "near-deterministic pair" true
+        (top.Relation.Profile.normalized > 0.9);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "independent pairs near zero" true
+            (p.Relation.Profile.normalized < 0.2))
+        rest
+  | [] -> Alcotest.fail "expected MI rows"
+
+let test_profile_mi_empty_complete_part () =
+  let s = Relation.Schema.of_cardinalities [ 2; 2 ] in
+  let inst = Relation.Instance.make s [ [| None; Some 0 |] ] in
+  Alcotest.(check int) "no MI rows" 0
+    (List.length (Relation.Profile.mutual_information inst))
+
+let test_profile_render () =
+  let out = Relation.Profile.render (fig1_relation ()) in
+  Alcotest.(check bool) "mentions counts" true
+    (Astring_like.contains out "17 tuples (8 complete)");
+  Alcotest.(check bool) "mentions MI" true
+    (Astring_like.contains out "mutual information")
+
+let suite =
+  suite
+  @ [
+      ("profile attributes", `Quick, test_profile_attributes);
+      ("profile MI detects dependency", `Quick, test_profile_mi_detects_dependency);
+      ("profile MI on empty complete part", `Quick,
+       test_profile_mi_empty_complete_part);
+      ("profile render", `Quick, test_profile_render);
+    ]
