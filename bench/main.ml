@@ -1,12 +1,19 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section VI) at the scale selected by MRSL_SCALE
-   (smoke | default | full), and runs a Bechamel micro-benchmark per
-   artifact measuring its computational kernel.
+   (smoke | default | full), runs a Bechamel micro-benchmark per
+   artifact measuring its computational kernel, and emits a
+   machine-readable BENCH_1.json (micro wall times, work-stealing
+   scheduler speedups, memo hit rates, telemetry snapshot) that the CI
+   regression gate (ci/bench_gate.exe) consumes.
 
    Usage:
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table2 fig11 -- selected artifacts
-     dune exec bench/main.exe -- micro        -- micro-benchmarks only *)
+     dune exec bench/main.exe -- micro        -- micro-benchmarks only
+
+   MRSL_BENCH_OUT overrides the JSON output path (default BENCH_1.json). *)
+
+module Json = Mrsl.Telemetry.Json
 
 let scale = Experiments.Scale.current ()
 
@@ -15,6 +22,16 @@ let seed =
   | Some s -> ( try int_of_string s with Failure _ -> 2011)
   | None -> 2011
 
+let bench_out =
+  match Sys.getenv_opt "MRSL_BENCH_OUT" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_1.json"
+
+(* Accumulators for the JSON report, filled as sections run. *)
+let micro_rows : (string * float) list ref = ref []
+let section_rows : (string * float) list ref = ref []
+let parallel_block : Json.t option ref = ref None
+
 let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
 
 let timed_section id title f =
@@ -22,8 +39,9 @@ let timed_section id title f =
   let t0 = Unix.gettimeofday () in
   let body = f rng in
   section title body;
-  Printf.printf "[%s completed in %.1fs at scale=%s]\n%!" id
-    (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  section_rows := (id, dt) :: !section_rows;
+  Printf.printf "[%s completed in %.1fs at scale=%s]\n%!" id dt
     scale.Experiments.Scale.name
 
 (* ------------------------------------------------------------------ *)
@@ -202,6 +220,131 @@ let micro_tests fx =
           fun () -> ignore (Probdb.Pdb.top_k_worlds db 20)));
   ]
 
+(* Fig 11 tuple-DAG workload under the work-stealing scheduler at several
+   domain counts, plus the seed's static-partition fork/join as the
+   reference it replaced. Emitted into BENCH_1.json: wall time, sweep
+   counts, shared-sample counts, memo hit rates, and speedups. *)
+let run_parallel_bench fx =
+  let samples = 50 and burn_in = 10 in
+  let workload = fx.workload in
+  let tuples = List.length workload in
+  let hit_rate telemetry =
+    match Mrsl.Telemetry.histogram telemetry "gibbs.memo_hit_rate" with
+    | Some s when s.Mrsl.Telemetry.count > 0 -> s.Mrsl.Telemetry.mean
+    | _ -> 0.
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let telemetry = Mrsl.Telemetry.create () in
+        let stats =
+          Experiments.Framework.parallel_workload_stats ~telemetry ~domains
+            ~seed fx.model ~samples ~burn_in workload
+        in
+        (domains, stats, hit_rate telemetry,
+         Mrsl.Telemetry.counter telemetry "parallel.steals",
+         Mrsl.Telemetry.counter telemetry "parallel.tasks"))
+      [ 1; 2; 4 ]
+  in
+  let wall_of d =
+    let _, s, _, _, _ = List.find (fun (d', _, _, _, _) -> d' = d) runs in
+    s.Mrsl.Workload.wall_seconds
+  in
+  (* The seed's static partition at 4 domains, chunks run back-to-back:
+     total work, the honest single-core comparison (and an upper bound on
+     its multicore wall). *)
+  let static =
+    Experiments.Framework.static_partition_stats ~domains:4 ~seed fx.model
+      ~samples ~burn_in workload
+  in
+  let speedup denom num = if num > 0. then denom /. num else Float.nan in
+  let run_json (domains, (s : Mrsl.Workload.stats), rate, steals, tasks) =
+    Json.Obj
+      [
+        ("domains", Json.Int domains);
+        ("wall_seconds", Json.Float s.wall_seconds);
+        ("sweeps", Json.Int s.sweeps);
+        ("recorded", Json.Int s.recorded);
+        ("shared", Json.Int s.shared);
+        ("memo_hit_rate", Json.Float rate);
+        ("steals", Json.Int steals);
+        ("tasks", Json.Int tasks);
+        ("speedup_vs_domains1", Json.Float (speedup (wall_of 1) s.wall_seconds));
+      ]
+  in
+  let block =
+    Json.Obj
+      [
+        ("workload_tuples", Json.Int tuples);
+        ("samples_per_tuple", Json.Int samples);
+        ("burn_in", Json.Int burn_in);
+        ("runs", Json.List (List.map run_json runs));
+        ( "static_partition_domains4",
+          Json.Obj
+            [
+              ("wall_seconds", Json.Float static.wall_seconds);
+              ("sweeps", Json.Int static.sweeps);
+              ("shared", Json.Int static.shared);
+            ] );
+        ( "workstealing_domains4_speedup_vs_static",
+          Json.Float (speedup static.wall_seconds (wall_of 4)) );
+      ]
+  in
+  parallel_block := Some block;
+  let rows =
+    List.map
+      (fun (domains, (s : Mrsl.Workload.stats), rate, steals, _) ->
+        Experiments.Report.
+          [
+            S (Printf.sprintf "work-stealing domains:%d" domains);
+            F s.wall_seconds; I s.sweeps; I s.shared; P rate; I steals;
+          ])
+      runs
+    @ [
+        Experiments.Report.
+          [
+            S "static partition domains:4 (seed)"; F static.wall_seconds;
+            I static.sweeps; I static.shared; P 0.; I 0;
+          ];
+      ]
+  in
+  section "parallel"
+    (Experiments.Report.render
+       ~title:
+         (Printf.sprintf
+            "Fig 11 workload (%d tuples) under the work-stealing scheduler"
+            tuples)
+       ~header:[ "configuration"; "wall (s)"; "sweeps"; "shared"; "memo hit"; "steals" ]
+       rows)
+
+let write_bench_json () =
+  let number_rows rows key =
+    Json.List
+      (List.rev_map
+         (fun (name, v) ->
+           Json.Obj [ ("name", Json.String name); (key, Json.Float v) ])
+         rows)
+  in
+  let fields =
+    [
+      ("schema_version", Json.Int 1);
+      ("scale", Json.String scale.Experiments.Scale.name);
+      ("seed", Json.Int seed);
+      ("generated_unix", Json.Float (Unix.time ()));
+      ("micro", number_rows !micro_rows "ns_per_run");
+      ("sections", number_rows !section_rows "wall_seconds");
+    ]
+    @ (match !parallel_block with
+      | Some block -> [ ("parallel", block) ]
+      | None -> [])
+    @ [ ("telemetry", Mrsl.Telemetry.to_json Mrsl.Telemetry.global) ]
+  in
+  let oc = open_out bench_out in
+  output_string oc (Json.to_string (Json.Obj fields));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n[wrote %s]\n%!" bench_out
+
 let run_micro () =
   let open Bechamel in
   let fx = micro_fixture () in
@@ -225,6 +368,7 @@ let run_micro () =
       rows := (name, ns) :: !rows)
     results;
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  micro_rows := List.filter (fun (_, ns) -> Float.is_finite ns) rows;
   let body =
     Experiments.Report.render ~title:"Bechamel micro-benchmarks"
       ~header:[ "benchmark"; "ns/run"; "ms/run" ]
@@ -232,7 +376,8 @@ let run_micro () =
          (fun (name, ns) -> Experiments.Report.[ S name; F ns; F (ns /. 1e6) ])
          rows)
   in
-  section "micro" body
+  section "micro" body;
+  run_parallel_bench fx
 
 (* ------------------------------------------------------------------ *)
 
@@ -293,4 +438,5 @@ let () =
         | None ->
             Printf.eprintf "unknown artifact %S (known: %s, micro)\n%!" id
               (String.concat ", " (List.map (fun (i, _, _) -> i) artifacts)))
-    requested
+    requested;
+  write_bench_json ()

@@ -1,0 +1,131 @@
+(* Benchmark regression gate.
+
+   Compares a freshly generated BENCH_*.json against the committed
+   baseline and fails (exit 1) when any micro artifact's ns/run regressed
+   by more than the tolerance (default 25%, override with
+   MRSL_BENCH_TOLERANCE, e.g. MRSL_BENCH_TOLERANCE=0.4).
+
+   Benchmarks faster than [min_ns] in the baseline are reported but never
+   fail the gate: at sub-microsecond scales the shared-CI jitter exceeds
+   any plausible regression signal.
+
+   Usage: bench_gate --baseline bench/baseline/BENCH_1.json \
+                     --current BENCH_1.json *)
+
+module Json = Mrsl.Telemetry.Json
+
+let min_ns = 5_000. (* floor below which timing noise dominates *)
+
+let tolerance =
+  match Sys.getenv_opt "MRSL_BENCH_TOLERANCE" with
+  | None -> 0.25
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. -> f
+      | _ ->
+          Printf.eprintf "bench_gate: bad MRSL_BENCH_TOLERANCE %S\n%!" s;
+          exit 2)
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate --baseline <BENCH.json> --current <BENCH.json>";
+  exit 2
+
+let parse_args () =
+  let baseline = ref None and current = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        go rest
+    | "--current" :: v :: rest ->
+        current := Some v;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match (!baseline, !current) with
+  | Some b, Some c -> (b, c)
+  | _ -> usage ()
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "bench_gate: cannot open %s: %s\n%!" path msg;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  try Json.of_string s
+  with Json.Parse_error msg ->
+    Printf.eprintf "bench_gate: %s is not valid JSON: %s\n%!" path msg;
+    exit 2
+
+(* name -> ns_per_run for every row of the "micro" array *)
+let micro_rows json =
+  match Json.member "micro" json with
+  | Some (Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match (Json.member "name" row, Json.member "ns_per_run" row) with
+          | Some (Json.String name), Some v -> (
+              match Json.to_float v with
+              | ns -> Some (name, ns)
+              | exception _ -> None)
+          | _ -> None)
+        rows
+  | _ -> []
+
+let () =
+  let baseline_path, current_path = parse_args () in
+  let base = micro_rows (load baseline_path) in
+  let cur = micro_rows (load current_path) in
+  if base = [] then (
+    Printf.eprintf "bench_gate: no micro rows in baseline %s\n%!" baseline_path;
+    exit 2);
+  if cur = [] then (
+    Printf.eprintf "bench_gate: no micro rows in current %s\n%!" current_path;
+    exit 2);
+  Printf.printf "bench gate: %s vs %s (tolerance %.0f%%, floor %.0f ns)\n"
+    current_path baseline_path (100. *. tolerance) min_ns;
+  Printf.printf "%-38s| %12s | %12s | %8s | %s\n" "benchmark" "baseline ns"
+    "current ns" "delta" "verdict";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let failures = ref 0 and missing = ref 0 in
+  List.iter
+    (fun (name, base_ns) ->
+      match List.assoc_opt name cur with
+      | None ->
+          incr missing;
+          Printf.printf "%-38s| %12.1f | %12s | %8s | MISSING\n" name base_ns
+            "-" "-"
+      | Some cur_ns ->
+          let delta = (cur_ns -. base_ns) /. base_ns in
+          let verdict =
+            if delta > tolerance && base_ns >= min_ns then (
+              incr failures;
+              "FAIL")
+            else if delta > tolerance then "noisy (below floor)"
+            else if delta < -.tolerance then "improved"
+            else "ok"
+          in
+          Printf.printf "%-38s| %12.1f | %12.1f | %+7.1f%% | %s\n" name base_ns
+            cur_ns (100. *. delta) verdict)
+    base;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base) then
+        Printf.printf "%-38s| %12s | %12s | %8s | new (not gated)\n" name "-"
+          "-" "-")
+    cur;
+  if !missing > 0 then (
+    Printf.printf "\n%d baseline benchmark(s) missing from current run\n"
+      !missing;
+    exit 1);
+  if !failures > 0 then (
+    Printf.printf "\n%d benchmark(s) regressed beyond %.0f%%\n" !failures
+      (100. *. tolerance);
+    exit 1);
+  Printf.printf "\nall benchmarks within tolerance\n"

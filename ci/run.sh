@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Local CI pipeline — the same steps .github/workflows/ci.yml runs.
+#
+#   ci/run.sh            build + tests + smoke bench + regression gate
+#   ci/run.sh --no-gate  skip the bench regression gate (e.g. when
+#                        refreshing the baseline itself)
+#
+# Environment knobs:
+#   MRSL_SCALE            experiment scale preset (default here: smoke)
+#   MRSL_SEED             experiment seed (default 2011)
+#   MRSL_BENCH_OUT        where the bench writes its JSON (default BENCH_1.json)
+#   MRSL_BENCH_TOLERANCE  gate tolerance as a fraction (default 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GATE=1
+if [ "${1:-}" = "--no-gate" ]; then GATE=0; fi
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke bench =="
+MRSL_SCALE="${MRSL_SCALE:-smoke}" dune exec bench/main.exe -- micro
+
+if [ "$GATE" = 1 ]; then
+  echo "== bench regression gate =="
+  dune exec ci/bench_gate.exe -- \
+    --baseline bench/baseline/BENCH_1.json \
+    --current "${MRSL_BENCH_OUT:-BENCH_1.json}"
+else
+  echo "== bench regression gate skipped (--no-gate) =="
+fi
+
+echo "== CI pipeline passed =="

@@ -1,0 +1,142 @@
+type worker = {
+  wlock : Mutex.t;
+  wcond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+  mutable busy : bool;  (* owned by the pool lock, not wlock *)
+  mutable handle : unit Domain.t option;
+}
+
+type t = { lock : Mutex.t; mutable workers : worker list }
+
+let create () = { lock = Mutex.create (); workers = [] }
+
+let worker_loop w =
+  let rec loop () =
+    Mutex.lock w.wlock;
+    while w.job = None && not w.stop do
+      Condition.wait w.wcond w.wlock
+    done;
+    if w.stop then Mutex.unlock w.wlock
+    else begin
+      let job = Option.get w.job in
+      w.job <- None;
+      Mutex.unlock w.wlock;
+      (* Jobs are wrapped by [run]; they never raise. *)
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let spawn_worker () =
+  let w =
+    {
+      wlock = Mutex.create ();
+      wcond = Condition.create ();
+      job = None;
+      stop = false;
+      busy = true;  (* born assigned: [acquire] hands it out immediately *)
+      handle = None;
+    }
+  in
+  w.handle <- Some (Domain.spawn (fun () -> worker_loop w));
+  w
+
+(* Claim [k] idle workers, spawning extras as needed. *)
+let acquire t k =
+  Mutex.lock t.lock;
+  let idle = List.filter (fun w -> not w.busy) t.workers in
+  let free = List.filteri (fun i _ -> i < k) idle in
+  List.iter (fun w -> w.busy <- true) free;
+  let missing = k - List.length free in
+  let fresh = List.init missing (fun _ -> spawn_worker ()) in
+  t.workers <- t.workers @ fresh;
+  Mutex.unlock t.lock;
+  free @ fresh
+
+let release t w =
+  Mutex.lock t.lock;
+  w.busy <- false;
+  Mutex.unlock t.lock
+
+let submit w job =
+  Mutex.lock w.wlock;
+  w.job <- Some job;
+  Condition.signal w.wcond;
+  Mutex.unlock w.wlock
+
+let size t =
+  Mutex.lock t.lock;
+  let n = List.length t.workers in
+  Mutex.unlock t.lock;
+  n
+
+type latch = {
+  llock : Mutex.t;
+  lcond : Condition.t;
+  mutable pending : int;
+  mutable error : exn option;
+}
+
+let run t ~workers f =
+  if workers < 1 then invalid_arg "Domain_pool.run: workers must be >= 1";
+  if workers = 1 then f 0
+  else begin
+    let helpers = acquire t (workers - 1) in
+    let latch =
+      {
+        llock = Mutex.create ();
+        lcond = Condition.create ();
+        pending = workers - 1;
+        error = None;
+      }
+    in
+    List.iteri
+      (fun i w ->
+        let wid = i + 1 in
+        submit w (fun () ->
+            (try f wid
+             with e ->
+               Mutex.lock latch.llock;
+               if latch.error = None then latch.error <- Some e;
+               Mutex.unlock latch.llock);
+            release t w;
+            Mutex.lock latch.llock;
+            latch.pending <- latch.pending - 1;
+            if latch.pending = 0 then Condition.broadcast latch.lcond;
+            Mutex.unlock latch.llock))
+      helpers;
+    let caller_error = (try f 0; None with e -> Some e) in
+    Mutex.lock latch.llock;
+    while latch.pending > 0 do
+      Condition.wait latch.lcond latch.llock
+    done;
+    let helper_error = latch.error in
+    Mutex.unlock latch.llock;
+    match (caller_error, helper_error) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let ws = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.lock;
+  List.iter
+    (fun w ->
+      Mutex.lock w.wlock;
+      w.stop <- true;
+      Condition.broadcast w.wcond;
+      Mutex.unlock w.wlock)
+    ws;
+  List.iter (fun w -> Option.iter Domain.join w.handle) ws
+
+let global =
+  lazy
+    (let t = create () in
+     at_exit (fun () -> shutdown t);
+     t)
+
+let get () = Lazy.force global

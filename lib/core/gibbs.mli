@@ -41,6 +41,16 @@ val conditional : sampler -> int array -> int -> Prob.Dist.t
 val cache_stats : sampler -> int * int
 (** (hits, misses) of the conditional-CPD memo table. *)
 
+val hit_rate : sampler -> float
+(** hits / (hits + misses), or [0.] before any probe (or when the memo
+    is disabled). *)
+
+val publish_cache_stats : ?telemetry:Telemetry.t -> sampler -> unit
+(** Record the memo counters into [telemetry] (default
+    {!Telemetry.global}): counters [gibbs.memo_hits] /
+    [gibbs.memo_misses] and one [gibbs.memo_hit_rate] histogram
+    observation (skipped when the sampler was never probed). *)
+
 type chain
 (** One Gibbs chain: a tuple's evidence plus the current assignment of its
     missing attributes. *)

@@ -1,6 +1,297 @@
-(* Group tuples so subsumption-related ones tend to share a chunk: sort by
-   the known-attribute set's itemset order (tuples over the same known
-   attributes cluster), then deal groups round-robin. *)
+(* Work-stealing multicore workload inference.
+
+   The unit of work is one tuple-DAG node (Algorithm 3 task), not a
+   static chunk: roots are dealt round-robin across per-worker deques in
+   task-id order, and whenever a node completes, subsumees whose parents
+   are all done either finish outright on donated samples or are pushed
+   onto the completing worker's deque — stealable by any idle domain, so
+   no domain serializes behind the slowest static chunk.
+
+   Determinism: every node draws from its own RNG stream seeded by the
+   node's index in the (deterministic) tuple DAG — a stable task
+   identity, independent of which domain runs it, of the steal order,
+   and of the domain count. Sample donation is pull-based: a node
+   collects from its parents only once ALL of them have completed,
+   scanning parents in ascending node order and each parent's samples
+   oldest-first. Both rules together make results bit-identical for a
+   fixed seed across any [domains] setting. *)
+
+let task_seed ~seed node =
+  (* Odd multiplier => injective in [node] modulo the native int width;
+     Rng.create finishes the mixing. Stable across domain counts because
+     node indices come from the deterministic DAG build, not from chunk
+     or bucket positions. *)
+  seed + ((node + 1) * 0x2545F4914F6CDD1D)
+
+(* --- per-domain sampler cache --------------------------------------- *)
+
+(* Conditional-CPD memo tables are the dominant inference cache (the
+   per-ensemble caching of Section I-B); rebuilding them cold per run was
+   the seed's biggest waste. Samplers live in domain-local storage keyed
+   by the model's physical identity, so a pool domain reuses its memo —
+   hit/miss counters included — across tasks and across Parallel.run
+   calls against the same model. *)
+module Sampler_cache = struct
+  type entry = {
+    model : Model.t;
+    method_ : Voting.method_ option;
+    memoize : bool option;
+    sampler : Gibbs.sampler;
+  }
+
+  let max_entries = 4
+
+  let key : entry list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+
+  let get ?method_ ?memoize model =
+    let cache = Domain.DLS.get key in
+    match
+      List.find_opt
+        (fun e ->
+          e.model == model && e.method_ = method_ && e.memoize = memoize)
+        !cache
+    with
+    | Some e -> e.sampler
+    | None ->
+        let sampler = Gibbs.sampler ?method_ ?memoize model in
+        cache :=
+          { model; method_; memoize; sampler } :: take (max_entries - 1) !cache;
+        sampler
+end
+
+(* --- scheduler ------------------------------------------------------ *)
+
+type node = {
+  tuple : Relation.Tuple.t;
+  mutable samples : int array list;  (* newest first *)
+  mutable count : int;
+  mutable pending : int;  (* parents not yet completed *)
+  mutable completed : bool;
+}
+
+type worker_log = {
+  mutable sweeps : int;
+  mutable recorded : int;
+  mutable tasks : int;
+  mutable steals : int;
+  mutable max_depth : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+}
+
+let fresh_log () =
+  {
+    sweeps = 0;
+    recorded = 0;
+    tasks = 0;
+    steals = 0;
+    max_depth = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+  }
+
+let empty_result () =
+  {
+    Workload.estimates = [];
+    stats = { sweeps = 0; recorded = 0; shared = 0; wall_seconds = 0. };
+  }
+
+let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
+    ?method_ ?memoize ?domains ?(telemetry = Telemetry.global) ~seed model
+    workload =
+  let requested =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+        d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if config.Gibbs.burn_in < 0 || config.Gibbs.samples < 1 then
+    invalid_arg "Parallel.run: bad burn-in or sample count";
+  match strategy with
+  | Workload.All_at_a_time ->
+      (* One chain over the fully unknown tuple: inherently sequential.
+         Run it on the calling domain with the caller-visible seed. *)
+      let sampler = Sampler_cache.get ?method_ ?memoize model in
+      Workload.run ~config ~strategy ~telemetry
+        (Prob.Rng.create seed)
+        sampler workload
+  | Workload.Tuple_at_a_time | Workload.Tuple_dag ->
+      Telemetry.span telemetry "parallel.run" @@ fun () ->
+      let dag = Tuple_dag.build workload in
+      let n = Tuple_dag.node_count dag in
+      if n = 0 then empty_result ()
+      else begin
+        let workers = max 1 (min requested n) in
+        Telemetry.gauge telemetry "parallel.domains" (float_of_int workers);
+        let use_dag = strategy = Workload.Tuple_dag in
+        let parents i = if use_dag then Tuple_dag.parents dag i else [] in
+        let children i = if use_dag then Tuple_dag.children dag i else [] in
+        let nodes =
+          Array.init n (fun i ->
+              {
+                tuple = Tuple_dag.tuple dag i;
+                samples = [];
+                count = 0;
+                pending = List.length (parents i);
+                completed = false;
+              })
+        in
+        let target = config.Gibbs.samples in
+        let coord = Mutex.create () in
+        let remaining = Atomic.make n in
+        let abort = Atomic.make false in
+        let failure = ref None in
+        let shared = ref 0 and donated = ref 0 in
+        let deques = Array.init workers (fun _ -> Wsdeque.create ()) in
+        let initial =
+          if use_dag then Tuple_dag.roots dag else List.init n Fun.id
+        in
+        List.iteri (fun k i -> Wsdeque.push deques.(k mod workers) i) initial;
+        (* DAG bookkeeping; call with [coord] held. Marks [i] done,
+           promotes children whose last parent just finished: each pulls
+           donations (parents in ascending order, samples oldest-first),
+           completes transitively if satisfied, otherwise joins the
+           returned list of newly runnable tasks. *)
+        let rec complete i newly =
+          let st = nodes.(i) in
+          st.completed <- true;
+          Atomic.decr remaining;
+          List.fold_left
+            (fun newly j ->
+              let cj = nodes.(j) in
+              cj.pending <- cj.pending - 1;
+              if cj.pending > 0 then newly
+              else begin
+                List.iter
+                  (fun p ->
+                    List.iter
+                      (fun point ->
+                        if
+                          cj.count < target
+                          && Relation.Tuple.matches ~point cj.tuple
+                        then begin
+                          cj.samples <- point :: cj.samples;
+                          cj.count <- cj.count + 1;
+                          incr donated;
+                          incr shared
+                        end)
+                      (List.rev nodes.(p).samples))
+                  (parents j);
+                if cj.count >= target then complete j newly else j :: newly
+              end)
+            newly (children i)
+        in
+        let exec log sampler dq i =
+          let st = nodes.(i) in
+          if st.count < target then begin
+            let rng = Prob.Rng.create (task_seed ~seed i) in
+            let c = Gibbs.chain rng sampler st.tuple in
+            for _ = 1 to config.Gibbs.burn_in do
+              ignore (Gibbs.sweep rng c);
+              log.sweeps <- log.sweeps + 1
+            done;
+            while st.count < target do
+              st.samples <- Gibbs.sweep rng c :: st.samples;
+              st.count <- st.count + 1;
+              log.sweeps <- log.sweeps + 1;
+              log.recorded <- log.recorded + 1
+            done
+          end;
+          log.tasks <- log.tasks + 1;
+          Mutex.lock coord;
+          let newly =
+            match complete i [] with
+            | newly -> newly
+            | exception e ->
+                Mutex.unlock coord;
+                raise e
+          in
+          Mutex.unlock coord;
+          List.iter (Wsdeque.push dq) newly;
+          log.max_depth <- max log.max_depth (Wsdeque.length dq)
+        in
+        let logs = Array.init workers (fun _ -> fresh_log ()) in
+        let worker_body wid =
+          let sampler = Sampler_cache.get ?method_ ?memoize model in
+          let h0, m0 = Gibbs.cache_stats sampler in
+          let log = logs.(wid) in
+          let dq = deques.(wid) in
+          let next_task () =
+            match Wsdeque.pop dq with
+            | Some _ as t -> t
+            | None ->
+                let rec scan k =
+                  if k >= workers then None
+                  else
+                    match Wsdeque.steal deques.((wid + k) mod workers) with
+                    | Some _ as t ->
+                        log.steals <- log.steals + 1;
+                        t
+                    | None -> scan (k + 1)
+                in
+                scan 1
+          in
+          (try
+             while (not (Atomic.get abort)) && Atomic.get remaining > 0 do
+               match next_task () with
+               | Some i -> exec log sampler dq i
+               | None -> Domain.cpu_relax ()
+             done
+           with e ->
+             Mutex.lock coord;
+             if !failure = None then failure := Some e;
+             Mutex.unlock coord;
+             Atomic.set abort true);
+          let h1, m1 = Gibbs.cache_stats sampler in
+          log.memo_hits <- h1 - h0;
+          log.memo_misses <- m1 - m0
+        in
+        let t0 = Unix.gettimeofday () in
+        if workers = 1 then worker_body 0
+        else Domain_pool.run (Domain_pool.get ()) ~workers worker_body;
+        (match !failure with Some e -> raise e | None -> ());
+        let wall = Unix.gettimeofday () -. t0 in
+        (* Merge: node order (first-seen workload order), exactly like the
+           sequential strategies. *)
+        let est_sampler = Sampler_cache.get ?method_ ?memoize model in
+        let estimates =
+          Array.to_list
+            (Array.map
+               (fun st ->
+                 (st.tuple, Gibbs.estimate_of_points est_sampler st.tuple st.samples))
+               nodes)
+        in
+        let sum f = Array.fold_left (fun acc l -> acc + f l) 0 logs in
+        let sweeps = sum (fun l -> l.sweeps) in
+        let recorded = sum (fun l -> l.recorded) + !donated in
+        Telemetry.add telemetry "parallel.tasks" (sum (fun l -> l.tasks));
+        Telemetry.add telemetry "parallel.steals" (sum (fun l -> l.steals));
+        Telemetry.add telemetry "parallel.sweeps" sweeps;
+        Telemetry.add telemetry "parallel.shared" !shared;
+        Array.iter
+          (fun l ->
+            Telemetry.observe telemetry "parallel.queue_depth.max"
+              (float_of_int l.max_depth);
+            let probes = l.memo_hits + l.memo_misses in
+            if probes > 0 then
+              Telemetry.observe telemetry "gibbs.memo_hit_rate"
+                (float_of_int l.memo_hits /. float_of_int probes))
+          logs;
+        {
+          Workload.estimates;
+          stats = { sweeps; recorded; shared = !shared; wall_seconds = wall };
+        }
+      end
+
+(* Retained for callers that want the seed's subsumption-aware static
+   partition (benchmarks compare against it); no longer used by [run]. *)
 let partition chunks workload =
   let sorted =
     List.sort
@@ -10,44 +301,7 @@ let partition chunks workload =
       workload
   in
   let buckets = Array.make chunks [] in
-  List.iteri (fun i tup -> buckets.(i mod chunks) <- tup :: buckets.(i mod chunks)) sorted;
+  List.iteri
+    (fun i tup -> buckets.(i mod chunks) <- tup :: buckets.(i mod chunks))
+    sorted;
   Array.to_list buckets |> List.filter (fun b -> b <> [])
-
-let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
-    ?method_ ?memoize ?domains ~seed model workload =
-  let distinct = Tuple_dag.build workload in
-  let n = Tuple_dag.node_count distinct in
-  let requested =
-    match domains with
-    | Some d ->
-        if d < 1 then invalid_arg "Parallel.run: domains must be >= 1";
-        d
-    | None -> Domain.recommended_domain_count ()
-  in
-  let chunks = max 1 (min requested n) in
-  let t0 = Unix.gettimeofday () in
-  let parts =
-    partition chunks (Array.to_list (Tuple_dag.tuples distinct))
-  in
-  let work index part () =
-    let sampler = Gibbs.sampler ?method_ ?memoize model in
-    let rng = Prob.Rng.create (seed + (31 * index)) in
-    Workload.run ~config ~strategy rng sampler part
-  in
-  let handles =
-    List.mapi (fun i part -> Domain.spawn (work i part)) parts
-  in
-  let results = List.map Domain.join handles in
-  let wall = Unix.gettimeofday () -. t0 in
-  let estimates = List.concat_map (fun (r : Workload.result) -> r.estimates) results in
-  let sum f = List.fold_left (fun acc (r : Workload.result) -> acc + f r.stats) 0 results in
-  {
-    Workload.estimates;
-    stats =
-      {
-        sweeps = sum (fun s -> s.Workload.sweeps);
-        recorded = sum (fun s -> s.Workload.recorded);
-        shared = sum (fun s -> s.Workload.shared);
-        wall_seconds = wall;
-      };
-  }

@@ -1,23 +1,49 @@
-(** Multicore workload inference (OCaml 5 domains).
+(** Multicore workload inference: persistent domain pool + work stealing.
 
-    The paper's prototype is single-threaded; on a modern multicore host
-    the workload of Section V-B parallelizes naturally because distinct
-    incomplete tuples are independent inference tasks. The workload's
-    distinct tuples are partitioned into per-domain chunks (round-robin
-    after a subsumption-aware grouping so DAG sharing still fires within a
-    chunk), each domain runs the chosen strategy over its chunk with its
-    own sampler and deterministic RNG stream, and the results are merged.
+    Distinct incomplete tuples are independent inference tasks, but the
+    tuple DAG (Algorithm 3) couples them through sample sharing. Instead
+    of the static per-domain chunks of the seed implementation — which
+    forfeited cross-chunk sharing and serialized behind the slowest
+    chunk — the scheduler makes every DAG node a stealable task on
+    per-worker deques ({!Wsdeque}): roots are dealt round-robin in task
+    order, and when a node completes, subsumees whose parents have all
+    finished either complete outright on donated samples or re-enter the
+    deques. Domains come from the process-wide {!Domain_pool} and keep
+    their conditional-CPD memo tables (with hit/miss counters) in
+    domain-local storage across tasks and across runs.
 
-    Sample sharing across chunks is forgone — the price of parallelism —
-    so with [strategy = Tuple_dag] total sweeps can exceed a sequential
-    tuple-DAG run while wall time drops. On a single-core host (e.g. a
-    constrained container) domains only add scheduling overhead; check
-    [Domain.recommended_domain_count] before fanning out. *)
+    {b Determinism.} Each task draws from an RNG stream seeded by its
+    node index in the deterministic tuple DAG — a stable task identity —
+    and donation pulls parent samples in ascending node order,
+    oldest-first, only after every parent has completed. Consequently a
+    fixed [seed] yields bit-identical estimates and identical
+    sweep/recorded/shared counters for any [domains] value and any steal
+    interleaving; only [wall_seconds] varies.
+
+    Cross-node sharing is global (not chunk-local), so tuple-DAG runs do
+    strictly fewer sweeps than the seed's static partition at every
+    domain count. Steal counts, queue depths, and memo hit rates are
+    recorded in the {!Telemetry} registry. *)
 
 val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
-  ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int -> seed:int ->
-  Model.t -> Relation.Tuple.t list -> Workload.result
-(** [domains] defaults to [Domain.recommended_domain_count ()], capped by
-    the number of distinct tuples. [seed] derives every chunk's RNG, so
-    results are reproducible for a fixed domain count. The merged stats sum
-    the chunks' counters; [wall_seconds] is the true elapsed time. *)
+  ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
+  ?telemetry:Telemetry.t -> seed:int -> Model.t ->
+  Relation.Tuple.t list -> Workload.result
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped
+    by the number of distinct tuples; it must be [>= 1]. Estimates are
+    returned in first-seen workload order. [telemetry] (default
+    {!Telemetry.global}) receives counters [parallel.tasks],
+    [parallel.steals], [parallel.sweeps], [parallel.shared], gauge
+    [parallel.domains], histograms [parallel.queue_depth.max] and
+    [gibbs.memo_hit_rate], and span [parallel.run].
+
+    [strategy] defaults to [Tuple_dag]. [Tuple_at_a_time] uses the same
+    scheduler with no sharing edges. [All_at_a_time] is a single global
+    chain and runs sequentially on the calling domain via
+    {!Workload.run}. *)
+
+val partition : int -> Relation.Tuple.t list -> Relation.Tuple.t list list
+(** The seed implementation's subsumption-aware static partition
+    (itemset-sorted round-robin deal into at most [chunks] non-empty
+    buckets). No longer used by [run]; kept as the baseline that
+    benchmarks measure the work-stealing scheduler against. *)

@@ -1,0 +1,544 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  (* ---- emitter ---- *)
+
+  let escape_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      (* keep a fraction marker so it re-parses as Float *)
+      Printf.sprintf "%.1f" f
+    else
+      (* shortest representation that round-trips *)
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let to_string ?(pretty = true) v =
+    let buf = Buffer.create 1024 in
+    let indent n = if pretty then Buffer.add_string buf (String.make n ' ') in
+    let newline () = if pretty then Buffer.add_char buf '\n' in
+    let rec emit depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (string_of_bool b)
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Float f ->
+          if Float.is_nan f || f = infinity || f = neg_infinity then
+            Buffer.add_string buf "null"
+          else Buffer.add_string buf (float_repr f)
+      | String s -> escape_string buf s
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+          Buffer.add_char buf '[';
+          newline ();
+          List.iteri
+            (fun i item ->
+              if i > 0 then begin
+                Buffer.add_char buf ',';
+                newline ()
+              end;
+              indent ((depth + 1) * 2);
+              emit (depth + 1) item)
+            items;
+          newline ();
+          indent (depth * 2);
+          Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          newline ();
+          List.iteri
+            (fun i (k, item) ->
+              if i > 0 then begin
+                Buffer.add_char buf ',';
+                newline ()
+              end;
+              indent ((depth + 1) * 2);
+              escape_string buf k;
+              Buffer.add_string buf (if pretty then ": " else ":");
+              emit (depth + 1) item)
+            fields;
+          newline ();
+          indent (depth * 2);
+          Buffer.add_char buf '}'
+    in
+    emit 0 v;
+    Buffer.contents buf
+
+  (* ---- parser: recursive descent ---- *)
+
+  type parser_state = { src : string; mutable pos : int }
+
+  let fail st msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    match peek st with
+    | Some d when d = c -> advance st
+    | _ -> fail st (Printf.sprintf "expected %C" c)
+
+  let literal st word value =
+    let n = String.length word in
+    if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+    then begin
+      st.pos <- st.pos + n;
+      value
+    end
+    else fail st (Printf.sprintf "expected %s" word)
+
+  let parse_string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek st with
+      | None -> fail st "unterminated string"
+      | Some '"' -> advance st
+      | Some '\\' -> (
+          advance st;
+          match peek st with
+          | None -> fail st "unterminated escape"
+          | Some c ->
+              advance st;
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                  if st.pos + 4 > String.length st.src then
+                    fail st "truncated \\u escape";
+                  let hex = String.sub st.src st.pos 4 in
+                  st.pos <- st.pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with Failure _ -> fail st "bad \\u escape"
+                  in
+                  (match Uchar.of_int code with
+                  | u -> Buffer.add_utf_8_uchar buf u
+                  | exception Invalid_argument _ -> Buffer.add_char buf '?')
+              | _ -> fail st "bad escape character");
+              loop ())
+      | Some c ->
+          advance st;
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+
+  let parse_number st =
+    let start = st.pos in
+    let is_float = ref false in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some ('0' .. '9' | '-' | '+') -> advance st
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance st
+      | _ -> continue := false
+    done;
+    if st.pos = start then fail st "expected number";
+    let s = String.sub st.src start (st.pos - start) in
+    if !is_float then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st "malformed number"
+    else
+      match int_of_string_opt s with
+      | Some n -> Int n
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Float f
+          | None -> fail st "malformed number")
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | None -> fail st "unexpected end of input"
+    | Some 'n' -> literal st "null" Null
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some '"' -> String (parse_string st)
+    | Some '[' ->
+        advance st;
+        skip_ws st;
+        if peek st = Some ']' then begin
+          advance st;
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                items (v :: acc)
+            | Some ']' ->
+                advance st;
+                List (List.rev (v :: acc))
+            | _ -> fail st "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        advance st;
+        skip_ws st;
+        if peek st = Some '}' then begin
+          advance st;
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws st;
+            let k = parse_string st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            (k, v)
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                fields (f :: acc)
+            | Some '}' ->
+                advance st;
+                Obj (List.rev (f :: acc))
+            | _ -> fail st "expected ',' or '}'"
+          in
+          fields []
+    | Some _ -> parse_number st
+
+  let of_string s =
+    let st = { src = s; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_float = function
+    | Int n -> float_of_int n
+    | Float f -> f
+    | _ -> raise (Parse_error "expected a number")
+
+  let rec equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Bool x, Bool y -> x = y
+    | Int x, Int y -> x = y
+    | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+    | Int x, Float y | Float y, Int x -> float_of_int x = y
+    | String x, String y -> x = y
+    | List xs, List ys ->
+        List.length xs = List.length ys && List.for_all2 equal xs ys
+    | Obj xs, Obj ys ->
+        let sort l =
+          List.sort (fun (ka, _) (kb, _) -> String.compare ka kb) l
+        in
+        List.length xs = List.length ys
+        && List.for_all2
+             (fun (ka, va) (kb, vb) -> ka = kb && equal va vb)
+             (sort xs) (sort ys)
+    | _ -> false
+end
+
+(* ------------------------------------------------------------------ *)
+
+let reservoir_cap = 8192
+
+type histogram_state = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable values : float list;  (* newest first, capped at reservoir_cap *)
+  mutable stored : int;
+}
+
+type gauge_state = { mutable last : float; mutable max_seen : float }
+
+type span_state = {
+  mutable calls : int;
+  mutable wall : float;
+  mutable cpu : float;
+}
+
+type metric =
+  | Counter of int Atomic.t
+  | Gauge of gauge_state
+  | Histogram of histogram_state
+  | Span of span_state
+
+type t = { lock : Mutex.t; metrics : (string, metric) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); metrics = Hashtbl.create 64 }
+
+let global = create ()
+
+let wrong_kind name =
+  invalid_arg
+    (Printf.sprintf "Telemetry: metric %S already exists with another kind"
+       name)
+
+(* Find-or-create under the registry lock; the returned metric's own
+   fields are then mutated under the same lock (histograms, gauges,
+   spans) or atomically (counters). *)
+let intern t name make =
+  Mutex.lock t.lock;
+  let m =
+    match Hashtbl.find_opt t.metrics name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.add t.metrics name m;
+        m
+  in
+  Mutex.unlock t.lock;
+  m
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Telemetry.incr: counters are monotone (by < 0)";
+  match intern t name (fun () -> Counter (Atomic.make 0)) with
+  | Counter c -> ignore (Atomic.fetch_and_add c by)
+  | _ -> wrong_kind name
+
+let add t name n = incr ~by:n t name
+
+let counter t name =
+  Mutex.lock t.lock;
+  let v =
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Counter c) -> Atomic.get c
+    | Some _ ->
+        Mutex.unlock t.lock;
+        wrong_kind name
+    | None -> 0
+  in
+  Mutex.unlock t.lock;
+  v
+
+let gauge t name v =
+  match
+    intern t name (fun () -> Gauge { last = v; max_seen = v })
+  with
+  | Gauge g ->
+      Mutex.lock t.lock;
+      g.last <- v;
+      if v > g.max_seen then g.max_seen <- v;
+      Mutex.unlock t.lock
+  | _ -> wrong_kind name
+
+let gauge_value t name =
+  Mutex.lock t.lock;
+  let v =
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Gauge g) -> Some g.last
+    | Some _ ->
+        Mutex.unlock t.lock;
+        wrong_kind name
+    | None -> None
+  in
+  Mutex.unlock t.lock;
+  v
+
+let observe t name v =
+  match
+    intern t name (fun () ->
+        Histogram
+          {
+            h_count = 0;
+            h_sum = 0.;
+            h_min = infinity;
+            h_max = neg_infinity;
+            values = [];
+            stored = 0;
+          })
+  with
+  | Histogram h ->
+      Mutex.lock t.lock;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      if h.stored < reservoir_cap then begin
+        h.values <- v :: h.values;
+        h.stored <- h.stored + 1
+      end;
+      Mutex.unlock t.lock
+  | _ -> wrong_kind name
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize h =
+  let sorted = List.sort Float.compare h.values in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let pct p =
+    if n = 0 then Float.nan
+    else
+      let idx =
+        Stdlib.min (n - 1)
+          (int_of_float (Float.ceil (p *. float_of_int n)) - 1)
+      in
+      arr.(Stdlib.max 0 idx)
+  in
+  {
+    count = h.h_count;
+    min = h.h_min;
+    max = h.h_max;
+    mean = (if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count);
+    p50 = pct 0.5;
+    p90 = pct 0.9;
+    p99 = pct 0.99;
+  }
+
+let histogram t name =
+  Mutex.lock t.lock;
+  let v =
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Histogram h) -> Some (summarize h)
+    | Some _ ->
+        Mutex.unlock t.lock;
+        wrong_kind name
+    | None -> None
+  in
+  Mutex.unlock t.lock;
+  v
+
+let span t name f =
+  let s =
+    match
+      intern t name (fun () -> Span { calls = 0; wall = 0.; cpu = 0. })
+    with
+    | Span s -> s
+    | _ -> wrong_kind name
+  in
+  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  let record () =
+    let w = Unix.gettimeofday () -. w0 and c = Sys.time () -. c0 in
+    Mutex.lock t.lock;
+    s.calls <- s.calls + 1;
+    s.wall <- s.wall +. w;
+    s.cpu <- s.cpu +. c;
+    Mutex.unlock t.lock
+  in
+  match f () with
+  | r ->
+      record ();
+      r
+  | exception e ->
+      record ();
+      raise e
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.metrics;
+  Mutex.unlock t.lock
+
+let to_json t =
+  Mutex.lock t.lock;
+  let snapshot = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.metrics [] in
+  (* Summaries read mutable state, so build them before unlocking. *)
+  let classify (name, m) =
+    match m with
+    | Counter c -> `Counter (name, Json.Int (Atomic.get c))
+    | Gauge g ->
+        `Gauge
+          ( name,
+            Json.Obj [ ("last", Json.Float g.last); ("max", Json.Float g.max_seen) ]
+          )
+    | Histogram h ->
+        let s = summarize h in
+        `Histogram
+          ( name,
+            Json.Obj
+              [
+                ("count", Json.Int s.count);
+                ("min", Json.Float s.min);
+                ("max", Json.Float s.max);
+                ("mean", Json.Float s.mean);
+                ("p50", Json.Float s.p50);
+                ("p90", Json.Float s.p90);
+                ("p99", Json.Float s.p99);
+              ] )
+    | Span s ->
+        `Span
+          ( name,
+            Json.Obj
+              [
+                ("calls", Json.Int s.calls);
+                ("wall_seconds", Json.Float s.wall);
+                ("cpu_seconds", Json.Float s.cpu);
+              ] )
+  in
+  let classified = List.map classify snapshot in
+  Mutex.unlock t.lock;
+  let bucket f =
+    classified
+    |> List.filter_map f
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (bucket (function `Counter kv -> Some kv | _ -> None)) );
+      ("gauges", Json.Obj (bucket (function `Gauge kv -> Some kv | _ -> None)));
+      ( "histograms",
+        Json.Obj (bucket (function `Histogram kv -> Some kv | _ -> None)) );
+      ("spans", Json.Obj (bucket (function `Span kv -> Some kv | _ -> None)));
+    ]

@@ -172,18 +172,34 @@ let all_at_a_time config rng sampler dag max_draws sweeps recorded =
   states
 
 let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
-    ?(max_draws = 10_000_000) rng sampler workload =
+    ?(max_draws = 10_000_000) ?(telemetry = Telemetry.global) rng sampler
+    workload =
   if max_draws < 1 then invalid_arg "Workload.run: max_draws must be positive";
   let dag = Tuple_dag.build workload in
   let sweeps = ref 0 and recorded = ref 0 and shared = ref 0 in
+  let memo_hits0, memo_misses0 = Gibbs.cache_stats sampler in
   let t0 = Unix.gettimeofday () in
   let states =
-    match strategy with
-    | Tuple_at_a_time -> tuple_at_a_time config rng sampler dag sweeps recorded
-    | Tuple_dag -> tuple_dag_strategy config rng sampler dag sweeps recorded shared
-    | All_at_a_time -> all_at_a_time config rng sampler dag max_draws sweeps recorded
+    Telemetry.span telemetry "workload.run" (fun () ->
+        match strategy with
+        | Tuple_at_a_time ->
+            tuple_at_a_time config rng sampler dag sweeps recorded
+        | Tuple_dag ->
+            tuple_dag_strategy config rng sampler dag sweeps recorded shared
+        | All_at_a_time ->
+            all_at_a_time config rng sampler dag max_draws sweeps recorded)
   in
   let wall = Unix.gettimeofday () -. t0 in
+  Telemetry.add telemetry "workload.sweeps" !sweeps;
+  Telemetry.add telemetry "workload.recorded" !recorded;
+  Telemetry.add telemetry "workload.shared" !shared;
+  Telemetry.observe telemetry "workload.tuples"
+    (float_of_int (Tuple_dag.node_count dag));
+  let memo_hits1, memo_misses1 = Gibbs.cache_stats sampler in
+  let probes = memo_hits1 - memo_hits0 + (memo_misses1 - memo_misses0) in
+  if probes > 0 then
+    Telemetry.observe telemetry "gibbs.memo_hit_rate"
+      (float_of_int (memo_hits1 - memo_hits0) /. float_of_int probes);
   Log.info (fun m ->
       m "%s: %d distinct tuples, %d sweeps (%d recorded, %d shared) in %.3fs"
         (strategy_name strategy)

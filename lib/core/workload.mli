@@ -34,11 +34,16 @@ type result = {
 }
 
 val run : ?config:Gibbs.config -> ?strategy:strategy -> ?max_draws:int ->
-  Prob.Rng.t -> Gibbs.sampler -> Relation.Tuple.t list -> result
+  ?telemetry:Telemetry.t -> Prob.Rng.t -> Gibbs.sampler ->
+  Relation.Tuple.t list -> result
 (** Infer the joint distribution of the missing values of every distinct
     incomplete tuple in the workload. Complete tuples are rejected with
     [Invalid_argument]. [strategy] defaults to [Tuple_dag]. [max_draws]
     (default [10_000_000]) bounds the all-at-a-time chain, which otherwise
     need not terminate when some tuple's evidence is never hit; tuples
     still short of samples when the cap fires are estimated from what was
-    collected (or from one forced direct chain if they matched nothing). *)
+    collected (or from one forced direct chain if they matched nothing).
+    [telemetry] (default {!Telemetry.global}) receives the
+    [workload.run] span, [workload.sweeps] / [workload.recorded] /
+    [workload.shared] counters, the [workload.tuples] histogram, and a
+    [gibbs.memo_hit_rate] observation covering this run's memo probes. *)

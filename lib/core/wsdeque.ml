@@ -1,0 +1,59 @@
+(* Two-stack deque under a mutex. [young] holds recent pushes newest
+   first; [old] holds older tasks oldest first. The owner pops from
+   [young]; thieves (and an owner finding [young] empty) take from [old],
+   reversing [young] into it when needed. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable young : 'a list;  (* newest first *)
+  mutable old : 'a list;  (* oldest first *)
+  mutable size : int;
+}
+
+let create () = { lock = Mutex.create (); young = []; old = []; size = 0 }
+
+let with_lock d f =
+  Mutex.lock d.lock;
+  match f () with
+  | v ->
+      Mutex.unlock d.lock;
+      v
+  | exception e ->
+      Mutex.unlock d.lock;
+      raise e
+
+let push d x =
+  with_lock d (fun () ->
+      d.young <- x :: d.young;
+      d.size <- d.size + 1)
+
+let pop d =
+  with_lock d (fun () ->
+      match d.young with
+      | x :: tl ->
+          d.young <- tl;
+          d.size <- d.size - 1;
+          Some x
+      | [] -> (
+          match d.old with
+          | x :: tl ->
+              d.old <- tl;
+              d.size <- d.size - 1;
+              Some x
+          | [] -> None))
+
+let steal d =
+  with_lock d (fun () ->
+      (match d.old with
+      | [] when d.young <> [] ->
+          d.old <- List.rev d.young;
+          d.young <- []
+      | _ -> ());
+      match d.old with
+      | x :: tl ->
+          d.old <- tl;
+          d.size <- d.size - 1;
+          Some x
+      | [] -> None)
+
+let length d = d.size

@@ -1,0 +1,26 @@
+(** Per-worker work-stealing deque.
+
+    One worker owns each deque: the owner pushes and pops at the "young"
+    end (LIFO, for locality with freshly promoted subsumees), thieves
+    steal from the "old" end (FIFO, so they take the tasks the owner
+    queued earliest). A coarse per-deque mutex is deliberate: tasks are
+    whole Gibbs chains (thousands of conditional-CPD evaluations each),
+    so queue operations are nowhere near the critical path and a
+    lock-free Chase–Lev structure would buy nothing but risk. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner end. *)
+
+val pop : 'a t -> 'a option
+(** Owner end (newest first; falls back to the old end when the young
+    stack is empty). *)
+
+val steal : 'a t -> 'a option
+(** Thief end (oldest first). Safe from any domain. *)
+
+val length : 'a t -> int
+(** Current number of queued tasks (racy snapshot, for telemetry). *)

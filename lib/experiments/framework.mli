@@ -8,7 +8,8 @@
     the scale preset. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** Result and wall-clock seconds. *)
+(** Result and wall-clock seconds; also recorded into the
+    [experiments.timed_seconds] histogram of {!Mrsl.Telemetry.global}. *)
 
 type prepared = {
   entry : Bayesnet.Catalog.entry;
@@ -67,6 +68,21 @@ val workload_stats : ?memoize:bool -> Prob.Rng.t -> Mrsl.Model.t ->
 (** Run a workload under a strategy and report its cost counters (Fig 11).
     [memoize] defaults to [false] here: Fig 11 measures the paper's cost
     model, where wall time is proportional to sampled points. *)
+
+val parallel_workload_stats : ?memoize:bool -> ?telemetry:Mrsl.Telemetry.t ->
+  domains:int -> seed:int -> Mrsl.Model.t -> samples:int -> burn_in:int ->
+  Relation.Tuple.t list -> Mrsl.Workload.stats
+(** Tuple-DAG workload cost under the work-stealing scheduler at a given
+    domain count ({!Mrsl.Parallel.run}); [memoize] defaults to [true] —
+    this measures the system as deployed, not the paper's cost model. *)
+
+val static_partition_stats : ?memoize:bool -> domains:int -> seed:int ->
+  Mrsl.Model.t -> samples:int -> burn_in:int -> Relation.Tuple.t list ->
+  Mrsl.Workload.stats
+(** Cost of the seed's static fork/join at the same domain count: the
+    subsumption-aware partition with chunk-local tuple-DAG runs and no
+    cross-chunk sharing, executed back-to-back (so [wall_seconds] is
+    total work). The benchmark baseline for the scheduler's speedup. *)
 
 val joint_agreement : Mrsl.Workload.result -> Mrsl.Workload.result -> float
 (** Mean total-variation distance between two strategies' estimates of the

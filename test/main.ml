@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mrsl-repro"
     [
       ("prob", Test_prob.suite);
+      ("telemetry", Test_telemetry.suite);
       ("relation", Test_relation.suite);
       ("bayesnet", Test_bayesnet.suite);
       ("mining", Test_mining.suite);

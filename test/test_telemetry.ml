@@ -1,0 +1,125 @@
+(* Tests for the Telemetry registry and its JSON emitter/parser. *)
+
+module T = Mrsl.Telemetry
+module Json = Mrsl.Telemetry.Json
+
+let test_counters_monotone () =
+  let t = T.create () in
+  Alcotest.(check int) "zero before first touch" 0 (T.counter t "a");
+  T.incr t "a";
+  Alcotest.(check int) "one" 1 (T.counter t "a");
+  T.incr ~by:41 t "a";
+  Alcotest.(check int) "accumulates" 42 (T.counter t "a");
+  T.add t "a" 0;
+  Alcotest.(check int) "zero add is a no-op" 42 (T.counter t "a");
+  Alcotest.check_raises "negative increments rejected"
+    (Invalid_argument "Telemetry.incr: counters are monotone (by < 0)")
+    (fun () -> T.incr ~by:(-1) t "a")
+
+let test_counters_concurrent () =
+  let t = T.create () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> for _ = 1 to 1000 do T.incr t "hits" done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "atomic under contention" 4000 (T.counter t "hits")
+
+let test_gauges () =
+  let t = T.create () in
+  Alcotest.(check bool) "absent" true (T.gauge_value t "depth" = None);
+  T.gauge t "depth" 3.;
+  T.gauge t "depth" 1.;
+  Alcotest.(check bool) "last wins" true (T.gauge_value t "depth" = Some 1.);
+  match Json.member "gauges" (T.to_json t) with
+  | Some (Json.Obj [ ("depth", g) ]) ->
+      Alcotest.(check (float 0.)) "max retained" 3.
+        (Json.to_float (Option.get (Json.member "max" g)))
+  | _ -> Alcotest.fail "gauge snapshot shape"
+
+let test_histogram_summary () =
+  let t = T.create () in
+  List.iter (T.observe t "lat") [ 5.; 1.; 4.; 2.; 3. ];
+  match T.histogram t "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.count;
+      Alcotest.(check (float 0.)) "min" 1. s.min;
+      Alcotest.(check (float 0.)) "max" 5. s.max;
+      Alcotest.(check (float 1e-9)) "mean" 3. s.mean;
+      Alcotest.(check (float 0.)) "p50" 3. s.p50
+
+let test_span_accumulates () =
+  let t = T.create () in
+  let v = T.span t "work" (fun () -> 7) in
+  Alcotest.(check int) "span returns value" 7 v;
+  (try T.span t "work" (fun () -> failwith "boom") with Failure _ -> ());
+  match Json.member "spans" (T.to_json t) with
+  | Some (Json.Obj [ ("work", s) ]) ->
+      Alcotest.(check int) "both calls recorded (even the raising one)" 2
+        (match Json.member "calls" s with Some (Json.Int n) -> n | _ -> -1)
+  | _ -> Alcotest.fail "span snapshot shape"
+
+let test_json_round_trip () =
+  let t = T.create () in
+  T.incr ~by:7 t "parallel.steals";
+  T.gauge t "parallel.domains" 4.;
+  List.iter (T.observe t "gibbs.memo_hit_rate") [ 0.25; 0.5; 0.125 ];
+  ignore (T.span t "parallel.run" (fun () -> ()));
+  let j = T.to_json t in
+  let round_tripped = Json.of_string (Json.to_string j) in
+  Alcotest.(check bool) "snapshot round-trips through text" true
+    (Json.equal j round_tripped);
+  (* compact form round-trips too *)
+  let compact = Json.of_string (Json.to_string ~pretty:false j) in
+  Alcotest.(check bool) "compact round-trips" true (Json.equal j compact)
+
+let test_json_parser () =
+  let j =
+    Json.of_string
+      {| {"a": [1, 2.5, -3e2, true, false, null], "s": "he\"llo\nA"} |}
+  in
+  (match Json.member "a" j with
+  | Some (Json.List [ Json.Int 1; Json.Float 2.5; Json.Float f; Json.Bool true;
+                      Json.Bool false; Json.Null ]) ->
+      Alcotest.(check (float 0.)) "exponent" (-300.) f
+  | _ -> Alcotest.fail "array parse");
+  (match Json.member "s" j with
+  | Some (Json.String s) -> Alcotest.(check string) "escapes" "he\"llo\nA" s
+  | _ -> Alcotest.fail "string parse");
+  Alcotest.check_raises "trailing garbage rejected"
+    (Json.Parse_error "trailing garbage at offset 5") (fun () ->
+      ignore (Json.of_string "null x"))
+
+let test_json_floats_survive () =
+  let values = [ 0.1; 1. /. 3.; 1e-9; 12345.678901234567; 1.0; -0.0 ] in
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      match Json.of_string s with
+      | Json.Float g -> Alcotest.(check (float 0.)) s f g
+      | Json.Int n -> Alcotest.(check (float 0.)) s f (float_of_int n)
+      | _ -> Alcotest.fail "float parse")
+    values;
+  (* non-finite floats degrade to null rather than emitting invalid JSON *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf -> null" "null" (Json.to_string (Json.Float infinity))
+
+let test_reset () =
+  let t = T.create () in
+  T.incr t "a";
+  T.reset t;
+  Alcotest.(check int) "counters dropped" 0 (T.counter t "a")
+
+let suite =
+  [
+    ("counters monotone", `Quick, test_counters_monotone);
+    ("counters atomic across domains", `Quick, test_counters_concurrent);
+    ("gauges last + max", `Quick, test_gauges);
+    ("histogram summary", `Quick, test_histogram_summary);
+    ("span accumulates", `Quick, test_span_accumulates);
+    ("JSON round-trip", `Quick, test_json_round_trip);
+    ("JSON parser", `Quick, test_json_parser);
+    ("JSON floats survive", `Quick, test_json_floats_survive);
+    ("reset", `Quick, test_reset);
+  ]
