@@ -380,6 +380,126 @@ let run_micro () =
   run_parallel_bench fx
 
 (* ------------------------------------------------------------------ *)
+(* Fault-containment exercise: drives every degradation path of the
+   robustness layer under deterministic injection so the corresponding
+   telemetry counters (fault.*, degrade.*, gibbs.retries,
+   csv.rows_skipped) land in the BENCH JSON, where the CI fault pass
+   asserts their presence. Injection rates come from the MRSL_FAULT_
+   environment variables when set, otherwise from a built-in config. *)
+
+let render_faults rng =
+  let buf = Buffer.create 512 in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let network = Bayesnet.Network.generate rng entry.topology in
+  let train = Bayesnet.Network.sample_instance rng network 400 in
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.02 }
+      train
+  in
+  let workload =
+    Array.to_list
+      (Relation.Instance.tuples
+         (Relation.Instance.mask_uniform rng ~max_missing:2
+            (Bayesnet.Network.sample_instance rng network 16)))
+  in
+  let retry_tuple =
+    (Relation.Instance.tuples
+       (Relation.Instance.mask_exact rng ~missing:1
+          (Bayesnet.Network.sample_instance rng network 1))).(0)
+  in
+  let cfg =
+    if Mrsl.Fault_inject.active () then Mrsl.Fault_inject.current ()
+    else
+      {
+        Mrsl.Fault_inject.seed;
+        task_failure_rate = 0.25;
+        csv_corruption_rate = 0.25;
+        nonconvergence_rate = 1.0;
+        voter_drop_rate = 1.0;
+      }
+  in
+  let tg = Mrsl.Telemetry.global in
+  out "injection: %s" (Mrsl.Fault_inject.describe cfg);
+  Mrsl.Fault_inject.with_config cfg (fun () ->
+      (* 1. CSV corruption survived by the lenient reader. *)
+      let text = Relation.Csv_io.write_string train in
+      let corrupted, lines = Mrsl.Fault_inject.corrupt_csv text in
+      let inst, errs =
+        Relation.Csv_io.read_string_lenient ~file:"<bench>" corrupted
+      in
+      Mrsl.Telemetry.add tg "fault.injected.csv_rows" (List.length lines);
+      Mrsl.Telemetry.add tg "csv.rows_skipped" (List.length errs);
+      out "csv: %d rows corrupted; lenient read kept %d tuples, skipped %d"
+        (List.length lines) (Relation.Instance.size inst) (List.length errs);
+      (* 2. Contained scheduler run at the configured task-failure rate. *)
+      let contained =
+        Mrsl.Parallel.run_contained
+          ~config:{ Mrsl.Gibbs.burn_in = 10; samples = 50 }
+          ~domains:2 ~policy:Mrsl.Parallel.Skip_and_report ~seed model
+          workload
+      in
+      out "scheduler: %d tuples inferred, %d skipped (%d sweeps)"
+        (List.length contained.result.estimates)
+        (List.length contained.faults)
+        contained.result.stats.sweeps;
+      (* 2b. Pinned full-rate containment so fault.task_failures and
+         fault.tuples_skipped are non-zero for every seed. *)
+      let pinned =
+        Mrsl.Fault_inject.with_config
+          { cfg with task_failure_rate = 1.0 }
+          (fun () ->
+            Mrsl.Parallel.run_contained
+              ~config:{ Mrsl.Gibbs.burn_in = 10; samples = 50 }
+              ~domains:2 ~policy:Mrsl.Parallel.Skip_and_report ~seed model
+              (match workload with a :: b :: c :: _ -> [ a; b; c ] | w -> w))
+      in
+      out "scheduler (rate 1.0): %d/3 tuples skipped"
+        (List.length pinned.faults);
+      (* 3. Forced non-convergence: retries with doubled draws until the
+         budget runs out, then a flagged degraded estimate. *)
+      let checked =
+        Mrsl.Fault_inject.with_config
+          { cfg with nonconvergence_rate = 1.0 }
+          (fun () ->
+            let sampler = Mrsl.Gibbs.sampler model in
+            Mrsl.Diagnostics.run_with_retries
+              ~config:{ Mrsl.Gibbs.burn_in = 10; samples = 50 }
+              (Prob.Rng.create seed) sampler retry_tuple)
+      in
+      out "retries: %d attempts, %d sweeps, converged=%b" checked.attempts
+        checked.total_sweeps checked.converged;
+      (* 4. The degradation ladder's lower rungs, exercised directly and
+         via dropped voter sets. *)
+      let card = Relation.Schema.cardinality (Mrsl.Model.schema model) 0 in
+      ignore
+        (Mrsl.Infer_single.degrade ~card
+           (Mrsl.Infer_single.marginal_prior model 0));
+      ignore (Mrsl.Infer_single.degrade ~card None);
+      (match
+         List.find_opt (fun t -> Relation.Tuple.missing t <> []) workload
+       with
+      | Some t ->
+          let a = List.hd (Relation.Tuple.missing t) in
+          ignore (Mrsl.Infer_single.infer model t a)
+      | None -> ());
+      out "ladder: marginal-prior and uniform rungs exercised");
+  List.iter
+    (fun key ->
+      out "counter %-24s %d" key (Mrsl.Telemetry.counter tg key))
+    [
+      "fault.injected.csv_rows"; "csv.rows_skipped"; "fault.task_failures";
+      "fault.tuples_skipped"; "fault.upstream_skipped"; "gibbs.retries";
+      "degrade.nonconverged"; "degrade.marginal_prior"; "degrade.uniform";
+    ];
+  Buffer.contents buf
 
 let artifacts =
   [
@@ -419,6 +539,9 @@ let artifacts =
     ( "ablations",
       "Ablations: maxItemsets, smoothing floor, Gibbs strategy, memoization",
       fun rng -> Experiments.Ablations.render rng scale );
+    ( "faults",
+      "Fault containment: injection, degradation ladder, retries",
+      render_faults );
   ]
 
 let () =
@@ -427,6 +550,9 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ -> List.map (fun (id, _, _) -> id) artifacts @ [ "micro" ]
   in
+  if Mrsl.Fault_inject.install_from_env () then
+    Printf.printf "fault injection active: %s\n%!"
+      (Mrsl.Fault_inject.describe (Mrsl.Fault_inject.current ()));
   Printf.printf "MRSL reproduction benches (scale=%s, seed=%d)\n%!"
     scale.Experiments.Scale.name seed;
   List.iter

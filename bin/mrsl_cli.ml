@@ -228,9 +228,72 @@ let infer_cmd =
     in
     Arg.(value & opt (some file) None & info [ "model" ] ~doc)
   in
+  let lenient_arg =
+    let doc =
+      "Tolerate malformed CSV rows: skip them, report each on stderr with \
+       file:line and cause, and infer from the surviving rows (default: \
+       the first malformed row aborts the load)."
+    in
+    Arg.(value & flag & info [ "lenient" ] ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Run inference on this many domains with the work-stealing scheduler \
+       (results are bit-identical for any value given the seed)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let on_fault_arg =
+    let doc =
+      "Per-tuple fault policy under --domains: $(b,fail) aborts on the \
+       first task error; $(b,skip) contains it to the tuple, skips its \
+       dependents, and reports them after the surviving estimates."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("fail", `Fail); ("skip", `Skip) ]) `Fail
+      & info [ "on-fault" ] ~doc ~docv:"POLICY")
+  in
+  let retry_arg =
+    let doc =
+      "Check split R-hat convergence per tuple and retry non-converged \
+       chains with doubled draws (bounded by the default retry policy); \
+       tuples still unconverged after the budget are flagged."
+    in
+    Arg.(value & flag & info [ "retry" ] ~doc)
+  in
+  let print_estimate schema top (tup, est) =
+    let block = Probdb.Block.of_estimate est in
+    Format.printf "%a:@." (Relation.Tuple.pp schema) tup;
+    List.iteri
+      (fun i (a : Probdb.Block.alternative) ->
+        if i < top then
+          Format.printf "  %a  prob %.4f@."
+            (Relation.Tuple.pp schema)
+            (Relation.Tuple.of_point a.point)
+            a.prob)
+      block.alternatives;
+    if Probdb.Block.alternative_count block > top then
+      Format.printf "  … (%d more completions)@."
+        (Probdb.Block.alternative_count block - top)
+  in
   let run input support max_itemsets method_ strategy samples burn_in top
-      model_path seed =
-    let inst = Relation.Csv_io.read_file input in
+      model_path lenient domains on_fault retry seed =
+    let inst =
+      if lenient then begin
+        let inst, row_errors = Relation.Csv_io.read_file_lenient input in
+        List.iter
+          (fun e ->
+            Printf.eprintf "skipped: %s\n"
+              (Relation.Csv_io.row_error_to_string e))
+          row_errors;
+        if row_errors <> [] then
+          Printf.eprintf "%d malformed rows skipped\n"
+            (List.length row_errors);
+        inst
+      end
+      else Relation.Csv_io.read_file input
+    in
     let schema = Relation.Instance.schema inst in
     let params = params_of support max_itemsets in
     let model =
@@ -248,34 +311,75 @@ let infer_cmd =
     let incomplete = Array.to_list (Relation.Instance.incomplete_part inst) in
     if incomplete = [] then print_endline "no incomplete tuples to infer"
     else begin
-      let sampler = Mrsl.Gibbs.sampler ~method_ model in
       let config = { Mrsl.Gibbs.burn_in; samples } in
-      let result =
-        Mrsl.Workload.run ~config ~strategy
-          (Prob.Rng.create seed)
-          sampler incomplete
-      in
-      Printf.printf
-        "inferred %d distinct incomplete tuples (%d sweeps, %.3fs, %s)\n\n"
-        (List.length result.estimates)
-        result.stats.sweeps result.stats.wall_seconds
-        (Mrsl.Workload.strategy_name strategy);
-      List.iter
-        (fun (tup, est) ->
-          let block = Probdb.Block.of_estimate est in
-          Format.printf "%a:@." (Relation.Tuple.pp schema) tup;
-          List.iteri
-            (fun i (a : Probdb.Block.alternative) ->
-              if i < top then
-                Format.printf "  %a  prob %.4f@."
-                  (Relation.Tuple.pp schema)
-                  (Relation.Tuple.of_point a.point)
-                  a.prob)
-            block.alternatives;
-          if Probdb.Block.alternative_count block > top then
-            Format.printf "  … (%d more completions)@."
-              (Probdb.Block.alternative_count block - top))
-        result.estimates
+      if retry then begin
+        (* Convergence-checked sequential path: one chain per distinct
+           tuple, retried with doubled draws while split R-hat exceeds
+           the threshold and the budget lasts. *)
+        let sampler = Mrsl.Gibbs.sampler ~method_ model in
+        let rng = Prob.Rng.create seed in
+        let distinct = List.sort_uniq compare incomplete in
+        Printf.printf
+          "inferring %d distinct incomplete tuples with convergence \
+           retries\n\n"
+          (List.length distinct);
+        List.iter
+          (fun tup ->
+            let checked =
+              Mrsl.Diagnostics.run_with_retries ~config rng sampler tup
+            in
+            print_estimate schema top (tup, checked.estimate);
+            Format.printf "  R-hat %.4f after %d attempt%s (%d sweeps)%s@."
+              checked.rhat checked.attempts
+              (if checked.attempts = 1 then "" else "s")
+              checked.total_sweeps
+              (if checked.converged then ""
+               else "  ** NOT converged: budget exhausted **"))
+          distinct
+      end
+      else
+        match domains with
+        | Some d ->
+            let policy =
+              match on_fault with
+              | `Fail -> Mrsl.Parallel.Fail_fast
+              | `Skip -> Mrsl.Parallel.Skip_and_report
+            in
+            let contained =
+              Mrsl.Parallel.run_contained ~config ~strategy ~method_
+                ~domains:d ~policy ~seed model incomplete
+            in
+            let result = contained.result in
+            Printf.printf
+              "inferred %d distinct incomplete tuples (%d sweeps, %.3fs, \
+               %s, %d domains)\n\n"
+              (List.length result.estimates)
+              result.stats.sweeps result.stats.wall_seconds
+              (Mrsl.Workload.strategy_name strategy)
+              d;
+            List.iter (print_estimate schema top) result.estimates;
+            List.iter
+              (fun (f : Mrsl.Parallel.tuple_fault) ->
+                Format.eprintf "fault: tuple %a skipped: %a@."
+                  (Relation.Tuple.pp schema) f.tuple Mrsl.Error.pp f.error)
+              contained.faults;
+            if contained.faults <> [] then
+              Printf.eprintf "%d tuples skipped by fault containment\n"
+                (List.length contained.faults)
+        | None ->
+            let sampler = Mrsl.Gibbs.sampler ~method_ model in
+            let result =
+              Mrsl.Workload.run ~config ~strategy
+                (Prob.Rng.create seed)
+                sampler incomplete
+            in
+            Printf.printf
+              "inferred %d distinct incomplete tuples (%d sweeps, %.3fs, \
+               %s)\n\n"
+              (List.length result.estimates)
+              result.stats.sweeps result.stats.wall_seconds
+              (Mrsl.Workload.strategy_name strategy);
+            List.iter (print_estimate schema top) result.estimates
     end
   in
   let info =
@@ -287,7 +391,7 @@ let infer_cmd =
     Term.(
       const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
       $ strategy_arg $ samples_arg $ burn_in_arg $ top_arg $ model_arg
-      $ seed_arg)
+      $ lenient_arg $ domains_arg $ on_fault_arg $ retry_arg $ seed_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -514,6 +618,9 @@ let setup_logging () =
 
 let () =
   setup_logging ();
+  if Mrsl.Fault_inject.install_from_env () then
+    Printf.eprintf "fault injection active: %s\n%!"
+      (Mrsl.Fault_inject.describe (Mrsl.Fault_inject.current ()));
   let doc =
     "MRSL: deriving probabilistic databases with inference ensembles \
      (reproduction of Stoyanovich et al., ICDE 2011)"

@@ -10,7 +10,13 @@
    any plausible regression signal.
 
    Usage: bench_gate --baseline bench/baseline/BENCH_1.json \
-                     --current BENCH_1.json *)
+                     --current BENCH_1.json
+
+   Fault-injection mode: --require-counter NAME (repeatable) asserts
+   that telemetry counter NAME is present and positive in --current —
+   the CI fault pass uses this to prove the degradation/retry paths
+   actually fired. With at least one --require-counter, --baseline
+   becomes optional (counters-only invocation). *)
 
 module Json = Mrsl.Telemetry.Json
 
@@ -28,11 +34,15 @@ let tolerance =
 
 let usage () =
   prerr_endline
-    "usage: bench_gate --baseline <BENCH.json> --current <BENCH.json>";
+    "usage: bench_gate [--baseline <BENCH.json>] --current <BENCH.json> \
+     [--require-counter NAME]...";
+  prerr_endline "  --baseline is required unless --require-counter is given";
   exit 2
 
 let parse_args () =
-  let baseline = ref None and current = ref None in
+  let baseline = ref None
+  and current = ref None
+  and counters = ref [] in
   let rec go = function
     | [] -> ()
     | "--baseline" :: v :: rest ->
@@ -41,11 +51,15 @@ let parse_args () =
     | "--current" :: v :: rest ->
         current := Some v;
         go rest
+    | "--require-counter" :: v :: rest ->
+        counters := v :: !counters;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  match (!baseline, !current) with
-  | Some b, Some c -> (b, c)
+  match (!baseline, !current, List.rev !counters) with
+  | baseline, Some c, (_ :: _ as req) -> (baseline, c, req)
+  | Some _, Some c, [] -> (!baseline, c, [])
   | _ -> usage ()
 
 let load path =
@@ -78,10 +92,55 @@ let micro_rows json =
         rows
   | _ -> []
 
+(* name -> value for every telemetry counter of the report *)
+let counter_value json name =
+  match Json.member "telemetry" json with
+  | None -> None
+  | Some t -> (
+      match Json.member "counters" t with
+      | Some (Json.Obj fields) -> (
+          match List.assoc_opt name fields with
+          | Some (Json.Int n) -> Some (float_of_int n)
+          | Some (Json.Float f) -> Some f
+          | _ -> None)
+      | _ -> None)
+
 let () =
-  let baseline_path, current_path = parse_args () in
+  let baseline_opt, current_path, required_counters = parse_args () in
+  let cur_json = load current_path in
+  (* Fault-pass assertions: required telemetry counters must be present
+     and positive in the current report. *)
+  if required_counters <> [] then begin
+    Printf.printf "counter gate: %s\n" current_path;
+    let bad = ref 0 in
+    List.iter
+      (fun name ->
+        match counter_value cur_json name with
+        | Some v when v > 0. ->
+            Printf.printf "  %-28s %12.0f  ok\n" name v
+        | Some v ->
+            incr bad;
+            Printf.printf "  %-28s %12.0f  FAIL (not positive)\n" name v
+        | None ->
+            incr bad;
+            Printf.printf "  %-28s %12s  FAIL (missing)\n" name "-")
+      required_counters;
+    if !bad > 0 then (
+      Printf.printf "\n%d required counter(s) missing or zero\n" !bad;
+      exit 1);
+    Printf.printf "all %d required counters present and positive\n\n"
+      (List.length required_counters)
+  end;
+  let baseline_path =
+    match baseline_opt with
+    | Some b -> b
+    | None ->
+        (* counters-only invocation *)
+        Printf.printf "no baseline given: micro comparison skipped\n";
+        exit 0
+  in
   let base = micro_rows (load baseline_path) in
-  let cur = micro_rows (load current_path) in
+  let cur = micro_rows cur_json in
   if base = [] then (
     Printf.eprintf "bench_gate: no micro rows in baseline %s\n%!" baseline_path;
     exit 2);

@@ -34,4 +34,30 @@ else
   echo "== bench regression gate skipped (--no-gate) =="
 fi
 
+echo "== fault-injection pass =="
+# Dedicated fault suite: containment determinism, degradation ladder,
+# convergence retries, malformed-CSV corpus.
+dune exec test/main.exe -- test faults
+
+# Smoke bench under deterministic injection; the counter gate then
+# proves every degradation/retry path actually fired and its telemetry
+# landed in the JSON report.
+MRSL_SCALE="${MRSL_SCALE:-smoke}" \
+MRSL_BENCH_OUT=BENCH_FAULT.json \
+MRSL_FAULT_SEED="${MRSL_FAULT_SEED:-2011}" \
+MRSL_FAULT_TASK_RATE=0.25 \
+MRSL_FAULT_CSV_RATE=0.25 \
+MRSL_FAULT_NONCONV_RATE=1.0 \
+MRSL_FAULT_VOTER_RATE=1.0 \
+  dune exec bench/main.exe -- faults
+
+dune exec ci/bench_gate.exe -- --current BENCH_FAULT.json \
+  --require-counter fault.task_failures \
+  --require-counter fault.tuples_skipped \
+  --require-counter gibbs.retries \
+  --require-counter degrade.nonconverged \
+  --require-counter degrade.marginal_prior \
+  --require-counter degrade.uniform \
+  --require-counter csv.rows_skipped
+
 echo "== CI pipeline passed =="

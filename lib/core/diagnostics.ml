@@ -116,3 +116,113 @@ let diagnose ?(chains = 4) ?(draws = 500) ?(burn_in = 100) rng sampler tup =
   { psrf_max = !psrf_max; ess_min = !ess_min; chains; draws_per_chain = draws }
 
 let converged ?(threshold = 1.1) report = report.psrf_max <= threshold
+
+(* --- convergence-driven retry (fault-contained inference) ------------- *)
+
+type retry_policy = {
+  rhat_threshold : float;
+  max_retries : int;
+  max_total_sweeps : int;
+  max_wall_seconds : float;
+}
+
+let default_retry_policy =
+  {
+    rhat_threshold = 1.1;
+    max_retries = 2;
+    max_total_sweeps = 200_000;
+    max_wall_seconds = Float.infinity;
+  }
+
+type checked = {
+  estimate : Gibbs.estimate;
+  rhat : float;
+  converged : bool;
+  attempts : int;
+  total_sweeps : int;
+}
+
+(* Split-R̂ over one run's recorded points: each (missing attribute,
+   value) indicator series is split into halves treated as two chains —
+   the standard single-run proxy for the multi-chain Gelman–Rubin
+   statistic. 1.0 (trivially converged) when there are fewer than 8
+   points, where halves would be too short to diagnose. *)
+let split_rhat sampler tup points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  if n < 8 then 1.0
+  else begin
+    let half = n / 2 in
+    let schema = Model.schema (Gibbs.model sampler) in
+    let rmax = ref 1.0 in
+    List.iter
+      (fun a ->
+        for v = 0 to Relation.Schema.cardinality schema a - 1 do
+          let indicator i = if pts.(i).(a) = v then 1. else 0. in
+          let series =
+            [|
+              Array.init half indicator;
+              Array.init half (fun i -> indicator (n - half + i));
+            |]
+          in
+          let r = potential_scale_reduction series in
+          if r > !rmax then rmax := r
+        done)
+      (Relation.Tuple.missing tup);
+    !rmax
+  end
+
+let run_with_retries ?(config = Gibbs.default_config)
+    ?(policy = default_retry_policy) ?(telemetry = Telemetry.global) rng
+    sampler tup =
+  if policy.max_retries < 0 then
+    invalid_arg "Diagnostics.run_with_retries: max_retries must be >= 0";
+  if policy.max_total_sweeps < 1 then
+    invalid_arg "Diagnostics.run_with_retries: max_total_sweeps must be >= 1";
+  if not (policy.rhat_threshold > 0.) then
+    invalid_arg "Diagnostics.run_with_retries: rhat_threshold must be > 0";
+  let t0 = Unix.gettimeofday () in
+  let total_sweeps = ref 0 in
+  let draw draws =
+    let c = Gibbs.chain rng sampler tup in
+    for _ = 1 to config.Gibbs.burn_in do
+      ignore (Gibbs.sweep rng c)
+    done;
+    let points = List.init draws (fun _ -> Gibbs.sweep rng c) in
+    total_sweeps := !total_sweeps + config.Gibbs.burn_in + draws;
+    points
+  in
+  let forced =
+    Fault_inject.should_force_nonconvergence ~key:(Hashtbl.hash tup)
+  in
+  let rec go attempt draws =
+    let points = draw draws in
+    let estimate = Gibbs.estimate_of_points sampler tup points in
+    let rhat =
+      if forced then Float.infinity else split_rhat sampler tup points
+    in
+    if rhat <= policy.rhat_threshold then
+      { estimate; rhat; converged = true; attempts = attempt;
+        total_sweeps = !total_sweeps }
+    else begin
+      let next = 2 * draws in
+      let within_budget =
+        attempt <= policy.max_retries
+        && !total_sweeps + config.Gibbs.burn_in + next
+           <= policy.max_total_sweeps
+        && Unix.gettimeofday () -. t0 < policy.max_wall_seconds
+      in
+      if within_budget then begin
+        Telemetry.incr telemetry "gibbs.retries";
+        go (attempt + 1) next
+      end
+      else begin
+        (* Budget exhausted: return the best estimate we have, flagged —
+           never silently. *)
+        Telemetry.incr telemetry "degrade.nonconverged";
+        { estimate; rhat; converged = false; attempts = attempt;
+          total_sweeps = !total_sweeps }
+      end
+    end
+  in
+  go 1 config.Gibbs.samples

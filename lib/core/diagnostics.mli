@@ -37,3 +37,48 @@ val diagnose : ?chains:int -> ?draws:int -> ?burn_in:int -> Prob.Rng.t ->
 
 val converged : ?threshold:float -> report -> bool
 (** [psrf_max <= threshold] (default 1.1). *)
+
+(** {1 Convergence-driven retry}
+
+    The fault-containment layer's answer to "the chain did not mix":
+    instead of returning a silently unconverged estimate, the driver
+    measures split-R̂ on the recorded points, retries with doubled draws
+    while the budget lasts, and finally returns the estimate {e flagged}
+    as non-converged. *)
+
+type retry_policy = {
+  rhat_threshold : float;  (** retry while split-R̂ exceeds this (1.1) *)
+  max_retries : int;  (** additional attempts after the first (2) *)
+  max_total_sweeps : int;
+      (** sweep budget across all attempts, burn-ins included (200 000) *)
+  max_wall_seconds : float;  (** wall-clock budget (infinite) *)
+}
+
+val default_retry_policy : retry_policy
+
+type checked = {
+  estimate : Gibbs.estimate;  (** the final attempt's estimate *)
+  rhat : float;  (** its split-R̂ (1.0 when too short to diagnose) *)
+  converged : bool;  (** false ⇒ degraded: budget ran out unconverged *)
+  attempts : int;  (** >= 1 *)
+  total_sweeps : int;  (** sweeps spent across all attempts *)
+}
+
+val split_rhat : Gibbs.sampler -> Relation.Tuple.t -> int array list -> float
+(** Max split-halves R̂ over every (missing attribute, value) indicator
+    series of one run's recorded points (oldest first). Returns 1.0 for
+    fewer than 8 points. *)
+
+val run_with_retries : ?config:Gibbs.config -> ?policy:retry_policy ->
+  ?telemetry:Telemetry.t -> Prob.Rng.t -> Gibbs.sampler ->
+  Relation.Tuple.t -> checked
+(** Gibbs inference for one incomplete tuple with convergence retries:
+    run burn-in + N draws, check split-R̂; while it exceeds
+    [rhat_threshold] and the retry/sweep/wall budgets allow, run a fresh
+    chain with doubled draws. Each retry counts [gibbs.retries] in
+    [telemetry] (default {!Telemetry.global}); budget exhaustion counts
+    [degrade.nonconverged] and returns [converged = false].
+    {!Fault_inject.should_force_nonconvergence} (keyed by the tuple) can
+    force the check to fail, exercising the retry and degradation paths
+    deterministically. Raises [Invalid_argument] on a complete tuple or
+    a non-positive budget. *)

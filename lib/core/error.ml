@@ -1,0 +1,51 @@
+type class_ = Input | Model | Inference | Scheduler
+
+type t = {
+  class_ : class_;
+  code : string;
+  message : string;
+  context : (string * string) list;
+}
+
+exception Mrsl_error of t
+
+let make ?(context = []) class_ ~code message =
+  { class_; code; message; context }
+
+let class_name = function
+  | Input -> "input"
+  | Model -> "model"
+  | Inference -> "inference"
+  | Scheduler -> "scheduler"
+
+let to_string e =
+  let ctx =
+    match e.context with
+    | [] -> ""
+    | kvs ->
+        " ["
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+        ^ "]"
+  in
+  Printf.sprintf "%s/%s: %s%s" (class_name e.class_) e.code e.message ctx
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let raise_ e = raise (Mrsl_error e)
+
+let of_exn = function
+  | Mrsl_error e -> e
+  | Invalid_argument msg -> make Inference ~code:"invalid_argument" msg
+  | Failure msg -> make Input ~code:"failure" msg
+  | e -> make Scheduler ~code:"exception" (Printexc.to_string e)
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Mrsl_error e -> Result.Error e
+  | exception ((Stdlib.Stack_overflow | Stdlib.Out_of_memory) as e) -> raise e
+  | exception e -> Result.Error (of_exn e)
+
+let () =
+  Printexc.register_printer (function
+    | Mrsl_error e -> Some ("Mrsl.Error: " ^ to_string e)
+    | _ -> None)

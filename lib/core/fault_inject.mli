@@ -1,0 +1,74 @@
+(** Deterministic fault injection across the MRSL pipeline.
+
+    Chaos testing for the library's fault-containment layer: seeded,
+    rate-configurable injection of (1) task exceptions inside the
+    work-stealing scheduler ({!Parallel}), (2) corrupted CSV rows
+    ({!corrupt_csv}, consumed by the lenient reader), (3) forced Gibbs
+    non-convergence ({!Diagnostics.run_with_retries}), and (4) dropped
+    voter sets (the {!Infer_single} degradation ladder).
+
+    {b Determinism.} Every decision is a pure function of
+    [(seed, site, key)] — a splitmix64-style hash compared against the
+    configured rate — independent of call order, domain count, and steal
+    interleavings. Re-running with the same seed injects exactly the same
+    faults at exactly the same places, which is what makes the
+    containment guarantees testable (the scheduler test asserts surviving
+    estimates are bit-identical at domain counts 1/2/4 under injection).
+
+    Injection is process-global and {e off by default} ({!disabled});
+    nothing in the library pays more than a single atomic read when it is
+    inactive. *)
+
+type config = {
+  seed : int;
+  task_failure_rate : float;  (** P(a scheduler task raises), per node *)
+  csv_corruption_rate : float;  (** P(a CSV data row is corrupted), per line *)
+  nonconvergence_rate : float;
+      (** P(a tuple's R̂ check is forced to fail), per tuple *)
+  voter_drop_rate : float;
+      (** P(an inference task sees an empty voter set), per task *)
+}
+
+val disabled : config
+(** Seed 0, all rates 0 — the default state. *)
+
+val configure : config -> unit
+(** Install a configuration globally. Raises [Invalid_argument] when any
+    rate is outside [0, 1]. *)
+
+val reset : unit -> unit
+(** Back to {!disabled}. *)
+
+val current : unit -> config
+val active : unit -> bool
+
+val with_config : config -> (unit -> 'a) -> 'a
+(** Scoped configuration: install, run, restore the previous
+    configuration even on exceptions. The tool of choice in tests. *)
+
+val install_from_env : unit -> bool
+(** Read [MRSL_FAULT_SEED], [MRSL_FAULT_TASK_RATE], [MRSL_FAULT_CSV_RATE],
+    [MRSL_FAULT_NONCONV_RATE], [MRSL_FAULT_VOTER_RATE] and {!configure}
+    accordingly. Returns [false] (and leaves the state untouched) when
+    none of the variables is set. Called by the CLI and the bench
+    harness at startup, deliberately {e not} by the library. *)
+
+val describe : config -> string
+(** One-line human-readable summary. *)
+
+(** {1 Decision points}
+
+    Each consults the current configuration; [key] identifies the
+    decision site stably (node index, 1-based CSV line, tuple hash). *)
+
+val should_fail_task : node:int -> bool
+val should_corrupt_row : line:int -> bool
+val should_force_nonconvergence : key:int -> bool
+val should_drop_voters : key:int -> bool
+
+val corrupt_csv : string -> string * int list
+(** Corrupt a CSV document's data rows at the configured
+    [csv_corruption_rate]: per hit, one of three shapes (extra trailing
+    field / unterminated quote / out-of-domain value), chosen
+    deterministically. The header line is never corrupted. Returns the
+    corrupted document and the 1-based line numbers touched. *)

@@ -15,14 +15,27 @@ type sampler = {
   mutable misses : int;
 }
 
+(* Distinguish "the joint domain is too large to key the memo" (an
+   [int] overflow — expected for wide schemas, and merely disables
+   memoization) from a malformed schema (cardinality < 1 — a real
+   programming error). The seed implementation folded both into a [-1]
+   sentinel, silently masking the latter. *)
+let memo_domain_size cards =
+  Array.iter
+    (fun c ->
+      if c < 1 then
+        invalid_arg "Gibbs.sampler: schema cardinality must be >= 1")
+    cards;
+  match Relation.Domain.count cards with
+  | n -> Some n
+  | exception Invalid_argument _ -> None (* overflow only: cards validated *)
+
 let sampler ?(method_ = Voting.best_averaged) ?(memoize = true) model =
   let schema = Model.schema model in
   let arity = Relation.Schema.arity schema in
   let cards = Array.init arity (Relation.Schema.cardinality schema) in
   let domain_size =
-    match Relation.Domain.count cards with
-    | n -> n
-    | exception Invalid_argument _ -> -1
+    match memo_domain_size cards with Some n -> n | None -> -1
   in
   let memo =
     if memoize && domain_size > 0 && domain_size < 1 lsl 40 then

@@ -25,6 +25,13 @@ val default_config : config
 type sampler
 (** A model wrapped with the conditional-CPD memo table. *)
 
+val memo_domain_size : int array -> int option
+(** [memo_domain_size cards] — the joint domain size used to key the
+    conditional-CPD memo, or [None] when the product overflows [int]
+    (memoization is then disabled). Raises [Invalid_argument] when any
+    cardinality is [< 1] — a malformed schema is a programming error,
+    not a reason to silently disable the memo. Exposed for tests. *)
+
 val sampler : ?method_:Voting.method_ -> ?memoize:bool -> Model.t -> sampler
 (** [memoize] (default [true]) controls the conditional-CPD cache. Turning
     it off reproduces the cost model of the paper's prototype, where every

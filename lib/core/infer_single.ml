@@ -14,8 +14,56 @@ let voters ?(method_ = Voting.best_averaged) model tup a =
   let matches = Lattice.matching (Model.lattice model a) tup in
   Voting.select method_.choice matches
 
-let infer ?(method_ = Voting.best_averaged) model tup a =
-  Voting.combine method_.scheme (voters ~method_ model tup a)
+(* --- graceful-degradation ladder ------------------------------------- *)
+
+(* [Dist.t] is a private [float array]; the coercion reads without
+   copying, keeping the finiteness check cheap on the Gibbs hot path. *)
+let finite_dist d = Array.for_all Float.is_finite (d : Prob.Dist.t :> float array)
+
+let marginal_prior model a =
+  match Lattice.root (Model.lattice model a) with
+  | (root : Meta_rule.t) ->
+      if finite_dist root.cpd then Some root.cpd else None
+  | exception _ -> None
+
+let degrade ?(telemetry = Telemetry.global) ~card prior =
+  match prior with
+  | Some p ->
+      Telemetry.incr telemetry "degrade.marginal_prior";
+      p
+  | None ->
+      Telemetry.incr telemetry "degrade.uniform";
+      Prob.Dist.uniform card
+
+let infer ?(method_ = Voting.best_averaged) ?telemetry model tup a =
+  let selected = voters ~method_ model tup a in
+  (* Fault injection: a dropped voter set exercises the ladder end to
+     end. Keyed by (attribute, evidence) so the decision is stable. *)
+  let selected =
+    if
+      (Fault_inject.current ()).Fault_inject.voter_drop_rate > 0.
+      && Fault_inject.should_drop_voters ~key:(Hashtbl.hash (a, tup))
+    then []
+    else selected
+  in
+  let fallback () =
+    let card = Relation.Schema.cardinality (Model.schema model) a in
+    degrade ?telemetry ~card (marginal_prior model a)
+  in
+  match selected with
+  | [] -> fallback ()
+  | vs -> (
+      match Voting.combine method_.scheme vs with
+      | d when finite_dist d -> d
+      | _ -> fallback ()
+      | exception Invalid_argument _ -> fallback ())
+
+let infer_result ?method_ ?telemetry model tup a =
+  match infer ?method_ ?telemetry model tup a with
+  | d -> Ok d
+  | exception Invalid_argument msg ->
+      Result.Error (Error.make Error.Input ~code:"infer.bad_task" msg)
+  | exception Error.Mrsl_error e -> Result.Error e
 
 let infer_all_missing ?method_ model tup =
   List.map (fun a -> (a, infer ?method_ model tup a)) (Relation.Tuple.missing tup)

@@ -2,15 +2,40 @@
 
     Given an incomplete tuple and the MRSL of a missing attribute, collect
     the matching meta-rules, apply a voter-selection mechanism and a voting
-    scheme, and return the estimated CPD over the attribute's domain. *)
+    scheme, and return the estimated CPD over the attribute's domain.
 
-val infer : ?method_:Voting.method_ -> Model.t -> Relation.Tuple.t -> int ->
-  Prob.Dist.t
+    {b Degradation ladder.} {!infer} never lets an empty or degenerate
+    voter set escape as [Invalid_argument] from [Voting.combine]. When the
+    selected voter set is empty (impossible for well-formed models — every
+    lattice carries a root — but reachable through corrupt deserialized
+    models or {!Fault_inject} voter drops) or the combined CPD is
+    non-finite, inference degrades one rung at a time:
+
+    + MRSL voters (the normal path);
+    + the attribute's {e marginal prior} — the lattice root's CPD —
+      counted as [degrade.marginal_prior] in {!Telemetry};
+    + the {e uniform} distribution over the attribute's domain, counted
+      as [degrade.uniform], when even the root CPD is unavailable or
+      non-finite.
+
+    Structural misuse (wrong arity, attribute not missing, index out of
+    range) still raises [Invalid_argument] from {!infer} — or comes back
+    as an [Error.Input] from {!infer_result}. *)
+
+val infer : ?method_:Voting.method_ -> ?telemetry:Telemetry.t -> Model.t ->
+  Relation.Tuple.t -> int -> Prob.Dist.t
 (** [infer model t a] — estimated distribution of the missing attribute [a]
     in [t]. The method defaults to best-averaged (the paper's most accurate
     setting). Raises [Invalid_argument] when [a] is not missing in [t] or
     out of range. Values of other missing attributes are simply absent
-    evidence — the matching meta-rules condition only on known values. *)
+    evidence — the matching meta-rules condition only on known values.
+    Degraded rungs are counted in [telemetry] (default
+    {!Telemetry.global}); see the ladder above. *)
+
+val infer_result : ?method_:Voting.method_ -> ?telemetry:Telemetry.t ->
+  Model.t -> Relation.Tuple.t -> int -> (Prob.Dist.t, Error.t) result
+(** Non-raising boundary variant of {!infer}: structural misuse comes back
+    as [Error Input/infer.bad_task] instead of [Invalid_argument]. *)
 
 val infer_all_missing : ?method_:Voting.method_ -> Model.t ->
   Relation.Tuple.t -> (int * Prob.Dist.t) list
@@ -22,6 +47,18 @@ val voters : ?method_:Voting.method_ -> Model.t -> Relation.Tuple.t -> int ->
   Meta_rule.t list
 (** The selected voter set for an inference task — exposed for inspection,
     explanation, and tests. *)
+
+val marginal_prior : Model.t -> int -> Prob.Dist.t option
+(** Rung 2 of the ladder: the lattice root's CPD (the attribute's exact
+    marginal over the training data), or [None] when the lattice is
+    unavailable or the root CPD is non-finite. *)
+
+val degrade : ?telemetry:Telemetry.t -> card:int -> Prob.Dist.t option ->
+  Prob.Dist.t
+(** The lower rungs: [degrade ~card (Some prior)] returns the prior and
+    counts [degrade.marginal_prior]; [degrade ~card None] returns
+    [uniform card] and counts [degrade.uniform]. Exposed so the ladder is
+    unit-testable without corrupting a model. *)
 
 type explanation = {
   estimate : Prob.Dist.t;

@@ -67,12 +67,28 @@ end
 
 (* --- scheduler ------------------------------------------------------ *)
 
+type fault_policy = Fail_fast | Skip_and_report
+
+type tuple_fault = {
+  node : int;
+  tuple : Relation.Tuple.t;
+  error : Error.t;
+  upstream : int option;
+}
+
+type contained = {
+  result : Workload.result;
+  faults : tuple_fault list;
+}
+
 type node = {
   tuple : Relation.Tuple.t;
   mutable samples : int array list;  (* newest first *)
   mutable count : int;
   mutable pending : int;  (* parents not yet completed *)
   mutable completed : bool;
+  mutable failed : Error.t option;  (* Skip_and_report containment *)
+  mutable failed_upstream : int option;  (* root-cause node when skipped *)
 }
 
 type worker_log = {
@@ -102,8 +118,9 @@ let empty_result () =
     stats = { sweeps = 0; recorded = 0; shared = 0; wall_seconds = 0. };
   }
 
-let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
-    ?method_ ?memoize ?domains ?(telemetry = Telemetry.global) ~seed model
+let run_contained ?(config = Gibbs.default_config)
+    ?(strategy = Workload.Tuple_dag) ?method_ ?memoize ?domains
+    ?(telemetry = Telemetry.global) ?(policy = Fail_fast) ~seed model
     workload =
   let requested =
     match domains with
@@ -117,16 +134,20 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
   match strategy with
   | Workload.All_at_a_time ->
       (* One chain over the fully unknown tuple: inherently sequential.
-         Run it on the calling domain with the caller-visible seed. *)
+         Run it on the calling domain with the caller-visible seed.
+         Per-task containment does not apply — there is one task. *)
       let sampler = Sampler_cache.get ?method_ ?memoize model in
-      Workload.run ~config ~strategy ~telemetry
-        (Prob.Rng.create seed)
-        sampler workload
+      let result =
+        Workload.run ~config ~strategy ~telemetry
+          (Prob.Rng.create seed)
+          sampler workload
+      in
+      { result; faults = [] }
   | Workload.Tuple_at_a_time | Workload.Tuple_dag ->
       Telemetry.span telemetry "parallel.run" @@ fun () ->
       let dag = Tuple_dag.build workload in
       let n = Tuple_dag.node_count dag in
-      if n = 0 then empty_result ()
+      if n = 0 then { result = empty_result (); faults = [] }
       else begin
         let workers = max 1 (min requested n) in
         Telemetry.gauge telemetry "parallel.domains" (float_of_int workers);
@@ -141,6 +162,8 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
                 count = 0;
                 pending = List.length (parents i);
                 completed = false;
+                failed = None;
+                failed_upstream = None;
               })
         in
         let target = config.Gibbs.samples in
@@ -166,6 +189,8 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
           List.fold_left
             (fun newly j ->
               let cj = nodes.(j) in
+              if cj.failed <> None then newly
+              else begin
               cj.pending <- cj.pending - 1;
               if cj.pending > 0 then newly
               else begin
@@ -185,11 +210,42 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
                       (List.rev nodes.(p).samples))
                   (parents j);
                 if cj.count >= target then complete j newly else j :: newly
+              end
               end)
             newly (children i)
         in
-        let exec log sampler dq i =
+        (* Skip_and_report containment; call with [coord] held. A failed
+           node never completes, so none of its children's [pending]
+           counts reach zero through it — descendants can therefore never
+           have started, and are marked skipped (with the root cause)
+           rather than left hanging. Surviving nodes' sample streams are
+           untouched: their own RNG streams are seeded by node index and
+           their donations come only from ancestors that all completed,
+           so their estimates stay bit-identical to a fault-free run at
+           any domain count. *)
+        let rec fail_node ?upstream i err =
           let st = nodes.(i) in
+          if (not st.completed) && st.failed = None then begin
+            st.failed <- Some err;
+            st.failed_upstream <- upstream;
+            Atomic.decr remaining;
+            let root = Option.value upstream ~default:i in
+            List.iter
+              (fun j ->
+                fail_node ~upstream:root j
+                  (Error.make Error.Scheduler ~code:"task.upstream_failed"
+                     ~context:[ ("failed_ancestor", string_of_int root) ]
+                     (Printf.sprintf
+                        "skipped: depends on failed task %d" root)))
+              (children i)
+          end
+        in
+        let sample_task st i sampler log =
+          if Fault_inject.should_fail_task ~node:i then
+            Error.raise_
+              (Error.make Error.Scheduler ~code:"fault_inject.task"
+                 ~context:[ ("node", string_of_int i) ]
+                 "injected task fault");
           if st.count < target then begin
             let rng = Prob.Rng.create (task_seed ~seed i) in
             let c = Gibbs.chain rng sampler st.tuple in
@@ -203,19 +259,36 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
               log.sweeps <- log.sweeps + 1;
               log.recorded <- log.recorded + 1
             done
-          end;
-          log.tasks <- log.tasks + 1;
-          Mutex.lock coord;
-          let newly =
-            match complete i [] with
-            | newly -> newly
-            | exception e ->
-                Mutex.unlock coord;
-                raise e
-          in
-          Mutex.unlock coord;
-          List.iter (Wsdeque.push dq) newly;
-          log.max_depth <- max log.max_depth (Wsdeque.length dq)
+          end
+        in
+        let exec log sampler dq i =
+          let st = nodes.(i) in
+          match sample_task st i sampler log with
+          | exception e when policy = Skip_and_report ->
+              (* Contain the fault to this tuple: record it, skip its
+                 dependents, keep the domain pool alive. *)
+              log.tasks <- log.tasks + 1;
+              Telemetry.incr telemetry "fault.task_failures";
+              let err = Error.of_exn e in
+              Mutex.lock coord;
+              (match fail_node i err with
+              | () -> Mutex.unlock coord
+              | exception e2 ->
+                  Mutex.unlock coord;
+                  raise e2)
+          | () ->
+              log.tasks <- log.tasks + 1;
+              Mutex.lock coord;
+              let newly =
+                match complete i [] with
+                | newly -> newly
+                | exception e ->
+                    Mutex.unlock coord;
+                    raise e
+              in
+              Mutex.unlock coord;
+              List.iter (Wsdeque.push dq) newly;
+              log.max_depth <- max log.max_depth (Wsdeque.length dq)
         in
         let logs = Array.init workers (fun _ -> fresh_log ()) in
         let worker_body wid =
@@ -259,15 +332,34 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
         (match !failure with Some e -> raise e | None -> ());
         let wall = Unix.gettimeofday () -. t0 in
         (* Merge: node order (first-seen workload order), exactly like the
-           sequential strategies. *)
+           sequential strategies. Failed/skipped nodes are excluded from
+           the estimates and reported in [faults] instead. *)
         let est_sampler = Sampler_cache.get ?method_ ?memoize model in
-        let estimates =
-          Array.to_list
-            (Array.map
-               (fun st ->
-                 (st.tuple, Gibbs.estimate_of_points est_sampler st.tuple st.samples))
-               nodes)
-        in
+        let estimates = ref [] and faults = ref [] in
+        for i = n - 1 downto 0 do
+          let st = nodes.(i) in
+          match st.failed with
+          | Some error ->
+              faults :=
+                {
+                  node = i;
+                  tuple = st.tuple;
+                  error;
+                  upstream = st.failed_upstream;
+                }
+                :: !faults
+          | None ->
+              estimates :=
+                ( st.tuple,
+                  Gibbs.estimate_of_points est_sampler st.tuple st.samples )
+                :: !estimates
+        done;
+        let estimates = !estimates and faults = !faults in
+        if faults <> [] then begin
+          Telemetry.add telemetry "fault.tuples_skipped" (List.length faults);
+          Telemetry.add telemetry "fault.upstream_skipped"
+            (List.length (List.filter (fun f -> f.upstream <> None) faults))
+        end;
         let sum f = Array.fold_left (fun acc l -> acc + f l) 0 logs in
         let sweeps = sum (fun l -> l.sweeps) in
         let recorded = sum (fun l -> l.recorded) + !donated in
@@ -285,10 +377,21 @@ let run ?(config = Gibbs.default_config) ?(strategy = Workload.Tuple_dag)
                 (float_of_int l.memo_hits /. float_of_int probes))
           logs;
         {
-          Workload.estimates;
-          stats = { sweeps; recorded; shared = !shared; wall_seconds = wall };
+          result =
+            {
+              Workload.estimates;
+              stats =
+                { sweeps; recorded; shared = !shared; wall_seconds = wall };
+            };
+          faults;
         }
       end
+
+let run ?config ?strategy ?method_ ?memoize ?domains ?telemetry ~seed model
+    workload =
+  (run_contained ?config ?strategy ?method_ ?memoize ?domains ?telemetry
+     ~policy:Fail_fast ~seed model workload)
+    .result
 
 (* Retained for callers that want the seed's subsumption-aware static
    partition (benchmarks compare against it); no longer used by [run]. *)

@@ -25,10 +25,33 @@
     domain count. Steal counts, queue depths, and memo hit rates are
     recorded in the {!Telemetry} registry. *)
 
-val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
+type fault_policy =
+  | Fail_fast  (** first task exception aborts the pool and re-raises *)
+  | Skip_and_report
+      (** a task exception is contained to its tuple: the tuple (and its
+          DAG descendants, which would otherwise inherit a truncated
+          donation stream) is skipped and reported; every other task runs
+          to completion *)
+
+type tuple_fault = {
+  node : int;  (** node index in the tuple DAG *)
+  tuple : Relation.Tuple.t;
+  error : Error.t;
+  upstream : int option;
+      (** [Some r] when the tuple was skipped only because ancestor node
+          [r] failed (error code [task.upstream_failed]); [None] when
+          the task itself raised *)
+}
+
+type contained = {
+  result : Workload.result;  (** estimates for the surviving tuples *)
+  faults : tuple_fault list;  (** skipped tuples, in node order *)
+}
+
+val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
   ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
-  ?telemetry:Telemetry.t -> seed:int -> Model.t ->
-  Relation.Tuple.t list -> Workload.result
+  ?telemetry:Telemetry.t -> ?policy:fault_policy -> seed:int -> Model.t ->
+  Relation.Tuple.t list -> contained
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
     by the number of distinct tuples; it must be [>= 1]. Estimates are
     returned in first-seen workload order. [telemetry] (default
@@ -40,7 +63,28 @@ val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
     [strategy] defaults to [Tuple_dag]. [Tuple_at_a_time] uses the same
     scheduler with no sharing edges. [All_at_a_time] is a single global
     chain and runs sequentially on the calling domain via
-    {!Workload.run}. *)
+    {!Workload.run}; per-task containment does not apply to it.
+
+    {b Fault containment.} Under [policy = Skip_and_report] (default
+    [Fail_fast]) a task exception no longer unwinds the domain pool: the
+    offending tuple is recorded in [faults] with the structured
+    {!Error.t} ({!Error.of_exn}), its DAG descendants are marked skipped
+    with code [task.upstream_failed] naming the root cause, and all
+    remaining tasks run to completion. Because every task's RNG stream
+    is seeded by its node index and donations are pulled only from fully
+    completed ancestors, the surviving tuples' estimates are
+    bit-identical to a fault-free run at any [domains] count. Counters
+    [fault.task_failures], [fault.tuples_skipped], and
+    [fault.upstream_skipped] land in [telemetry].
+    {!Fault_inject.should_fail_task} (keyed by node index) injects
+    deterministic task faults (code [fault_inject.task]) for testing. *)
+
+val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
+  ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
+  ?telemetry:Telemetry.t -> seed:int -> Model.t ->
+  Relation.Tuple.t list -> Workload.result
+(** [run_contained] under [Fail_fast], returning only the result — the
+    pre-containment interface, unchanged. *)
 
 val partition : int -> Relation.Tuple.t list -> Relation.Tuple.t list list
 (** The seed implementation's subsumption-aware static partition

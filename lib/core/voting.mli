@@ -34,4 +34,7 @@ val select : choice -> Meta_rule.t list -> Meta_rule.t list
 
 val combine : scheme -> Meta_rule.t list -> Prob.Dist.t
 (** Combine the selected voters' CPDs. Raises [Invalid_argument] on an
-    empty voter list. *)
+    empty voter list — callers inside the library go through
+    {!Infer_single.infer}, whose degradation ladder guarantees the
+    empty-voter case falls back to the attribute's marginal prior (or
+    uniform) instead of escaping as an exception. *)

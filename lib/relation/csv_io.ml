@@ -1,6 +1,8 @@
 let missing_marker = "?"
 
-let parse_line line =
+exception Unterminated
+
+let parse_line_exn line =
   let n = String.length line in
   let buf = Buffer.create 32 in
   let fields = ref [] in
@@ -21,7 +23,7 @@ let parse_line line =
           Buffer.add_char buf c;
           outside (i + 1)
   and inside i =
-    if i >= n then failwith "Csv_io.parse_line: unterminated quoted field"
+    if i >= n then raise Unterminated
     else
       match line.[i] with
       | '"' when i + 1 < n && line.[i + 1] = '"' ->
@@ -34,6 +36,10 @@ let parse_line line =
   in
   outside 0;
   List.rev !fields
+
+let parse_line line =
+  try parse_line_exn line
+  with Unterminated -> failwith "Csv_io.parse_line: unterminated quoted field"
 
 let escape_field s =
   let needs_quoting =
@@ -51,13 +57,23 @@ let escape_field s =
     Buffer.contents buf
   end
 
-let non_empty_lines text =
-  String.split_on_char '\n' text
-  |> List.map (fun l ->
-         if String.length l > 0 && l.[String.length l - 1] = '\r' then
-           String.sub l 0 (String.length l - 1)
-         else l)
-  |> List.filter (fun l -> String.trim l <> "")
+let strip_bom text =
+  if String.length text >= 3 && String.sub text 0 3 = "\xef\xbb\xbf" then
+    String.sub text 3 (String.length text - 3)
+  else text
+
+(* Non-blank lines with their 1-based physical line numbers; a UTF-8 BOM
+   before the header and trailing CRs (CRLF documents) are stripped. *)
+let numbered_lines text =
+  String.split_on_char '\n' (strip_bom text)
+  |> List.mapi (fun i l ->
+         let l =
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l
+         in
+         (i + 1, l))
+  |> List.filter (fun (_, l) -> String.trim l <> "")
 
 let is_missing field = field = missing_marker || String.trim field = ""
 
@@ -81,55 +97,143 @@ let infer_schema header rows =
   in
   Schema.make attrs
 
-let read_string ?schema text =
-  match non_empty_lines text with
+(* --- error reporting -------------------------------------------------- *)
+
+type error_cause =
+  | Unterminated_quote
+  | Ragged_row of { got : int; expected : int }
+  | Unknown_value of { field : string; attribute : string }
+
+type row_error = { file : string; line : int; cause : error_cause }
+
+let cause_to_string = function
+  | Unterminated_quote -> "unterminated quoted field"
+  | Ragged_row { got; expected } ->
+      Printf.sprintf "ragged row: %d fields, expected %d" got expected
+  | Unknown_value { field; attribute } ->
+      Printf.sprintf "unknown value %S for attribute %s" field attribute
+
+let row_error_to_string e =
+  Printf.sprintf "%s:%d: %s" e.file e.line (cause_to_string e.cause)
+
+(* --- reading ---------------------------------------------------------- *)
+
+(* Decode one well-shaped row against the schema. *)
+let decode_row schema row =
+  let exception Bad of error_cause in
+  match
+    Array.of_list
+      (List.mapi
+         (fun i field ->
+           if is_missing field then None
+           else
+             let attr = Schema.attribute schema i in
+             match Attribute.value_index attr field with
+             | v -> Some v
+             | exception Not_found ->
+                 raise_notrace
+                   (Bad
+                      (Unknown_value
+                         { field; attribute = Attribute.name attr })))
+         row)
+  with
+  | tup -> Ok tup
+  | exception Bad cause -> Error cause
+
+let header_of ?schema text =
+  match numbered_lines text with
   | [] -> failwith "Csv_io.read_string: empty document"
-  | header_line :: data_lines ->
+  | (_, header_line) :: data ->
       let header = parse_line header_line in
       let ncols = List.length header in
-      let rows =
-        List.mapi
-          (fun lineno line ->
-            let row = parse_line line in
-            if List.length row <> ncols then
-              failwith
-                (Printf.sprintf
-                   "Csv_io.read_string: row %d has %d fields, expected %d"
-                   (lineno + 2) (List.length row) ncols);
-            row)
-          data_lines
-      in
-      let schema =
-        match schema with
-        | Some s ->
-            if Schema.arity s <> ncols then
-              failwith "Csv_io.read_string: column count does not match schema";
-            s
-        | None -> infer_schema header rows
-      in
-      let decode row =
-        Array.of_list
-          (List.mapi
-             (fun i field ->
-               if is_missing field then None
-               else
-                 let attr = Schema.attribute schema i in
-                 match Attribute.value_index attr field with
-                 | v -> Some v
-                 | exception Not_found ->
-                     failwith
-                       (Printf.sprintf
-                          "Csv_io.read_string: unknown value %S for attribute %s"
-                          field (Attribute.name attr)))
-             row)
-      in
-      Instance.make schema (List.map decode rows)
+      (match schema with
+      | Some s when Schema.arity s <> ncols ->
+          failwith "Csv_io.read_string: column count does not match schema"
+      | _ -> ());
+      (header, ncols, data)
 
-let read_file ?schema path =
+let read_string ?schema text =
+  let header, ncols, data = header_of ?schema text in
+  let rows =
+    List.map
+      (fun (line, text) ->
+        let row = parse_line text in
+        if List.length row <> ncols then
+          failwith
+            (Printf.sprintf
+               "Csv_io.read_string: row %d has %d fields, expected %d" line
+               (List.length row) ncols);
+        (line, row))
+      data
+  in
+  let schema =
+    match schema with
+    | Some s -> s
+    | None -> infer_schema header (List.map snd rows)
+  in
+  let decode (_line, row) =
+    match decode_row schema row with
+    | Ok tup -> tup
+    | Error cause -> failwith ("Csv_io.read_string: " ^ cause_to_string cause)
+  in
+  Instance.make schema (List.map decode rows)
+
+let read_string_lenient ?schema ?(file = "<string>") text =
+  let header, ncols, data = header_of ?schema text in
+  let errors = ref [] in
+  let err line cause = errors := { file; line; cause } :: !errors in
+  let parsed =
+    List.filter_map
+      (fun (line, text) ->
+        match parse_line_exn text with
+        | exception Unterminated ->
+            err line Unterminated_quote;
+            None
+        | row ->
+            let got = List.length row in
+            if got <> ncols then begin
+              err line (Ragged_row { got; expected = ncols });
+              None
+            end
+            else Some (line, row))
+      data
+  in
+  let schema =
+    match schema with
+    | Some s -> s
+    | None -> infer_schema header (List.map snd parsed)
+  in
+  let tuples =
+    List.filter_map
+      (fun (line, row) ->
+        match decode_row schema row with
+        | Ok tup -> Some tup
+        | Error cause ->
+            err line cause;
+            None)
+      parsed
+  in
+  (* Parse errors and decode errors are collected in two passes; merge
+     them back into document order. *)
+  let errors =
+    List.stable_sort
+      (fun a b -> compare a.line b.line)
+      (List.rev !errors)
+  in
+  (Instance.make schema tuples, errors)
+
+let with_file path f =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> read_string ?schema (In_channel.input_all ic))
+    (fun () -> f (In_channel.input_all ic))
+
+let read_file ?schema path = with_file path (read_string ?schema)
+
+let read_file_lenient ?schema path =
+  with_file path (read_string_lenient ?schema ~file:path)
+
+(* --- writing ---------------------------------------------------------- *)
 
 let write_string inst =
   let schema = Instance.schema inst in

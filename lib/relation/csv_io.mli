@@ -2,7 +2,17 @@
 
     Hand-rolled (the container has no CSV package): comma-separated, first
     row is the header, ["?"] (or an empty cell) marks a missing value,
-    double-quoted fields with doubled inner quotes are supported. *)
+    double-quoted fields with doubled inner quotes are supported. A UTF-8
+    BOM before the header and CRLF line endings are tolerated by both
+    readers.
+
+    Two read modes:
+    - {e strict} (default; {!read_string}, {!read_file}): the first
+      malformed row aborts the load with [Failure];
+    - {e lenient} ({!read_string_lenient}, {!read_file_lenient}): malformed
+      rows are skipped and reported as {!row_error}s naming the file,
+      1-based physical line, and cause — the mode a service ingesting
+      autonomous sources should use. *)
 
 val parse_line : string -> string list
 (** Split one CSV record into fields. Raises [Failure] on an unterminated
@@ -11,14 +21,48 @@ val parse_line : string -> string list
 val escape_field : string -> string
 (** Quote a field if it contains a comma, quote, or newline. *)
 
+(** {1 Row errors (lenient mode)} *)
+
+type error_cause =
+  | Unterminated_quote
+  | Ragged_row of { got : int; expected : int }
+  | Unknown_value of { field : string; attribute : string }
+      (** only with an explicit schema; inferred schemas admit every
+          value seen in a well-shaped row *)
+
+type row_error = { file : string; line : int; cause : error_cause }
+(** [line] is the 1-based physical line in the document (blank lines
+    count); [file] is the source path, or ["<string>"] for in-memory
+    documents. *)
+
+val cause_to_string : error_cause -> string
+val row_error_to_string : row_error -> string
+(** ["file:line: cause"]. *)
+
+(** {1 Reading} *)
+
 val read_string : ?schema:Schema.t -> string -> Instance.t
-(** Parse a whole CSV document. Without [schema], the domain of each column
-    is the set of distinct non-missing values in file order. With [schema],
-    column count and value labels are validated against it. Raises
-    [Failure] on ragged rows, an empty document, or (with [schema]) unknown
-    labels. *)
+(** Parse a whole CSV document (strict mode). Without [schema], the domain
+    of each column is the set of distinct non-missing values in file
+    order. With [schema], column count and value labels are validated
+    against it. Raises [Failure] on ragged rows, an empty document, or
+    (with [schema]) unknown labels. *)
+
+val read_string_lenient : ?schema:Schema.t -> ?file:string -> string ->
+  Instance.t * row_error list
+(** Like {!read_string}, but rows that fail to parse (unterminated quote,
+    ragged) or decode (unknown value under an explicit schema) are dropped
+    and reported, in line order. Schema inference uses only the
+    well-shaped rows. A missing or column-count-mismatched header is still
+    fatal ([Failure]) — there is no relation to return without one. *)
 
 val read_file : ?schema:Schema.t -> string -> Instance.t
+
+val read_file_lenient : ?schema:Schema.t -> string ->
+  Instance.t * row_error list
+(** Lenient {!read_file}; reported errors carry the file path. *)
+
+(** {1 Writing} *)
 
 val write_string : Instance.t -> string
 (** Render an instance back to CSV, using ["?"] for missing values. *)

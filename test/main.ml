@@ -16,6 +16,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("persistence", Test_persistence.suite);
       ("queries", Test_queries.suite);
+      ("faults", Test_faults.suite);
       ("stress", Test_stress.suite);
       ("drivers", Test_drivers.suite);
     ]
