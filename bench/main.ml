@@ -27,6 +27,14 @@ let bench_out =
   | Some p when p <> "" -> p
   | _ -> "BENCH_1.json"
 
+(* MRSL_TRACE_OUT=trace.json records the whole bench run under a Trace
+   sink and writes Chrome trace-event JSON (Perfetto-loadable) on exit;
+   the CI trace pass validates the artifact with ci/trace_check.exe. *)
+let trace_out =
+  match Sys.getenv_opt "MRSL_TRACE_OUT" with
+  | Some p when p <> "" -> Some p
+  | _ -> None
+
 (* Accumulators for the JSON report, filled as sections run. *)
 let micro_rows : (string * float) list ref = ref []
 let section_rows : (string * float) list ref = ref []
@@ -237,17 +245,40 @@ let run_parallel_bench fx =
     List.map
       (fun domains ->
         let telemetry = Mrsl.Telemetry.create () in
+        (* Double-accounting guard: the per-run registry is fresh, but
+           the domain pool — and the per-domain DLS sampler caches in it
+           — persists across sections. Record both facts: a [pool.reused]
+           marker event when warm domains are reused, and whether this
+           run's counters really start from zero (the gate fails the run
+           otherwise). *)
+        let pool_alive = Mrsl.Domain_pool.size (Mrsl.Domain_pool.get ()) in
+        if pool_alive > 0 then
+          Mrsl.Trace.instant ~cat:"sched"
+            ~args:
+              [
+                ("domains_alive", Mrsl.Trace.Int pool_alive);
+                ("run_domains", Mrsl.Trace.Int domains);
+              ]
+            "pool.reused";
+        let counters_start_zero =
+          Mrsl.Telemetry.counter telemetry "parallel.steals" = 0
+          && Mrsl.Telemetry.counter telemetry "parallel.tasks" = 0
+          && Mrsl.Telemetry.counter telemetry "parallel.sweeps" = 0
+        in
         let stats =
           Experiments.Framework.parallel_workload_stats ~telemetry ~domains
             ~seed fx.model ~samples ~burn_in workload
         in
-        (domains, stats, hit_rate telemetry,
-         Mrsl.Telemetry.counter telemetry "parallel.steals",
-         Mrsl.Telemetry.counter telemetry "parallel.tasks"))
+        ( domains, stats, hit_rate telemetry,
+          Mrsl.Telemetry.counter telemetry "parallel.steals",
+          Mrsl.Telemetry.counter telemetry "parallel.tasks",
+          counters_start_zero, pool_alive ))
       [ 1; 2; 4 ]
   in
   let wall_of d =
-    let _, s, _, _, _ = List.find (fun (d', _, _, _, _) -> d' = d) runs in
+    let _, s, _, _, _, _, _ =
+      List.find (fun (d', _, _, _, _, _, _) -> d' = d) runs
+    in
     s.Mrsl.Workload.wall_seconds
   in
   (* The seed's static partition at 4 domains, chunks run back-to-back:
@@ -258,7 +289,8 @@ let run_parallel_bench fx =
       ~samples ~burn_in workload
   in
   let speedup denom num = if num > 0. then denom /. num else Float.nan in
-  let run_json (domains, (s : Mrsl.Workload.stats), rate, steals, tasks) =
+  let run_json
+      (domains, (s : Mrsl.Workload.stats), rate, steals, tasks, zero, pool) =
     Json.Obj
       [
         ("domains", Json.Int domains);
@@ -269,6 +301,8 @@ let run_parallel_bench fx =
         ("memo_hit_rate", Json.Float rate);
         ("steals", Json.Int steals);
         ("tasks", Json.Int tasks);
+        ("counters_start_zero", Json.Bool zero);
+        ("pool_domains_alive", Json.Int pool);
         ("speedup_vs_domains1", Json.Float (speedup (wall_of 1) s.wall_seconds));
       ]
   in
@@ -293,7 +327,7 @@ let run_parallel_bench fx =
   parallel_block := Some block;
   let rows =
     List.map
-      (fun (domains, (s : Mrsl.Workload.stats), rate, steals, _) ->
+      (fun (domains, (s : Mrsl.Workload.stats), rate, steals, _, _, _) ->
         Experiments.Report.
           [
             S (Printf.sprintf "work-stealing domains:%d" domains);
@@ -353,8 +387,16 @@ let run_micro () =
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  (* The Bechamel measurement loop runs each kernel thousands of times;
+     tracing it would both distort the gated ns/run numbers and overflow
+     the default ring buffers. Suspend the sink for the timing loop only
+     — fixture setup and the parallel bench below stay traced. *)
   let raw =
-    Benchmark.all cfg instances (Test.make_grouped ~name:"mrsl" (micro_tests fx))
+    let sink = Mrsl.Trace.uninstall () in
+    Fun.protect ~finally:(fun () -> Option.iter Mrsl.Trace.install sink)
+      (fun () ->
+        Benchmark.all cfg instances
+          (Test.make_grouped ~name:"mrsl" (micro_tests fx)))
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = ref [] in
@@ -555,6 +597,14 @@ let () =
       (Mrsl.Fault_inject.describe (Mrsl.Fault_inject.current ()));
   Printf.printf "MRSL reproduction benches (scale=%s, seed=%d)\n%!"
     scale.Experiments.Scale.name seed;
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        let s = Mrsl.Trace.create () in
+        Mrsl.Trace.install s;
+        Some s
+  in
   List.iter
     (fun id ->
       if id = "micro" then run_micro ()
@@ -565,4 +615,12 @@ let () =
             Printf.eprintf "unknown artifact %S (known: %s, micro)\n%!" id
               (String.concat ", " (List.map (fun (i, _, _) -> i) artifacts)))
     requested;
+  (match (sink, trace_out) with
+  | Some sink, Some path ->
+      ignore (Mrsl.Trace.uninstall ());
+      Mrsl.Trace.write_chrome sink path;
+      Printf.printf "[trace: %d events (%d dropped) -> %s]\n%!"
+        (Mrsl.Trace.event_count sink)
+        (Mrsl.Trace.dropped sink) path
+  | _ -> ());
   write_bench_json ()

@@ -57,6 +57,55 @@ let params_of ?(miner = Mrsl.Model.Apriori) support max_itemsets =
     miner;
   }
 
+let trace_arg =
+  let doc =
+    "Record an event-level trace of the run (mining, lattice builds, \
+     Gibbs chains, scheduler steals, convergence timeline) and write it \
+     as Chrome trace-event JSON to $(docv) — loadable in Perfetto \
+     (ui.perfetto.dev) or chrome://tracing, and summarized by \
+     $(b,mrsl trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let prometheus_arg =
+  let doc =
+    "After the run, write the telemetry registry (counters, gauges, \
+     histograms, spans) as Prometheus text exposition to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "prometheus" ] ~doc ~docv:"FILE")
+
+(* Run [f] under a freshly installed trace sink when [path] is given,
+   writing Chrome trace JSON on the way out (exceptions included — a
+   partial trace of a failed run is exactly when you want one). *)
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some path -> (
+      let sink = Mrsl.Trace.create () in
+      Mrsl.Trace.install sink;
+      match f () with
+      | result ->
+          ignore (Mrsl.Trace.uninstall ());
+          Mrsl.Trace.write_chrome sink path;
+          Printf.eprintf "trace: %d events (%d dropped) -> %s\n%!"
+            (Mrsl.Trace.event_count sink)
+            (Mrsl.Trace.dropped sink) path;
+          result
+      | exception e ->
+          ignore (Mrsl.Trace.uninstall ());
+          Mrsl.Trace.write_chrome sink path;
+          raise e)
+
+let write_prometheus path =
+  match path with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc
+            (Mrsl.Trace.prometheus_exposition Mrsl.Telemetry.global));
+      Printf.eprintf "metrics: Prometheus exposition -> %s\n%!" path
+
 let method_arg =
   let doc =
     "Voting method: all-averaged, all-weighted, best-averaged, best-weighted."
@@ -278,8 +327,14 @@ let infer_cmd =
         (Probdb.Block.alternative_count block - top)
   in
   let run input support max_itemsets method_ strategy samples burn_in top
-      model_path lenient domains on_fault retry seed =
+      model_path lenient domains on_fault retry trace prometheus seed =
+    with_trace trace @@ fun () ->
+    Fun.protect ~finally:(fun () -> write_prometheus prometheus) @@ fun () ->
     let inst =
+      Mrsl.Trace.complete ~cat:"io"
+        ~args:[ ("file", Mrsl.Trace.Str input) ]
+        "csv.read"
+      @@ fun () ->
       if lenient then begin
         let inst, row_errors = Relation.Csv_io.read_file_lenient input in
         List.iter
@@ -391,7 +446,8 @@ let infer_cmd =
     Term.(
       const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
       $ strategy_arg $ samples_arg $ burn_in_arg $ top_arg $ model_arg
-      $ lenient_arg $ domains_arg $ on_fault_arg $ retry_arg $ seed_arg)
+      $ lenient_arg $ domains_arg $ on_fault_arg $ retry_arg $ trace_arg
+      $ prometheus_arg $ seed_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -561,6 +617,38 @@ let query_cmd =
       const run $ input_arg $ support_arg $ max_itemsets_arg $ samples_arg
       $ burn_in_arg $ where_arg $ lazy_arg $ seed_arg)
 
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let file_arg =
+    let doc =
+      "Chrome trace-event JSON file produced by $(b,mrsl infer --trace) or \
+       the benchmark harness."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~doc ~docv:"TRACE.json")
+  in
+  let run file =
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    match Mrsl.Telemetry.Json.of_string text with
+    | exception Failure msg ->
+        Printf.eprintf "%s: not valid JSON: %s\n" file msg;
+        exit 1
+    | json -> (
+        match Mrsl.Trace.summarize json with
+        | summary -> print_string summary
+        | exception Invalid_argument msg ->
+            Printf.eprintf "%s: not a Chrome trace: %s\n" file msg;
+            exit 1)
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Summarize a recorded trace: top spans by total duration, \
+         per-domain utilization, steal count and latency, counter series, \
+         dropped events."
+  in
+  Cmd.v info Term.(const run $ file_arg)
+
 (* ---------------- experiment ---------------- *)
 
 let experiment_cmd =
@@ -631,5 +719,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; profile_cmd; learn_cmd; infer_cmd; explain_cmd;
-            diagnose_cmd; query_cmd; experiment_cmd;
+            diagnose_cmd; query_cmd; trace_cmd; experiment_cmd;
           ]))

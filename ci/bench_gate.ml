@@ -15,8 +15,15 @@
    Fault-injection mode: --require-counter NAME (repeatable) asserts
    that telemetry counter NAME is present and positive in --current —
    the CI fault pass uses this to prove the degradation/retry paths
-   actually fired. With at least one --require-counter, --baseline
-   becomes optional (counters-only invocation). *)
+   actually fired. Likewise --require-span NAME (repeatable) asserts
+   that telemetry span NAME is present with calls > 0 — the trace pass
+   uses this to prove the instrumented phases actually ran. With at
+   least one requirement of either kind, --baseline becomes optional.
+
+   Double-accounting guard: when the current report carries a
+   "parallel" block, every run in it must have counters_start_zero =
+   true — per-run registries must begin empty even though the domain
+   pool (and its DLS memo caches) persists across sections. *)
 
 module Json = Mrsl.Telemetry.Json
 
@@ -35,14 +42,17 @@ let tolerance =
 let usage () =
   prerr_endline
     "usage: bench_gate [--baseline <BENCH.json>] --current <BENCH.json> \
-     [--require-counter NAME]...";
-  prerr_endline "  --baseline is required unless --require-counter is given";
+     [--require-counter NAME]... [--require-span NAME]...";
+  prerr_endline
+    "  --baseline is required unless --require-counter or --require-span \
+     is given";
   exit 2
 
 let parse_args () =
   let baseline = ref None
   and current = ref None
-  and counters = ref [] in
+  and counters = ref []
+  and spans = ref [] in
   let rec go = function
     | [] -> ()
     | "--baseline" :: v :: rest ->
@@ -54,12 +64,16 @@ let parse_args () =
     | "--require-counter" :: v :: rest ->
         counters := v :: !counters;
         go rest
+    | "--require-span" :: v :: rest ->
+        spans := v :: !spans;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  match (!baseline, !current, List.rev !counters) with
-  | baseline, Some c, (_ :: _ as req) -> (baseline, c, req)
-  | Some _, Some c, [] -> (!baseline, c, [])
+  match (!baseline, !current, List.rev !counters, List.rev !spans) with
+  | baseline, Some c, req_c, req_s when req_c <> [] || req_s <> [] ->
+      (baseline, c, req_c, req_s)
+  | Some _, Some c, [], [] -> (!baseline, c, [], [])
   | _ -> usage ()
 
 let load path =
@@ -105,9 +119,60 @@ let counter_value json name =
           | _ -> None)
       | _ -> None)
 
+(* calls count of a telemetry span of the report *)
+let span_calls json name =
+  match Json.member "telemetry" json with
+  | None -> None
+  | Some t -> (
+      match Json.member "spans" t with
+      | Some (Json.Obj fields) -> (
+          match List.assoc_opt name fields with
+          | Some span -> (
+              match Json.member "calls" span with
+              | Some (Json.Int n) -> Some n
+              | _ -> None)
+          | None -> None)
+      | _ -> None)
+
+(* Double-accounting guard over the parallel block: the bench runs each
+   domain-count configuration against a fresh registry, but the domain
+   pool — and the per-domain DLS sampler/memo caches inside it — is
+   reused across sections. Every run therefore records whether its
+   per-section counters really started from zero; a [false] here means
+   some section's counts leaked into another's. *)
+let check_counters_start_zero json =
+  match Json.member "parallel" json with
+  | None -> 0
+  | Some p -> (
+      match Json.member "runs" p with
+      | Some (Json.List runs) ->
+          List.fold_left
+            (fun bad run ->
+              match Json.member "counters_start_zero" run with
+              | Some (Json.Bool true) | None -> bad
+              | _ ->
+                  let domains =
+                    match Json.member "domains" run with
+                    | Some (Json.Int d) -> string_of_int d
+                    | _ -> "?"
+                  in
+                  Printf.printf
+                    "  parallel run (domains=%s): counters_start_zero FAIL\n"
+                    domains;
+                  bad + 1)
+            0 runs
+      | _ -> 0)
+
 let () =
-  let baseline_opt, current_path, required_counters = parse_args () in
+  let baseline_opt, current_path, required_counters, required_spans =
+    parse_args ()
+  in
   let cur_json = load current_path in
+  (let bad = check_counters_start_zero cur_json in
+   if bad > 0 then (
+     Printf.printf
+       "%d parallel run(s) with non-zero per-section counters at start\n" bad;
+     exit 1));
   (* Fault-pass assertions: required telemetry counters must be present
      and positive in the current report. *)
   if required_counters <> [] then begin
@@ -131,11 +196,34 @@ let () =
     Printf.printf "all %d required counters present and positive\n\n"
       (List.length required_counters)
   end;
+  (* Trace-pass assertions: required telemetry spans must be present
+     with at least one call in the current report. *)
+  if required_spans <> [] then begin
+    Printf.printf "span gate: %s\n" current_path;
+    let bad = ref 0 in
+    List.iter
+      (fun name ->
+        match span_calls cur_json name with
+        | Some n when n > 0 ->
+            Printf.printf "  %-28s %12d calls  ok\n" name n
+        | Some n ->
+            incr bad;
+            Printf.printf "  %-28s %12d calls  FAIL (no calls)\n" name n
+        | None ->
+            incr bad;
+            Printf.printf "  %-28s %12s  FAIL (missing)\n" name "-")
+      required_spans;
+    if !bad > 0 then (
+      Printf.printf "\n%d required span(s) missing or never called\n" !bad;
+      exit 1);
+    Printf.printf "all %d required spans present\n\n"
+      (List.length required_spans)
+  end;
   let baseline_path =
     match baseline_opt with
     | Some b -> b
     | None ->
-        (* counters-only invocation *)
+        (* requirements-only invocation *)
         Printf.printf "no baseline given: micro comparison skipped\n";
         exit 0
   in

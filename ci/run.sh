@@ -60,4 +60,32 @@ dune exec ci/bench_gate.exe -- --current BENCH_FAULT.json \
   --require-counter degrade.uniform \
   --require-counter csv.rows_skipped
 
+echo "== trace pass =="
+# End-to-end traced inference on the bundled example. The artifact must
+# parse as Chrome trace-event JSON with one track per domain, steal
+# flow arrows, the Gibbs convergence timeline, at least one event in
+# every instrumented phase, and zero dropped events.
+dune exec bin/mrsl_cli.exe -- infer -i examples/example.csv \
+  --samples 200 --burn-in 50 --domains 4 --seed 2011 \
+  --trace TRACE_INFER.json --prometheus METRICS_INFER.prom > /dev/null
+dune exec ci/trace_check.exe -- --trace TRACE_INFER.json --min-tracks 4 \
+  --require-steal-flows --require-rhat-counters \
+  --require-cat mine --require-cat lattice --require-cat voting \
+  --require-cat gibbs --require-cat dag --require-cat io \
+  --require-cat sched --require-cat steal
+
+# Traced smoke bench: every CI run produces a parseable trace artifact,
+# and the span gate proves the instrumented phases actually ran (plus
+# the double-accounting guard: per-section counters start from zero).
+MRSL_SCALE="${MRSL_SCALE:-smoke}" \
+MRSL_BENCH_OUT=BENCH_TRACE.json \
+MRSL_TRACE_OUT=TRACE_BENCH.json \
+  dune exec bench/main.exe -- micro
+dune exec ci/trace_check.exe -- --trace TRACE_BENCH.json \
+  --require-cat gibbs --require-cat sched --require-cat dag \
+  --require-cat learn
+dune exec ci/bench_gate.exe -- --current BENCH_TRACE.json \
+  --require-span model.learn \
+  --require-span workload.run
+
 echo "== CI pipeline passed =="

@@ -1,0 +1,149 @@
+(* Trace artifact validator for the CI trace pass.
+
+   Parses a Chrome trace-event JSON file produced by `mrsl infer --trace`
+   or the bench harness (MRSL_TRACE_OUT) and asserts it is a usable
+   observability artifact:
+
+     - the JSON parses and has a traceEvents array with at least one
+       non-metadata event;
+     - dropped == 0 (no ring-buffer overflow at the default capacity);
+     - at least --min-tracks distinct tracks (one per domain);
+     - every --require-cat CATEGORY (repeatable) has >= 1 event;
+     - with --require-steal-flows: at least one steal flow start ("s")
+       and one matching flow end ("f") in category "steal";
+     - with --require-rhat-counters: at least one "gibbs.convergence"
+       counter event carrying an "rhat" series value.
+
+   Usage:
+     trace_check --trace t.json [--min-tracks N] [--require-steal-flows]
+                 [--require-rhat-counters] [--require-cat CAT]...
+
+   Exit codes: 0 ok, 1 validation failure, 2 usage/IO error. *)
+
+module Json = Mrsl.Telemetry.Json
+
+let usage () =
+  prerr_endline
+    "usage: trace_check --trace <t.json> [--min-tracks N] \
+     [--require-steal-flows] [--require-rhat-counters] [--require-cat CAT]...";
+  exit 2
+
+let parse_args () =
+  let trace = ref None
+  and min_tracks = ref 1
+  and steal_flows = ref false
+  and rhat = ref false
+  and cats = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--trace" :: v :: rest ->
+        trace := Some v;
+        go rest
+    | "--min-tracks" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> min_tracks := n
+        | _ -> usage ());
+        go rest
+    | "--require-steal-flows" :: rest ->
+        steal_flows := true;
+        go rest
+    | "--require-rhat-counters" :: rest ->
+        rhat := true;
+        go rest
+    | "--require-cat" :: v :: rest ->
+        cats := v :: !cats;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match !trace with
+  | Some t -> (t, !min_tracks, !steal_flows, !rhat, List.rev !cats)
+  | None -> usage ()
+
+let () =
+  let path, min_tracks, want_steals, want_rhat, required_cats =
+    parse_args ()
+  in
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "trace_check: cannot read %s: %s\n%!" path msg;
+      exit 2
+  in
+  let json =
+    try Json.of_string text
+    with Json.Parse_error msg ->
+      Printf.eprintf "trace_check: %s is not valid JSON: %s\n%!" path msg;
+      exit 1
+  in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> evs
+    | _ ->
+        Printf.eprintf "trace_check: %s has no traceEvents array\n%!" path;
+        exit 1
+  in
+  let str k o =
+    match Json.member k o with Some (Json.String s) -> Some s | _ -> None
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let tracks = Hashtbl.create 8 in
+  let cat_counts = Hashtbl.create 16 in
+  let n_events = ref 0 in
+  let steal_starts = ref 0 and steal_ends = ref 0 in
+  let rhat_counters = ref 0 in
+  List.iter
+    (fun ev ->
+      match str "ph" ev with
+      | Some "M" | None -> ()
+      | Some ph ->
+          incr n_events;
+          (match Json.member "pid" ev with
+          | Some (Json.Int pid) -> Hashtbl.replace tracks pid ()
+          | _ -> ());
+          (match str "cat" ev with
+          | Some cat ->
+              Hashtbl.replace cat_counts cat
+                (1 + Option.value ~default:0 (Hashtbl.find_opt cat_counts cat));
+              if cat = "steal" && ph = "s" then incr steal_starts;
+              if cat = "steal" && ph = "f" then incr steal_ends
+          | None -> ());
+          if ph = "C" && str "name" ev = Some "gibbs.convergence" then
+            match Json.member "args" ev with
+            | Some args when Json.member "rhat" args <> None ->
+                incr rhat_counters
+            | _ -> ())
+    events;
+  if !n_events = 0 then fail "no events (only metadata) in traceEvents";
+  (match Json.member "dropped" json with
+  | Some (Json.Int 0) -> ()
+  | Some (Json.Int n) ->
+      fail "%d events dropped (ring-buffer overflow at default capacity)" n
+  | _ -> fail "no top-level \"dropped\" field");
+  let n_tracks = Hashtbl.length tracks in
+  if n_tracks < min_tracks then
+    fail "only %d track(s), expected >= %d (one per domain)" n_tracks
+      min_tracks;
+  List.iter
+    (fun cat ->
+      match Hashtbl.find_opt cat_counts cat with
+      | Some n when n > 0 -> ()
+      | _ -> fail "no events in required category %S" cat)
+    required_cats;
+  if want_steals then begin
+    if !steal_starts = 0 then fail "no steal flow-start (\"s\") events";
+    if !steal_ends = 0 then fail "no steal flow-end (\"f\") events"
+  end;
+  if want_rhat && !rhat_counters = 0 then
+    fail "no gibbs.convergence counter events with an rhat series";
+  match !failures with
+  | [] ->
+      Printf.printf
+        "trace_check: %s ok (%d events, %d tracks, %d steal flows, %d rhat \
+         points, 0 dropped)\n"
+        path !n_events n_tracks !steal_starts !rhat_counters
+  | fs ->
+      Printf.eprintf "trace_check: %s FAILED:\n" path;
+      List.iter (fun f -> Printf.eprintf "  - %s\n" f) (List.rev fs);
+      exit 1

@@ -1,0 +1,6 @@
+external monotonic_ns : unit -> int = "mrsl_clock_monotonic_ns" [@@noalloc]
+
+let now_ns () = monotonic_ns ()
+let now () = float_of_int (monotonic_ns ()) *. 1e-9
+let duration_ns ~start ~stop = if stop > start then stop - start else 0
+let duration ~start ~stop = if stop > start then stop -. start else 0.

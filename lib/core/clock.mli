@@ -1,0 +1,22 @@
+(** Monotonic time source.
+
+    [Unix.gettimeofday] is a wall clock; NTP steps can move it backwards,
+    which made {!Telemetry.span} durations and the wall budgets of
+    {!Parallel}, {!Workload}, and {!Diagnostics.run_with_retries}
+    occasionally negative. This module reads [CLOCK_MONOTONIC] via a tiny
+    C stub (with a guarded realtime fallback on exotic hosts) and is the
+    single time source for spans, trace events, and wall budgets. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an unspecified (boot-relative) epoch. Monotonic:
+    never decreases within a process. *)
+
+val now : unit -> float
+(** [now_ns] in seconds. *)
+
+val duration_ns : start:int -> stop:int -> int
+(** [max 0 (stop - start)] — clamped so that even a non-monotonic
+    fallback source can never yield a negative duration. *)
+
+val duration : start:float -> stop:float -> float
+(** Same clamp in seconds. *)

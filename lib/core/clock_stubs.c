@@ -1,0 +1,26 @@
+/* Monotonic clock for Mrsl.Clock.
+
+   Unix.gettimeofday is a wall clock: NTP steps (and, on some hosts,
+   leap-second smearing) can move it backwards, producing negative span
+   durations and corrupting wall-clock budgets. CLOCK_MONOTONIC never
+   steps. The value is returned as an OCaml int of nanoseconds since an
+   unspecified epoch: 63 bits of nanoseconds cover ~146 years of uptime,
+   so the subtraction of two readings never overflows in practice. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value mrsl_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+#endif
+  {
+    /* Fallback: realtime (still better than failing); Clock.duration
+       guards against the negative deltas this can produce. */
+    clock_gettime(CLOCK_REALTIME, &ts);
+  }
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

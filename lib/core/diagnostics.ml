@@ -172,6 +172,32 @@ let split_rhat sampler tup points =
     !rmax
   end
 
+(* One (split-R̂, min ESS) reading over a prefix of a chain's recorded
+   points — the payload of the trace layer's per-chain convergence
+   timeline (Trace counter events named [gibbs.convergence]). ESS is the
+   minimum initial-positive-sequence estimate over every (missing
+   attribute, value) indicator series, mirroring [diagnose]. *)
+let convergence_snapshot sampler tup points =
+  let rhat = split_rhat sampler tup points in
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  if n < 2 then (rhat, float_of_int n)
+  else begin
+    let schema = Model.schema (Gibbs.model sampler) in
+    let ess_min = ref (float_of_int n) in
+    List.iter
+      (fun a ->
+        for v = 0 to Relation.Schema.cardinality schema a - 1 do
+          let series =
+            Array.init n (fun i -> if pts.(i).(a) = v then 1. else 0.)
+          in
+          let ess = effective_sample_size series in
+          if ess < !ess_min then ess_min := ess
+        done)
+      (Relation.Tuple.missing tup);
+    (rhat, !ess_min)
+  end
+
 let run_with_retries ?(config = Gibbs.default_config)
     ?(policy = default_retry_policy) ?(telemetry = Telemetry.global) rng
     sampler tup =
@@ -181,7 +207,7 @@ let run_with_retries ?(config = Gibbs.default_config)
     invalid_arg "Diagnostics.run_with_retries: max_total_sweeps must be >= 1";
   if not (policy.rhat_threshold > 0.) then
     invalid_arg "Diagnostics.run_with_retries: rhat_threshold must be > 0";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let total_sweeps = ref 0 in
   let draw draws =
     let c = Gibbs.chain rng sampler tup in
@@ -196,11 +222,25 @@ let run_with_retries ?(config = Gibbs.default_config)
     Fault_inject.should_force_nonconvergence ~key:(Hashtbl.hash tup)
   in
   let rec go attempt draws =
-    let points = draw draws in
+    let points =
+      Trace.complete ~cat:"gibbs"
+        ~args:[ ("attempt", Trace.Int attempt); ("draws", Trace.Int draws) ]
+        "gibbs.attempt"
+        (fun () -> draw draws)
+    in
     let estimate = Gibbs.estimate_of_points sampler tup points in
     let rhat =
       if forced then Float.infinity else split_rhat sampler tup points
     in
+    if Trace.enabled () then begin
+      let _, ess = convergence_snapshot sampler tup points in
+      Trace.counter ~cat:"gibbs" "gibbs.convergence"
+        [
+          ("rhat", (if Float.is_finite rhat then rhat else 1e6));
+          ("ess", ess);
+          ("attempt", float_of_int attempt);
+        ]
+    end;
     if rhat <= policy.rhat_threshold then
       { estimate; rhat; converged = true; attempts = attempt;
         total_sweeps = !total_sweeps }
@@ -210,7 +250,8 @@ let run_with_retries ?(config = Gibbs.default_config)
         attempt <= policy.max_retries
         && !total_sweeps + config.Gibbs.burn_in + next
            <= policy.max_total_sweeps
-        && Unix.gettimeofday () -. t0 < policy.max_wall_seconds
+        && Clock.duration ~start:t0 ~stop:(Clock.now ())
+           < policy.max_wall_seconds
       in
       if within_budget then begin
         Telemetry.incr telemetry "gibbs.retries";

@@ -69,6 +69,15 @@ val split_rhat : Gibbs.sampler -> Relation.Tuple.t -> int array list -> float
     series of one run's recorded points (oldest first). Returns 1.0 for
     fewer than 8 points. *)
 
+val convergence_snapshot :
+  Gibbs.sampler -> Relation.Tuple.t -> int array list -> float * float
+(** [(split-R̂, min ESS)] over one run's recorded points so far — the
+    payload of the event-tracing layer's per-chain convergence timeline
+    ({!Trace} counter events named [gibbs.convergence], emitted every few
+    recorded sweeps by {!Parallel}, {!Workload}, and
+    {!run_with_retries} when a trace sink is installed). ESS is the
+    minimum over every (missing attribute, value) indicator series. *)
+
 val run_with_retries : ?config:Gibbs.config -> ?policy:retry_policy ->
   ?telemetry:Telemetry.t -> Prob.Rng.t -> Gibbs.sampler ->
   Relation.Tuple.t -> checked

@@ -100,7 +100,13 @@ let chain rng s tup =
     invalid_arg "Gibbs.chain: tuple is complete";
   let state = Array.map (function Some v -> v | None -> 0) tup in
   (* Initialize each missing attribute from its single-attribute estimate
-     given the evidence only — a valid positive starting state. *)
+     given the evidence only — a valid positive starting state. This is
+     where the ensemble-voting layer runs un-memoized, so it carries the
+     [voting] trace slice for the chain. *)
+  Trace.complete ~cat:"voting"
+    ~args:[ ("missing", Trace.Int (Array.length missing)) ]
+    "gibbs.chain_init"
+  @@ fun () ->
   Array.iter
     (fun a ->
       let d = Infer_single.infer ~method_:s.method_ s.model tup a in

@@ -30,9 +30,11 @@ let degrade ?(telemetry = Telemetry.global) ~card prior =
   match prior with
   | Some p ->
       Telemetry.incr telemetry "degrade.marginal_prior";
+      Trace.instant ~cat:"voting" "degrade.marginal_prior";
       p
   | None ->
       Telemetry.incr telemetry "degrade.uniform";
+      Trace.instant ~cat:"voting" "degrade.uniform";
       Prob.Dist.uniform card
 
 let infer ?(method_ = Voting.best_averaged) ?telemetry model tup a =

@@ -68,20 +68,41 @@ let learn_points ?(params = default_params) schema points =
       max_itemsets = params.max_itemsets;
     }
   in
-  let t0 = Unix.gettimeofday () in
+  Telemetry.span Telemetry.global "model.learn" @@ fun () ->
+  Trace.complete ~cat:"learn"
+    ~args:[ ("points", Trace.Int (Array.length points)) ]
+    "model.learn"
+  @@ fun () ->
+  let t0 = Clock.now () in
   let apriori =
-    match params.miner with
-    | Apriori -> Mining.Apriori.mine ~config ~cards points
-    | Fp_growth -> Mining.Fp_growth.mine ~config ~cards points
+    Trace.complete ~cat:"mine"
+      ~args:
+        [
+          ( "miner",
+            Trace.Str
+              (match params.miner with
+              | Apriori -> "apriori"
+              | Fp_growth -> "fp-growth") );
+          ("points", Trace.Int (Array.length points));
+        ]
+      "mine.frequent_itemsets"
+      (fun () ->
+        match params.miner with
+        | Apriori -> Mining.Apriori.mine ~config ~cards points
+        | Fp_growth -> Mining.Fp_growth.mine ~config ~cards points)
   in
   Log.debug (fun m ->
       m "apriori: %d frequent itemsets in %d rounds%s (%.3fs, θ=%g, %d points)"
         (Mining.Apriori.count apriori)
         (Mining.Apriori.rounds apriori)
         (if Mining.Apriori.truncated apriori then " [truncated]" else "")
-        (Unix.gettimeofday () -. t0)
+        (Clock.now () -. t0)
         params.support_threshold (Array.length points));
   let lattice_of_attr attr =
+    Trace.complete ~cat:"lattice"
+      ~args:[ ("attr", Trace.Int attr) ]
+      "lattice.build"
+    @@ fun () ->
     let head_card = cards.(attr) in
     let root =
       root_meta_rule ~floor:params.smoothing_floor schema points attr
@@ -105,7 +126,7 @@ let learn_points ?(params = default_params) schema points =
       m "learned MRSL model: %d meta-rules over %d attributes (%.3fs)"
         (Array.fold_left (fun acc l -> acc + Lattice.size l) 0 lattices)
         arity
-        (Unix.gettimeofday () -. t0));
+        (Clock.now () -. t0));
   {
     schema;
     lattices;

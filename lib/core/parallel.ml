@@ -89,6 +89,7 @@ type node = {
   mutable completed : bool;
   mutable failed : Error.t option;  (* Skip_and_report containment *)
   mutable failed_upstream : int option;  (* root-cause node when skipped *)
+  mutable donors : int list;  (* parents that donated samples (trace flows) *)
 }
 
 type worker_log = {
@@ -145,7 +146,14 @@ let run_contained ?(config = Gibbs.default_config)
       { result; faults = [] }
   | Workload.Tuple_at_a_time | Workload.Tuple_dag ->
       Telemetry.span telemetry "parallel.run" @@ fun () ->
-      let dag = Tuple_dag.build workload in
+      Trace.complete ~cat:"sched"
+        ~args:[ ("seed", Trace.Int seed) ]
+        "parallel.run"
+      @@ fun () ->
+      let dag =
+        Trace.complete ~cat:"dag" "dag.build" (fun () ->
+            Tuple_dag.build workload)
+      in
       let n = Tuple_dag.node_count dag in
       if n = 0 then { result = empty_result (); faults = [] }
       else begin
@@ -164,6 +172,7 @@ let run_contained ?(config = Gibbs.default_config)
                 completed = false;
                 failed = None;
                 failed_upstream = None;
+                donors = [];
               })
         in
         let target = config.Gibbs.samples in
@@ -176,7 +185,29 @@ let run_contained ?(config = Gibbs.default_config)
         let initial =
           if use_dag then Tuple_dag.roots dag else List.init n Fun.id
         in
-        List.iteri (fun k i -> Wsdeque.push deques.(k mod workers) i) initial;
+        List.iteri
+          (fun k i ->
+            Trace.flow_start ~cat:"sched"
+              ~id:(Trace.task_flow_id ~seed ~node:i)
+              "task.run";
+            Wsdeque.push deques.(k mod workers) i)
+          initial;
+        (* Worker wid's Perfetto track (its domain id); -1 until the
+           worker starts. Used to attach steal-arrow tails to the victim's
+           track even though the thief records the event. *)
+        let tracks = Array.make workers (-1) in
+        (* Close the sharing arrows opened when parents donated samples;
+           called either when the child task executes or when donations
+           alone completed it. *)
+        let end_share_flows i =
+          if Trace.enabled () then
+            List.iter
+              (fun p ->
+                Trace.flow_end ~cat:"share"
+                  ~id:(Trace.share_flow_id ~seed ~parent:p ~child:i)
+                  "share.donate")
+              nodes.(i).donors
+        in
         (* DAG bookkeeping; call with [coord] held. Marks [i] done,
            promotes children whose last parent just finished: each pulls
            donations (parents in ascending order, samples oldest-first),
@@ -196,6 +227,7 @@ let run_contained ?(config = Gibbs.default_config)
               else begin
                 List.iter
                   (fun p ->
+                    let before = cj.count in
                     List.iter
                       (fun point ->
                         if
@@ -207,9 +239,20 @@ let run_contained ?(config = Gibbs.default_config)
                           incr donated;
                           incr shared
                         end)
-                      (List.rev nodes.(p).samples))
+                      (List.rev nodes.(p).samples);
+                    if cj.count > before then begin
+                      cj.donors <- p :: cj.donors;
+                      Trace.flow_start ~cat:"share"
+                        ~args:[ ("samples", Trace.Int (cj.count - before)) ]
+                        ~id:(Trace.share_flow_id ~seed ~parent:p ~child:j)
+                        "share.donate"
+                    end)
                   (parents j);
-                if cj.count >= target then complete j newly else j :: newly
+                if cj.count >= target then begin
+                  end_share_flows j;
+                  complete j newly
+                end
+                else j :: newly
               end
               end)
             newly (children i)
@@ -253,17 +296,39 @@ let run_contained ?(config = Gibbs.default_config)
               ignore (Gibbs.sweep rng c);
               log.sweeps <- log.sweeps + 1
             done;
+            let stride = max 8 (target / 8) in
             while st.count < target do
               st.samples <- Gibbs.sweep rng c :: st.samples;
               st.count <- st.count + 1;
               log.sweeps <- log.sweeps + 1;
-              log.recorded <- log.recorded + 1
+              log.recorded <- log.recorded + 1;
+              if st.count mod stride = 0 && Trace.enabled () then begin
+                let rhat, ess =
+                  Diagnostics.convergence_snapshot sampler st.tuple
+                    (List.rev st.samples)
+                in
+                Trace.counter ~id:i ~cat:"gibbs" "gibbs.convergence"
+                  [
+                    ("rhat", (if Float.is_finite rhat then rhat else 1e6));
+                    ("ess", ess);
+                    ("node", float_of_int i);
+                  ]
+              end
             done
           end
         in
         let exec log sampler dq i =
           let st = nodes.(i) in
-          match sample_task st i sampler log with
+          Trace.flow_end ~cat:"sched"
+            ~id:(Trace.task_flow_id ~seed ~node:i)
+            "task.run";
+          end_share_flows i;
+          match
+            Trace.complete ~cat:"gibbs"
+              ~args:[ ("node", Trace.Int i) ]
+              "parallel.task"
+              (fun () -> sample_task st i sampler log)
+          with
           | exception e when policy = Skip_and_report ->
               (* Contain the fault to this tuple: record it, skip its
                  dependents, keep the domain pool alive. *)
@@ -287,11 +352,18 @@ let run_contained ?(config = Gibbs.default_config)
                     raise e
               in
               Mutex.unlock coord;
-              List.iter (Wsdeque.push dq) newly;
+              List.iter
+                (fun j ->
+                  Trace.flow_start ~cat:"sched"
+                    ~id:(Trace.task_flow_id ~seed ~node:j)
+                    "task.run";
+                  Wsdeque.push dq j)
+                newly;
               log.max_depth <- max log.max_depth (Wsdeque.length dq)
         in
         let logs = Array.init workers (fun _ -> fresh_log ()) in
         let worker_body wid =
+          tracks.(wid) <- (Domain.self () :> int);
           let sampler = Sampler_cache.get ?method_ ?memoize model in
           let h0, m0 = Gibbs.cache_stats sampler in
           let log = logs.(wid) in
@@ -303,9 +375,27 @@ let run_contained ?(config = Gibbs.default_config)
                 let rec scan k =
                   if k >= workers then None
                   else
-                    match Wsdeque.steal deques.((wid + k) mod workers) with
-                    | Some _ as t ->
+                    let victim = (wid + k) mod workers in
+                    match Wsdeque.steal deques.(victim) with
+                    | Some j as t ->
                         log.steals <- log.steals + 1;
+                        if Trace.enabled () then begin
+                          (* The thief records both ends of the arrow; the
+                             tail is drawn on the victim's track. The flow
+                             id is deterministic (seed × node identity). *)
+                          let sid = Trace.steal_flow_id ~seed ~node:j in
+                          let vt = tracks.(victim) in
+                          Trace.flow_start ~cat:"steal"
+                            ?track:(if vt >= 0 then Some vt else None)
+                            ~args:
+                              [
+                                ("victim", Trace.Int victim);
+                                ("thief", Trace.Int wid);
+                                ("node", Trace.Int j);
+                              ]
+                            ~id:sid "steal";
+                          Trace.flow_end ~cat:"steal" ~id:sid "steal"
+                        end;
                         t
                     | None -> scan (k + 1)
                 in
@@ -326,11 +416,11 @@ let run_contained ?(config = Gibbs.default_config)
           log.memo_hits <- h1 - h0;
           log.memo_misses <- m1 - m0
         in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now () in
         if workers = 1 then worker_body 0
         else Domain_pool.run (Domain_pool.get ()) ~workers worker_body;
         (match !failure with Some e -> raise e | None -> ());
-        let wall = Unix.gettimeofday () -. t0 in
+        let wall = Clock.duration ~start:t0 ~stop:(Clock.now ()) in
         (* Merge: node order (first-seen workload order), exactly like the
            sequential strategies. Failed/skipped nodes are excluded from
            the estimates and reported in [faults] instead. *)

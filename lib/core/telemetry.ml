@@ -293,13 +293,32 @@ end
 
 let reservoir_cap = 8192
 
+(* splitmix64 step — the deterministic PRNG behind Algorithm-R reservoir
+   sampling. Seeded per histogram from the metric name, so replacement
+   decisions are a pure function of (name, observation index): two runs
+   observing the same sequence keep identical reservoirs. *)
+let splitmix64_next state =
+  let z = Int64.add state 0x9E3779B97F4A7C15L in
+  let x =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let x =
+    Int64.mul
+      (Int64.logxor x (Int64.shift_right_logical x 27))
+      0x94D049BB133111EBL
+  in
+  (z, Int64.logxor x (Int64.shift_right_logical x 31))
+
 type histogram_state = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
-  mutable values : float list;  (* newest first, capped at reservoir_cap *)
+  reservoir : float array;  (* uniform Algorithm-R sample, [stored] live *)
   mutable stored : int;
+  mutable rng : int64;  (* splitmix64 state for replacement draws *)
 }
 
 type gauge_state = { mutable last : float; mutable max_seen : float }
@@ -397,8 +416,9 @@ let observe t name v =
             h_sum = 0.;
             h_min = infinity;
             h_max = neg_infinity;
-            values = [];
+            reservoir = Array.make reservoir_cap 0.;
             stored = 0;
+            rng = Int64.of_int (Hashtbl.hash name);
           })
   with
   | Histogram h ->
@@ -407,9 +427,26 @@ let observe t name v =
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;
       if v > h.h_max then h.h_max <- v;
+      (* Algorithm R (Vitter): after the reservoir fills, observation i
+         (1-based) replaces a uniformly random slot with probability
+         cap/i — every observation, not just the first [reservoir_cap],
+         ends up in the percentile sample with equal probability. The
+         seed implementation kept only the head of the stream, so long
+         runs reported warm-up-only percentiles. *)
       if h.stored < reservoir_cap then begin
-        h.values <- v :: h.values;
+        h.reservoir.(h.stored) <- v;
         h.stored <- h.stored + 1
+      end
+      else begin
+        let state, draw = splitmix64_next h.rng in
+        h.rng <- state;
+        let j =
+          Int64.to_int
+            (Int64.rem
+               (Int64.logand draw Int64.max_int)
+               (Int64.of_int h.h_count))
+        in
+        if j < reservoir_cap then h.reservoir.(j) <- v
       end;
       Mutex.unlock t.lock
   | _ -> wrong_kind name
@@ -425,8 +462,8 @@ type summary = {
 }
 
 let summarize h =
-  let sorted = List.sort Float.compare h.values in
-  let arr = Array.of_list sorted in
+  let arr = Array.sub h.reservoir 0 h.stored in
+  Array.sort Float.compare arr;
   let n = Array.length arr in
   let pct p =
     if n = 0 then Float.nan
@@ -468,9 +505,10 @@ let span t name f =
     | Span s -> s
     | _ -> wrong_kind name
   in
-  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  let w0 = Clock.now () and c0 = Sys.time () in
   let record () =
-    let w = Unix.gettimeofday () -. w0 and c = Sys.time () -. c0 in
+    let w = Clock.duration ~start:w0 ~stop:(Clock.now ())
+    and c = Float.max 0. (Sys.time () -. c0) in
     Mutex.lock t.lock;
     s.calls <- s.calls + 1;
     s.wall <- s.wall +. w;

@@ -93,15 +93,24 @@ type summary = {
 }
 
 val histogram : t -> string -> summary option
-(** Percentiles are computed over the first 8192 observations (the
-    reservoir cap); count/min/max/mean are exact. *)
+(** count/min/max/mean are exact over every observation. Percentiles are
+    estimated from a uniform reservoir of at most 8192 observations
+    maintained by Vitter's Algorithm R: once full, observation [i]
+    replaces a uniformly random slot with probability [8192/i], so every
+    observation — early or late — is equally likely to be in the sample
+    (the seed implementation kept only the {e first} 8192, biasing long
+    runs toward warm-up behavior). Replacement draws come from a
+    splitmix64 stream seeded by the metric name, so the reservoir is a
+    deterministic function of the observation sequence. *)
 
 (** {1 Spans} *)
 
 val span : t -> string -> (unit -> 'a) -> 'a
-(** Times [f ()] (wall via [Unix.gettimeofday], CPU via [Sys.time]) and
-    accumulates into the named span; re-raises [f]'s exceptions after
-    recording. *)
+(** Times [f ()] (wall via the monotonic {!Clock}, CPU via [Sys.time])
+    and accumulates into the named span; re-raises [f]'s exceptions
+    after recording. Durations are clamped at 0, and the monotonic
+    source cannot step backwards under NTP adjustments the way the
+    previous [Unix.gettimeofday] clock could. *)
 
 (** {1 Snapshot} *)
 

@@ -38,11 +38,35 @@ let record st point =
 let estimate_of_state sampler st =
   Gibbs.estimate_of_points sampler st.tuple st.samples
 
+(* Convergence timeline: one [gibbs.convergence] counter event per
+   [convergence_stride target] recorded sweeps, carrying the running
+   split-R̂ and min-ESS of the node's chain. Guarded by [Trace.enabled]
+   so untraced runs never pay the O(n · cardinality) snapshot. *)
+let convergence_stride target = max 8 (target / 8)
+
+let trace_convergence sampler st node =
+  if Trace.enabled () then begin
+    let rhat, ess =
+      Diagnostics.convergence_snapshot sampler st.tuple (List.rev st.samples)
+    in
+    Trace.counter ~id:node ~cat:"gibbs" "gibbs.convergence"
+      [
+        ("rhat", (if Float.is_finite rhat then rhat else 1e6));
+        ("ess", ess);
+        ("node", float_of_int node);
+      ]
+  end
+
 let tuple_at_a_time config rng sampler dag sweeps recorded =
   let n = Tuple_dag.node_count dag in
   let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
-  Array.iter
-    (fun st ->
+  let stride = convergence_stride config.Gibbs.samples in
+  Array.iteri
+    (fun i st ->
+      Trace.complete ~cat:"gibbs"
+        ~args:[ ("node", Trace.Int i) ]
+        "workload.node"
+      @@ fun () ->
       let c = Gibbs.chain rng sampler st.tuple in
       for _ = 1 to config.Gibbs.burn_in do
         ignore (Gibbs.sweep rng c);
@@ -51,7 +75,8 @@ let tuple_at_a_time config rng sampler dag sweeps recorded =
       for _ = 1 to config.Gibbs.samples do
         record st (Gibbs.sweep rng c);
         incr sweeps;
-        incr recorded
+        incr recorded;
+        if st.count mod stride = 0 then trace_convergence sampler st i
       done;
       st.completed <- true)
     states;
@@ -64,6 +89,7 @@ let tuple_dag_strategy config rng sampler dag sweeps recorded shared =
   let n = Tuple_dag.node_count dag in
   let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
   let target = config.Gibbs.samples in
+  let stride = convergence_stride target in
   let frontier = Queue.create () in
   List.iter (fun i -> Queue.add i frontier) (Tuple_dag.roots dag);
   let all_parents_done i =
@@ -112,6 +138,7 @@ let tuple_dag_strategy config rng sampler dag sweeps recorded shared =
       record st (Gibbs.sweep rng c);
       incr sweeps;
       incr recorded;
+      if st.count mod stride = 0 then trace_convergence sampler st i;
       if st.count >= target then complete i else Queue.add i frontier
     end
   done;
@@ -175,10 +202,12 @@ let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
     ?(max_draws = 10_000_000) ?(telemetry = Telemetry.global) rng sampler
     workload =
   if max_draws < 1 then invalid_arg "Workload.run: max_draws must be positive";
-  let dag = Tuple_dag.build workload in
+  let dag =
+    Trace.complete ~cat:"dag" "dag.build" (fun () -> Tuple_dag.build workload)
+  in
   let sweeps = ref 0 and recorded = ref 0 and shared = ref 0 in
   let memo_hits0, memo_misses0 = Gibbs.cache_stats sampler in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let states =
     Telemetry.span telemetry "workload.run" (fun () ->
         match strategy with
@@ -189,7 +218,7 @@ let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
         | All_at_a_time ->
             all_at_a_time config rng sampler dag max_draws sweeps recorded)
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Clock.duration ~start:t0 ~stop:(Clock.now ()) in
   Telemetry.add telemetry "workload.sweeps" !sweeps;
   Telemetry.add telemetry "workload.recorded" !recorded;
   Telemetry.add telemetry "workload.shared" !shared;

@@ -3,6 +3,8 @@ let () =
     [
       ("prob", Test_prob.suite);
       ("telemetry", Test_telemetry.suite);
+      ("trace", Test_trace.suite);
+      ("metrics", Test_metrics.suite);
       ("relation", Test_relation.suite);
       ("bayesnet", Test_bayesnet.suite);
       ("mining", Test_mining.suite);

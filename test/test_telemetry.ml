@@ -105,6 +105,111 @@ let test_json_floats_survive () =
   Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
   Alcotest.(check string) "inf -> null" "null" (Json.to_string (Json.Float infinity))
 
+(* --- JSON edge cases (observability PR satellite) -------------------- *)
+
+let parse_fails s =
+  match Json.of_string s with
+  | exception Json.Parse_error _ -> true
+  | _ -> false
+
+let test_json_unicode_escapes () =
+  (* control characters are emitted as \uXXXX and must round-trip *)
+  let s = "a\x01b\x1fc\ttab\x00nul" in
+  let text = Json.to_string (Json.String s) in
+  Alcotest.(check bool) "control chars escaped" true
+    (Astring_like.contains text "\\u0001");
+  (match Json.of_string text with
+  | Json.String s' -> Alcotest.(check string) "round-trip" s s'
+  | _ -> Alcotest.fail "string parse");
+  (* explicit \uXXXX decoding, incl. non-ASCII code points *)
+  (match Json.of_string {| "\u0041\u00e9\u4e16" |} with
+  | Json.String s' ->
+      Alcotest.(check string) "\\uXXXX -> utf-8" "A\xc3\xa9\xe4\xb8\x96" s'
+  | _ -> Alcotest.fail "unicode parse");
+  (* malformed escapes are parse errors, not silent corruption *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %s" bad) true
+        (parse_fails bad))
+    [ {| "\u00" |}; {| "\u00g1" |}; {| "\u |}; {| "\q" |}; {| "unterminated |} ]
+
+let test_json_deep_nesting () =
+  let depth = 500 in
+  let text =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let rec unwrap n j =
+    if n = 0 then j
+    else
+      match j with
+      | Json.List [ inner ] -> unwrap (n - 1) inner
+      | _ -> Alcotest.fail "nesting shape"
+  in
+  (match unwrap depth (Json.of_string text) with
+  | Json.Int 1 -> ()
+  | _ -> Alcotest.fail "innermost value");
+  (* unbalanced nesting is rejected *)
+  Alcotest.(check bool) "unbalanced rejected" true (parse_fails "[[1]")
+
+let test_json_nonfinite_in_structures () =
+  (* non-finite floats degrade to null even when nested, so any emitted
+     document (e.g. a Perfetto trace with a nan counter) stays parseable *)
+  let j =
+    Json.Obj
+      [ ("a", Json.List [ Json.Float Float.nan; Json.Float neg_infinity ]);
+        ("b", Json.Float 1.5) ]
+  in
+  match Json.of_string (Json.to_string j) with
+  | Json.Obj [ ("a", Json.List [ Json.Null; Json.Null ]); ("b", b) ] ->
+      Alcotest.(check (float 0.)) "finite survives" 1.5 (Json.to_float b)
+  | _ -> Alcotest.fail "non-finite should become null"
+
+(* --- Algorithm-R reservoir (observability PR satellite) -------------- *)
+
+let test_reservoir_deterministic () =
+  let fill t =
+    for i = 1 to 50_000 do
+      T.observe t "m" (float_of_int i)
+    done
+  in
+  let a = T.create () and b = T.create () in
+  fill a;
+  fill b;
+  match (T.histogram a "m", T.histogram b "m") with
+  | Some sa, Some sb ->
+      Alcotest.(check int) "count" 50_000 sa.count;
+      Alcotest.(check (float 0.)) "p50 identical" sa.p50 sb.p50;
+      Alcotest.(check (float 0.)) "p99 identical" sa.p99 sb.p99;
+      Alcotest.(check (float 0.)) "mean identical" sa.mean sb.mean
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_reservoir_unbiased () =
+  (* Observe 0..99_999 in order. A first-N-kept histogram would report
+     p50 ~ 4096 (half the 8192-entry window); Algorithm R keeps a uniform
+     sample of the whole stream, so p50 must sit near 50_000. *)
+  let t = T.create () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    T.observe t "stream" (float_of_int i)
+  done;
+  match T.histogram t "stream" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "count sees whole stream" n s.count;
+      Alcotest.(check (float 0.)) "min exact" 0. s.min;
+      Alcotest.(check (float 0.)) "max exact" (float_of_int (n - 1)) s.max;
+      let mid = float_of_int n /. 2. in
+      Alcotest.(check bool)
+        (Printf.sprintf "p50 %.0f within 5%% of %.0f" s.p50 mid)
+        true
+        (Float.abs (s.p50 -. mid) < 0.05 *. float_of_int n);
+      Alcotest.(check bool)
+        (Printf.sprintf "p90 %.0f near %.0f" s.p90 (0.9 *. float_of_int n))
+        true
+        (Float.abs (s.p90 -. (0.9 *. float_of_int n)) < 0.05 *. float_of_int n)
+
 let test_reset () =
   let t = T.create () in
   T.incr t "a";
@@ -121,5 +226,10 @@ let suite =
     ("JSON round-trip", `Quick, test_json_round_trip);
     ("JSON parser", `Quick, test_json_parser);
     ("JSON floats survive", `Quick, test_json_floats_survive);
+    ("JSON unicode escapes", `Quick, test_json_unicode_escapes);
+    ("JSON deep nesting", `Quick, test_json_deep_nesting);
+    ("JSON non-finite in structures", `Quick, test_json_nonfinite_in_structures);
+    ("reservoir deterministic", `Quick, test_reservoir_deterministic);
+    ("reservoir unbiased (Algorithm R)", `Quick, test_reservoir_unbiased);
     ("reset", `Quick, test_reset);
   ]
