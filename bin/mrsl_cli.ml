@@ -8,6 +8,8 @@
                  of a CSV (the paper's end-to-end pipeline)
      query       derive a probabilistic database and answer a conjunctive
                  query (expected count + existence probability)
+     quality     shadow-masked calibration scores, drift, and ensemble
+                 health for a CSV (the online face of Section VI)
      experiment  regenerate one of the paper's tables/figures *)
 
 open Cmdliner
@@ -467,13 +469,86 @@ let profile_cmd =
 (* ---------------- explain ---------------- *)
 
 let explain_cmd =
-  let run input support max_itemsets method_ =
+  let json_arg =
+    let doc =
+      "Emit machine-readable provenance as JSON ($(i,all) incomplete \
+       tuples, not just the first 5): per missing attribute the estimated \
+       distribution keyed by value label, the degradation rung the task \
+       took (voters | marginal-prior | uniform), and every voter with its \
+       normalized share, specificity, and support weight."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  (* The provenance of one (tuple, missing attribute) task, rung
+     included — the machine-readable face of Infer_single.explain. *)
+  let explain_json schema model method_ tup =
+    let module Json = Mrsl.Telemetry.Json in
+    let cell a v =
+      Relation.Attribute.value_label (Relation.Schema.attribute schema a) v
+    in
+    let attr_json a =
+      let e = Mrsl.Infer_single.explain ~method_ model tup a in
+      let dist =
+        List.init
+          (Prob.Dist.size e.estimate)
+          (fun v -> (cell a v, Json.Float (Prob.Dist.prob e.estimate v)))
+      in
+      let voter_json (rule, share) =
+        Json.Obj
+          [
+            ( "rule",
+              Json.String
+                (Format.asprintf "%a" (Mrsl.Meta_rule.pp_named schema) rule) );
+            ("share", Json.Float share);
+            ("specificity", Json.Int (Mrsl.Meta_rule.specificity rule));
+            ("weight", Json.Float rule.Mrsl.Meta_rule.weight);
+          ]
+      in
+      Json.Obj
+        [
+          ("attr", Json.Int a);
+          ( "name",
+            Json.String
+              (Relation.Attribute.name (Relation.Schema.attribute schema a)) );
+          ("rung", Json.String (Mrsl.Infer_single.rung_name e.rung));
+          ("estimate", Json.Obj dist);
+          ("voters", Json.List (List.map voter_json e.contributions));
+        ]
+    in
+    Json.Obj
+      [
+        ( "tuple",
+          Json.List
+            (List.mapi
+               (fun a -> function
+                 | None -> Json.Null
+                 | Some v -> Json.String (cell a v))
+               (Array.to_list tup)) );
+        ( "attributes",
+          Json.List (List.map attr_json (Relation.Tuple.missing tup)) );
+      ]
+  in
+  let run input support max_itemsets method_ json =
     let inst = Relation.Csv_io.read_file input in
     let schema = Relation.Instance.schema inst in
     let params = params_of support max_itemsets in
     let model = Mrsl.Model.learn ~params inst in
     let incomplete = Relation.Instance.incomplete_part inst in
-    if Array.length incomplete = 0 then
+    if json then
+      let module Json = Mrsl.Telemetry.Json in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema_version", Json.Int 1);
+                ("method", Json.String (Mrsl.Voting.method_name method_));
+                ( "tuples",
+                  Json.List
+                    (Array.to_list
+                       (Array.map (explain_json schema model method_)
+                          incomplete)) );
+              ]))
+    else if Array.length incomplete = 0 then
       print_endline "no incomplete tuples to explain"
     else
       Array.iteri
@@ -483,9 +558,10 @@ let explain_cmd =
             List.iter
               (fun a ->
                 let e = Mrsl.Infer_single.explain ~method_ model tup a in
-                Format.printf "  %s ~ %a@."
+                Format.printf "  %s ~ %a  [rung: %s]@."
                   (Relation.Attribute.name (Relation.Schema.attribute schema a))
-                  Prob.Dist.pp e.estimate;
+                  Prob.Dist.pp e.estimate
+                  (Mrsl.Infer_single.rung_name e.rung);
                 List.iter
                   (fun (rule, share) ->
                     Format.printf "    %5.1f%%  %a@." (100. *. share)
@@ -499,11 +575,15 @@ let explain_cmd =
   let info =
     Cmd.info "explain"
       ~doc:
-        "Show which meta-rules voted, and with what share, for each \
-         missing value (first 5 incomplete tuples)."
+        "Show which meta-rules voted, with what share, and which \
+         degradation rung each task took, for each missing value (first 5 \
+         incomplete tuples; $(b,--json) emits all of them \
+         machine-readably)."
   in
   Cmd.v info
-    Term.(const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg)
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
+      $ json_arg)
 
 (* ---------------- diagnose ---------------- *)
 
@@ -617,6 +697,103 @@ let query_cmd =
       const run $ input_arg $ support_arg $ max_itemsets_arg $ samples_arg
       $ burn_in_arg $ where_arg $ lazy_arg $ seed_arg)
 
+(* ---------------- quality ---------------- *)
+
+let quality_cmd =
+  let mask_arg =
+    let doc =
+      "Fraction of known cells the shadow evaluator masks, re-infers, and \
+       scores against the held-out truth."
+    in
+    Arg.(value & opt float 0.2 & info [ "mask-fraction" ] ~doc)
+  in
+  let bins_arg =
+    let doc = "Fixed-width reliability bins for the calibration monitor." in
+    Arg.(value & opt int 10 & info [ "bins" ] ~doc)
+  in
+  let drift_arg =
+    let doc =
+      "Per-attribute Jensen-Shannon divergence above which drift alerts."
+    in
+    Arg.(value & opt float 0.05 & info [ "drift-threshold" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the machine-readable quality report (the QUALITY_*.json \
+       schema that ci/quality_gate.exe consumes) instead of text."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the JSON quality report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let run input support max_itemsets method_ samples burn_in mask_fraction
+      bins drift_threshold json out seed =
+    let inst = Relation.Csv_io.read_file input in
+    let params = params_of support max_itemsets in
+    let model = Mrsl.Model.learn ~params inst in
+    let config =
+      {
+        Mrsl.Quality.default_config with
+        mask_fraction;
+        bins;
+        drift_threshold;
+        seed;
+      }
+    in
+    (* A fresh registry scopes the ensemble-health denominators
+       (gibbs.chains / gibbs.checked) to this invocation. *)
+    let registry = Mrsl.Telemetry.create () in
+    let monitor = Mrsl.Quality.create ~config ~telemetry:registry () in
+    let complete =
+      Array.map Relation.Tuple.of_point (Relation.Instance.complete_part inst)
+    in
+    let cells = Mrsl.Quality.shadow_eval ~method_ monitor model complete in
+    if not json then
+      Printf.printf
+        "shadow-masked %d cells over %d complete tuples (fraction %.2f, \
+         seed %d)\n"
+        cells (Array.length complete) mask_fraction seed;
+    (* Monitored multi-attribute inference over the incomplete part feeds
+       the drift monitor; observation only — estimates are bit-identical
+       to an unmonitored run. *)
+    let incomplete = Array.to_list (Relation.Instance.incomplete_part inst) in
+    if incomplete <> [] then begin
+      let sampler = Mrsl.Gibbs.sampler ~method_ model in
+      ignore
+        (Mrsl.Workload.run
+           ~config:{ Mrsl.Gibbs.burn_in; samples }
+           ~telemetry:registry ~quality:monitor
+           (Prob.Rng.create seed)
+           sampler incomplete)
+    end;
+    Mrsl.Quality.publish ~registry monitor;
+    let report () = Mrsl.Quality.to_json ~registry monitor in
+    if json then
+      print_endline (Mrsl.Telemetry.Json.to_string (report ()))
+    else print_string (Mrsl.Quality.render ~registry monitor);
+    match out with
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            output_string oc (Mrsl.Telemetry.Json.to_string (report ()));
+            output_char oc '\n');
+        Printf.eprintf "quality report -> %s\n%!" path
+    | None -> ()
+  in
+  let info =
+    Cmd.info "quality"
+      ~doc:
+        "Statistical quality report for a CSV: shadow-masked calibration \
+         (Brier, log loss, ECE/MCE, reliability diagram), per-attribute \
+         drift, and ensemble health."
+  in
+  Cmd.v info
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
+      $ samples_arg $ burn_in_arg $ mask_arg $ bins_arg $ drift_arg
+      $ json_arg $ out_arg $ seed_arg)
+
 (* ---------------- trace ---------------- *)
 
 let trace_cmd =
@@ -719,5 +896,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; profile_cmd; learn_cmd; infer_cmd; explain_cmd;
-            diagnose_cmd; query_cmd; trace_cmd; experiment_cmd;
+            diagnose_cmd; quality_cmd; query_cmd; trace_cmd; experiment_cmd;
           ]))

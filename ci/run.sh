@@ -10,6 +10,7 @@
 #   MRSL_SEED             experiment seed (default 2011)
 #   MRSL_BENCH_OUT        where the bench writes its JSON (default BENCH_1.json)
 #   MRSL_BENCH_TOLERANCE  gate tolerance as a fraction (default 0.25)
+#   MRSL_QUALITY_TOLERANCE  quality-gate relative tolerance (default 0.10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +60,41 @@ dune exec ci/bench_gate.exe -- --current BENCH_FAULT.json \
   --require-counter degrade.marginal_prior \
   --require-counter degrade.uniform \
   --require-counter csv.rows_skipped
+
+echo "== quality pass =="
+# Statistical quality gate: the bench quality artifact (shadow-masked
+# calibration scores, drift, ensemble health; scale-invariant and a pure
+# function of the seed) must stay within tolerance of the committed
+# baseline, with scores.cells pinned exactly (shadow-mask determinism).
+MRSL_SCALE="${MRSL_SCALE:-smoke}" \
+MRSL_BENCH_OUT=BENCH_QUALITY.json \
+MRSL_QUALITY_OUT=QUALITY_1.json \
+  dune exec bench/main.exe -- quality
+
+dune exec ci/quality_gate.exe -- \
+  --baseline bench/baseline/QUALITY_1.json \
+  --current QUALITY_1.json \
+  --tolerance "${MRSL_QUALITY_TOLERANCE:-0.10}" \
+  --require-metric scores.brier \
+  --require-metric scores.log_loss \
+  --require-metric scores.ece \
+  --require-metric scores.mce \
+  --require-metric drift.js_max \
+  --require-metric health.nonconverged_share
+
+# Negative test: an injected calibration regression (shadow posteriors
+# sharpened to overconfidence — served probabilities untouched) must
+# make the gate fail; --expect-fail inverts the exit code.
+MRSL_SCALE="${MRSL_SCALE:-smoke}" \
+MRSL_BENCH_OUT=BENCH_QUALITY_BAD.json \
+MRSL_QUALITY_OUT=QUALITY_BAD.json \
+MRSL_QUALITY_INJECT=overconfident \
+  dune exec bench/main.exe -- quality
+
+dune exec ci/quality_gate.exe -- \
+  --baseline bench/baseline/QUALITY_1.json \
+  --current QUALITY_BAD.json \
+  --expect-fail
 
 echo "== trace pass =="
 # End-to-end traced inference on the bundled example. The artifact must

@@ -210,7 +210,7 @@ let run_with_retries ?(config = Gibbs.default_config)
   let t0 = Clock.now () in
   let total_sweeps = ref 0 in
   let draw draws =
-    let c = Gibbs.chain rng sampler tup in
+    let c = Gibbs.chain ~telemetry rng sampler tup in
     for _ = 1 to config.Gibbs.burn_in do
       ignore (Gibbs.sweep rng c)
     done;
@@ -221,6 +221,9 @@ let run_with_retries ?(config = Gibbs.default_config)
   let forced =
     Fault_inject.should_force_nonconvergence ~key:(Hashtbl.hash tup)
   in
+  (* Ensemble-health denominator: convergence-checked runs, so
+     [degrade.nonconverged] reads as a nonconvergence *share*. *)
+  Telemetry.incr telemetry "gibbs.checked";
   let rec go attempt draws =
     let points =
       Trace.complete ~cat:"gibbs"

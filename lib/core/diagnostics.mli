@@ -84,9 +84,11 @@ val run_with_retries : ?config:Gibbs.config -> ?policy:retry_policy ->
 (** Gibbs inference for one incomplete tuple with convergence retries:
     run burn-in + N draws, check split-R̂; while it exceeds
     [rhat_threshold] and the retry/sweep/wall budgets allow, run a fresh
-    chain with doubled draws. Each retry counts [gibbs.retries] in
-    [telemetry] (default {!Telemetry.global}); budget exhaustion counts
-    [degrade.nonconverged] and returns [converged = false].
+    chain with doubled draws. Each checked run counts [gibbs.checked] in
+    [telemetry] (default {!Telemetry.global}) — the denominator of the
+    {!Quality} nonconvergence-share health metric; each retry counts
+    [gibbs.retries]; budget exhaustion counts [degrade.nonconverged]
+    and returns [converged = false].
     {!Fault_inject.should_force_nonconvergence} (keyed by the tuple) can
     force the check to fail, exercising the retry and degradation paths
     deterministically. Raises [Invalid_argument] on a complete tuple or

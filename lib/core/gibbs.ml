@@ -91,13 +91,16 @@ type chain = {
   state : int array;  (* current complete point; evidence slots fixed *)
 }
 
-let chain rng s tup =
+let chain ?(telemetry = Telemetry.global) rng s tup =
   let arity = Relation.Schema.arity (Model.schema s.model) in
   if Array.length tup <> arity then
     invalid_arg "Gibbs.chain: tuple arity does not match model schema";
   let missing = Array.of_list (Relation.Tuple.missing tup) in
   if Array.length missing = 0 then
     invalid_arg "Gibbs.chain: tuple is complete";
+  (* Ensemble-health denominator: chains started, so nonconvergence and
+     degradation counts can be read as shares of sampling activity. *)
+  Telemetry.incr telemetry "gibbs.chains";
   let state = Array.map (function Some v -> v | None -> 0) tup in
   (* Initialize each missing attribute from its single-attribute estimate
      given the evidence only — a valid positive starting state. This is

@@ -62,10 +62,14 @@ type chain
 (** One Gibbs chain: a tuple's evidence plus the current assignment of its
     missing attributes. *)
 
-val chain : Prob.Rng.t -> sampler -> Relation.Tuple.t -> chain
+val chain : ?telemetry:Telemetry.t -> Prob.Rng.t -> sampler ->
+  Relation.Tuple.t -> chain
 (** Start a chain for an incomplete tuple: missing attributes are
     initialized by sampling their single-attribute MRSL estimates given
-    the evidence. Raises [Invalid_argument] on a complete tuple. *)
+    the evidence. Raises [Invalid_argument] on a complete tuple.
+    Counts [gibbs.chains] in [telemetry] (default {!Telemetry.global}) —
+    the denominator the {!Quality} ensemble-health report uses to turn
+    [degrade.*] counts into shares. *)
 
 val sweep : Prob.Rng.t -> chain -> int array
 (** Resample every missing attribute once, in attribute order; returns the

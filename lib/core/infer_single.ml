@@ -37,28 +37,51 @@ let degrade ?(telemetry = Telemetry.global) ~card prior =
       Trace.instant ~cat:"voting" "degrade.uniform";
       Prob.Dist.uniform card
 
-let infer ?(method_ = Voting.best_averaged) ?telemetry model tup a =
-  let selected = voters ~method_ model tup a in
-  (* Fault injection: a dropped voter set exercises the ladder end to
-     end. Keyed by (attribute, evidence) so the decision is stable. *)
-  let selected =
-    if
-      (Fault_inject.current ()).Fault_inject.voter_drop_rate > 0.
-      && Fault_inject.should_drop_voters ~key:(Hashtbl.hash (a, tup))
-    then []
-    else selected
-  in
+type rung = Voters | Marginal_prior | Uniform
+
+let rung_name = function
+  | Voters -> "voters"
+  | Marginal_prior -> "marginal-prior"
+  | Uniform -> "uniform"
+
+(* Fault injection: a dropped voter set exercises the ladder end to
+   end. Keyed by (attribute, evidence) so the decision is stable. *)
+let apply_voter_drop tup a selected =
+  if
+    (Fault_inject.current ()).Fault_inject.voter_drop_rate > 0.
+    && Fault_inject.should_drop_voters ~key:(Hashtbl.hash (a, tup))
+  then []
+  else selected
+
+(* One ladder walk shared by {!infer} and {!explain}: the estimate, the
+   voters that actually voted (empty below rung 1), and the rung taken.
+   [count] gates the [degrade.*] telemetry/trace emissions so that
+   explaining a task never double-counts a degradation that {!infer}
+   already recorded. *)
+let infer_rung ~count ?(method_ = Voting.best_averaged) ?telemetry model tup a =
+  let selected = apply_voter_drop tup a (voters ~method_ model tup a) in
   let fallback () =
     let card = Relation.Schema.cardinality (Model.schema model) a in
-    degrade ?telemetry ~card (marginal_prior model a)
+    let prior = marginal_prior model a in
+    let rung = match prior with Some _ -> Marginal_prior | None -> Uniform in
+    let d =
+      if count then degrade ?telemetry ~card prior
+      else
+        match prior with Some p -> p | None -> Prob.Dist.uniform card
+    in
+    (d, [], rung)
   in
   match selected with
   | [] -> fallback ()
   | vs -> (
       match Voting.combine method_.scheme vs with
-      | d when finite_dist d -> d
+      | d when finite_dist d -> (d, vs, Voters)
       | _ -> fallback ()
       | exception Invalid_argument _ -> fallback ())
+
+let infer ?method_ ?telemetry model tup a =
+  let d, _, _ = infer_rung ~count:true ?method_ ?telemetry model tup a in
+  d
 
 let infer_result ?method_ ?telemetry model tup a =
   match infer ?method_ ?telemetry model tup a with
@@ -73,11 +96,13 @@ let infer_all_missing ?method_ model tup =
 type explanation = {
   estimate : Prob.Dist.t;
   contributions : (Meta_rule.t * float) list;
+  rung : rung;
 }
 
 let explain ?(method_ = Voting.best_averaged) model tup a =
-  let selected = voters ~method_ model tup a in
-  let estimate = Voting.combine method_.scheme selected in
+  let estimate, selected, rung =
+    infer_rung ~count:false ~method_ model tup a
+  in
   let weights =
     match method_.scheme with
     | Voting.Averaged -> List.map (fun _ -> 1.) selected
@@ -87,9 +112,12 @@ let explain ?(method_ = Voting.best_averaged) model tup a =
           List.map (fun _ -> 1.) selected
         else ws
   in
-  let total = List.fold_left ( +. ) 0. weights in
   let contributions =
-    List.map2 (fun m w -> (m, w /. total)) selected weights
-    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    match selected with
+    | [] -> []
+    | _ ->
+        let total = List.fold_left ( +. ) 0. weights in
+        List.map2 (fun m w -> (m, w /. total)) selected weights
+        |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
   in
-  { estimate; contributions }
+  { estimate; contributions; rung }

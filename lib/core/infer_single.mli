@@ -22,6 +22,17 @@
     range) still raises [Invalid_argument] from {!infer} — or comes back
     as an [Error.Input] from {!infer_result}. *)
 
+type rung = Voters | Marginal_prior | Uniform
+(** The degradation-ladder rung an inference task actually took:
+    [Voters] is the normal MRSL path, the other two are the fallback
+    rungs described above. Surfaced by {!explain} (and from there by
+    [mrsl explain --json] and the {!Quality} shadow evaluator) so a
+    derived probability's provenance records {e how} it was derived. *)
+
+val rung_name : rung -> string
+(** ["voters"], ["marginal-prior"], ["uniform"] — the stable identifiers
+    used in machine-readable output. *)
+
 val infer : ?method_:Voting.method_ -> ?telemetry:Telemetry.t -> Model.t ->
   Relation.Tuple.t -> int -> Prob.Dist.t
 (** [infer model t a] — estimated distribution of the missing attribute [a]
@@ -65,10 +76,16 @@ type explanation = {
   contributions : (Meta_rule.t * float) list;
       (** each selected voter with its normalized vote weight (summing to
           1): uniform under the averaged scheme, support-proportional
-          under the weighted scheme *)
+          under the weighted scheme; empty when the task degraded below
+          the voter rung *)
+  rung : rung;  (** the degradation rung actually taken *)
 }
 
 val explain : ?method_:Voting.method_ -> Model.t -> Relation.Tuple.t -> int ->
   explanation
 (** Like {!infer}, but also reports how much each meta-rule contributed —
-    the provenance of a derived probability. *)
+    the provenance of a derived probability — and which degradation rung
+    produced the estimate. Walks exactly the same ladder as {!infer}
+    (fault-injected voter drops included) but records nothing in
+    telemetry, so explaining a task never double-counts a degradation
+    the inference already counted. *)

@@ -121,8 +121,8 @@ let empty_result () =
 
 let run_contained ?(config = Gibbs.default_config)
     ?(strategy = Workload.Tuple_dag) ?method_ ?memoize ?domains
-    ?(telemetry = Telemetry.global) ?(policy = Fail_fast) ~seed model
-    workload =
+    ?(telemetry = Telemetry.global) ?(policy = Fail_fast) ?quality ~seed
+    model workload =
   let requested =
     match domains with
     | Some d ->
@@ -139,7 +139,7 @@ let run_contained ?(config = Gibbs.default_config)
          Per-task containment does not apply — there is one task. *)
       let sampler = Sampler_cache.get ?method_ ?memoize model in
       let result =
-        Workload.run ~config ~strategy ~telemetry
+        Workload.run ~config ~strategy ~telemetry ?quality
           (Prob.Rng.create seed)
           sampler workload
       in
@@ -291,7 +291,7 @@ let run_contained ?(config = Gibbs.default_config)
                  "injected task fault");
           if st.count < target then begin
             let rng = Prob.Rng.create (task_seed ~seed i) in
-            let c = Gibbs.chain rng sampler st.tuple in
+            let c = Gibbs.chain ~telemetry rng sampler st.tuple in
             for _ = 1 to config.Gibbs.burn_in do
               ignore (Gibbs.sweep rng c);
               log.sweeps <- log.sweeps + 1
@@ -466,6 +466,14 @@ let run_contained ?(config = Gibbs.default_config)
               Telemetry.observe telemetry "gibbs.memo_hit_rate"
                 (float_of_int l.memo_hits /. float_of_int probes))
           logs;
+        (* Quality hook: pure observation of the merged estimates, after
+           all sampling and on the orchestrating domain only — workers
+           never see the monitor, so monitored runs stay bit-identical. *)
+        (match quality with
+        | None -> ()
+        | Some q ->
+            Quality.attach_model q model;
+            Quality.observe_estimates q estimates);
         {
           result =
             {
@@ -477,10 +485,10 @@ let run_contained ?(config = Gibbs.default_config)
         }
       end
 
-let run ?config ?strategy ?method_ ?memoize ?domains ?telemetry ~seed model
-    workload =
+let run ?config ?strategy ?method_ ?memoize ?domains ?telemetry ?quality
+    ~seed model workload =
   (run_contained ?config ?strategy ?method_ ?memoize ?domains ?telemetry
-     ~policy:Fail_fast ~seed model workload)
+     ~policy:Fail_fast ?quality ~seed model workload)
     .result
 
 (* Retained for callers that want the seed's subsumption-aware static

@@ -50,8 +50,8 @@ type contained = {
 
 val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
   ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
-  ?telemetry:Telemetry.t -> ?policy:fault_policy -> seed:int -> Model.t ->
-  Relation.Tuple.t list -> contained
+  ?telemetry:Telemetry.t -> ?policy:fault_policy -> ?quality:Quality.t ->
+  seed:int -> Model.t -> Relation.Tuple.t list -> contained
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
     by the number of distinct tuples; it must be [>= 1]. Estimates are
     returned in first-seen workload order. [telemetry] (default
@@ -77,11 +77,18 @@ val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
     [fault.task_failures], [fault.tuples_skipped], and
     [fault.upstream_skipped] land in [telemetry].
     {!Fault_inject.should_fail_task} (keyed by node index) injects
-    deterministic task faults (code [fault_inject.task]) for testing. *)
+    deterministic task faults (code [fault_inject.task]) for testing.
+
+    [quality], when given, observes the merged estimates after all
+    sampling completes ({!Quality.attach_model} +
+    {!Quality.observe_estimates}), on the orchestrating domain only.
+    The monitor consumes no inference RNG and no worker ever sees it,
+    so a quality-monitored run is bit-identical to an unmonitored one
+    at any [domains] count (asserted by the test suite). *)
 
 val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
   ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
-  ?telemetry:Telemetry.t -> seed:int -> Model.t ->
+  ?telemetry:Telemetry.t -> ?quality:Quality.t -> seed:int -> Model.t ->
   Relation.Tuple.t list -> Workload.result
 (** [run_contained] under [Fail_fast], returning only the result — the
     pre-containment interface, unchanged. *)

@@ -383,6 +383,19 @@ let counter t name =
   Mutex.unlock t.lock;
   v
 
+let snapshot_counters t =
+  Mutex.lock t.lock;
+  let rows =
+    Hashtbl.fold
+      (fun name m acc ->
+        match m with
+        | Counter c -> (name, Atomic.get c) :: acc
+        | _ -> acc)
+      t.metrics []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
 let gauge t name v =
   match
     intern t name (fun () -> Gauge { last = v; max_seen = v })

@@ -73,6 +73,12 @@ val add : t -> string -> int -> unit
 val counter : t -> string -> int
 (** Current value; [0] if the counter was never touched. *)
 
+val snapshot_counters : t -> (string * int) list
+(** Every counter of the registry with its current value, sorted by
+    name — the bulk read behind ratio-style derived metrics (the
+    {!Quality} health report computes degradation-rung and
+    nonconvergence shares from it) and the quality CLI. *)
+
 (** {1 Gauges} *)
 
 val gauge : t -> string -> float -> unit

@@ -57,7 +57,7 @@ let trace_convergence sampler st node =
       ]
   end
 
-let tuple_at_a_time config rng sampler dag sweeps recorded =
+let tuple_at_a_time config telemetry rng sampler dag sweeps recorded =
   let n = Tuple_dag.node_count dag in
   let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
   let stride = convergence_stride config.Gibbs.samples in
@@ -67,7 +67,7 @@ let tuple_at_a_time config rng sampler dag sweeps recorded =
         ~args:[ ("node", Trace.Int i) ]
         "workload.node"
       @@ fun () ->
-      let c = Gibbs.chain rng sampler st.tuple in
+      let c = Gibbs.chain ~telemetry rng sampler st.tuple in
       for _ = 1 to config.Gibbs.burn_in do
         ignore (Gibbs.sweep rng c);
         incr sweeps
@@ -85,7 +85,8 @@ let tuple_at_a_time config rng sampler dag sweeps recorded =
 (* Algorithm 3. The active frontier is a FIFO visited round-robin, one
    sweep per visit. Completion cascades: a node finished by sharing also
    shares onward immediately. *)
-let tuple_dag_strategy config rng sampler dag sweeps recorded shared =
+let tuple_dag_strategy config telemetry rng sampler dag sweeps recorded
+    shared =
   let n = Tuple_dag.node_count dag in
   let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
   let target = config.Gibbs.samples in
@@ -127,7 +128,7 @@ let tuple_dag_strategy config rng sampler dag sweeps recorded shared =
         match st.chain with
         | Some c -> c
         | None ->
-            let c = Gibbs.chain rng sampler st.tuple in
+            let c = Gibbs.chain ~telemetry rng sampler st.tuple in
             for _ = 1 to config.Gibbs.burn_in do
               ignore (Gibbs.sweep rng c);
               incr sweeps
@@ -144,13 +145,13 @@ let tuple_dag_strategy config rng sampler dag sweeps recorded shared =
   done;
   states
 
-let all_at_a_time config rng sampler dag max_draws sweeps recorded =
+let all_at_a_time config telemetry rng sampler dag max_draws sweeps recorded =
   let n = Tuple_dag.node_count dag in
   let states = Array.init n (fun i -> fresh_state (Tuple_dag.tuple dag i)) in
   if n > 0 then begin
     let arity = Array.length (Tuple_dag.tuple dag 0) in
     let star = Array.make arity None in
-    let c = Gibbs.chain rng sampler star in
+    let c = Gibbs.chain ~telemetry rng sampler star in
     for _ = 1 to config.Gibbs.burn_in do
       ignore (Gibbs.sweep rng c);
       incr sweeps
@@ -182,7 +183,7 @@ let all_at_a_time config rng sampler dag max_draws sweeps recorded =
     Array.iter
       (fun st ->
         if st.count = 0 then begin
-          let c = Gibbs.chain rng sampler st.tuple in
+          let c = Gibbs.chain ~telemetry rng sampler st.tuple in
           for _ = 1 to config.Gibbs.burn_in do
             ignore (Gibbs.sweep rng c);
             incr sweeps
@@ -199,8 +200,8 @@ let all_at_a_time config rng sampler dag max_draws sweeps recorded =
   states
 
 let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
-    ?(max_draws = 10_000_000) ?(telemetry = Telemetry.global) rng sampler
-    workload =
+    ?(max_draws = 10_000_000) ?(telemetry = Telemetry.global) ?quality rng
+    sampler workload =
   if max_draws < 1 then invalid_arg "Workload.run: max_draws must be positive";
   let dag =
     Trace.complete ~cat:"dag" "dag.build" (fun () -> Tuple_dag.build workload)
@@ -212,11 +213,13 @@ let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
     Telemetry.span telemetry "workload.run" (fun () ->
         match strategy with
         | Tuple_at_a_time ->
-            tuple_at_a_time config rng sampler dag sweeps recorded
+            tuple_at_a_time config telemetry rng sampler dag sweeps recorded
         | Tuple_dag ->
-            tuple_dag_strategy config rng sampler dag sweeps recorded shared
+            tuple_dag_strategy config telemetry rng sampler dag sweeps
+              recorded shared
         | All_at_a_time ->
-            all_at_a_time config rng sampler dag max_draws sweeps recorded)
+            all_at_a_time config telemetry rng sampler dag max_draws sweeps
+              recorded)
   in
   let wall = Clock.duration ~start:t0 ~stop:(Clock.now ()) in
   Telemetry.add telemetry "workload.sweeps" !sweeps;
@@ -234,10 +237,19 @@ let run ?(config = Gibbs.default_config) ?(strategy = Tuple_dag)
         (strategy_name strategy)
         (Tuple_dag.node_count dag)
         !sweeps !recorded !shared wall);
+  let estimates =
+    Array.to_list
+      (Array.map (fun st -> (st.tuple, estimate_of_state sampler st)) states)
+  in
+  (* Quality hook: observation only, after every sample has been drawn —
+     the monitor never touches the sampler or the inference RNG. *)
+  (match quality with
+  | None -> ()
+  | Some q ->
+      Quality.attach_model q (Gibbs.model sampler);
+      Quality.observe_estimates q estimates);
   {
-    estimates =
-      Array.to_list
-        (Array.map (fun st -> (st.tuple, estimate_of_state sampler st)) states);
+    estimates;
     stats =
       { sweeps = !sweeps; recorded = !recorded; shared = !shared;
         wall_seconds = wall };

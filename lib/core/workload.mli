@@ -34,8 +34,8 @@ type result = {
 }
 
 val run : ?config:Gibbs.config -> ?strategy:strategy -> ?max_draws:int ->
-  ?telemetry:Telemetry.t -> Prob.Rng.t -> Gibbs.sampler ->
-  Relation.Tuple.t list -> result
+  ?telemetry:Telemetry.t -> ?quality:Quality.t -> Prob.Rng.t ->
+  Gibbs.sampler -> Relation.Tuple.t list -> result
 (** Infer the joint distribution of the missing values of every distinct
     incomplete tuple in the workload. Complete tuples are rejected with
     [Invalid_argument]. [strategy] defaults to [Tuple_dag]. [max_draws]
@@ -46,4 +46,11 @@ val run : ?config:Gibbs.config -> ?strategy:strategy -> ?max_draws:int ->
     [telemetry] (default {!Telemetry.global}) receives the
     [workload.run] span, [workload.sweeps] / [workload.recorded] /
     [workload.shared] counters, the [workload.tuples] histogram, and a
-    [gibbs.memo_hit_rate] observation covering this run's memo probes. *)
+    [gibbs.memo_hit_rate] observation covering this run's memo probes.
+
+    [quality], when given, receives the run's estimates {e after} every
+    sample has been drawn ({!Quality.attach_model} on the sampler's
+    model, then {!Quality.observe_estimates}): pure observation feeding
+    the drift monitor. The hook consumes no inference RNG and runs
+    outside the sampling loops, so a monitored run is bit-identical to
+    an unmonitored one. *)

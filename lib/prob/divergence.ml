@@ -1,16 +1,32 @@
 let check p q name =
   if Dist.size p <> Dist.size q then invalid_arg (name ^ ": size mismatch")
 
-let kl p q =
+let kl ?epsilon p q =
   check p q "Divergence.kl";
-  let acc = ref 0. in
-  for i = 0 to Dist.size p - 1 do
-    let pi = Dist.prob p i and qi = Dist.prob q i in
-    if pi > 0. then
-      if qi > 0. then acc := !acc +. (pi *. log (pi /. qi))
-      else acc := infinity
-  done;
-  !acc
+  let n = Dist.size p in
+  match epsilon with
+  | None ->
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        let pi = Dist.prob p i and qi = Dist.prob q i in
+        if pi > 0. then
+          if qi > 0. then acc := !acc +. (pi *. log (pi /. qi))
+          else acc := infinity
+      done;
+      !acc
+  | Some eps ->
+      (* Additive smoothing on both sides keeps the divergence total
+         (finite) under support mismatch while preserving kl p p = 0. *)
+      if not (eps > 0.) then
+        invalid_arg "Divergence.kl: epsilon must be positive";
+      let z = 1. +. (float_of_int n *. eps) in
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        let pi = (Dist.prob p i +. eps) /. z
+        and qi = (Dist.prob q i +. eps) /. z in
+        acc := !acc +. (pi *. log (pi /. qi))
+      done;
+      !acc
 
 let total_variation p q =
   check p q "Divergence.total_variation";

@@ -5,11 +5,20 @@
     measures are used by tests and the extended evaluation. All functions
     require distributions of equal size. *)
 
-val kl : Dist.t -> Dist.t -> float
+val kl : ?epsilon:float -> Dist.t -> Dist.t -> float
 (** [kl p q] = Σᵢ pᵢ log(pᵢ/qᵢ), the divergence of [q] from the reference
-    [p]. Terms with [pᵢ = 0] contribute 0; [qᵢ = 0] with [pᵢ > 0] yields
+    [p]. Without [epsilon] (the default, preserving the seed behavior):
+    terms with [pᵢ = 0] contribute 0; [qᵢ = 0] with [pᵢ > 0] yields
     [infinity] (our smoothed CPDs are always positive, so this only occurs
-    on hand-built inputs). *)
+    on hand-built inputs).
+
+    [?epsilon] makes the divergence {e total} under support mismatch:
+    both arguments are additively smoothed — every entry gains [epsilon]
+    and is renormalized by [1 + n·epsilon] — before the sum, so the
+    result is always finite (and still 0 when [p = q]). Online drift
+    monitoring uses this form so a transiently empty support bucket can
+    never push [inf]/[nan] into a telemetry gauge. Raises
+    [Invalid_argument] when [epsilon <= 0]. *)
 
 val total_variation : Dist.t -> Dist.t -> float
 (** ½ Σᵢ |pᵢ − qᵢ|, in [0, 1]. *)

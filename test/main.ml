@@ -21,4 +21,5 @@ let () =
       ("faults", Test_faults.suite);
       ("stress", Test_stress.suite);
       ("drivers", Test_drivers.suite);
+      ("quality", Test_quality.suite);
     ]

@@ -49,6 +49,8 @@ let registry_names =
     "fault.task_failures";
     "fault.tuples_skipped";
     "fault.upstream_skipped";
+    "gibbs.chains";
+    "gibbs.checked";
     "gibbs.memo_hit_rate";
     "gibbs.memo_hits";
     "gibbs.memo_misses";
@@ -61,6 +63,24 @@ let registry_names =
     "parallel.steals";
     "parallel.sweeps";
     "parallel.tasks";
+    "quality.brier";
+    "quality.cells";
+    "quality.confidence";
+    "quality.degrade.marginal_prior_share";
+    "quality.degrade.uniform_share";
+    "quality.drift.alerts";
+    "quality.drift.hellinger_max";
+    "quality.drift.js_max";
+    "quality.ece";
+    "quality.log_loss";
+    "quality.mce";
+    "quality.nonconverged_share";
+    "quality.top1_accuracy";
+    "quality.voters.count";
+    "quality.voters.per_task";
+    "quality.voters.root_only";
+    "quality.voters.root_only_share";
+    "quality.voters.specificity";
     "workload.recorded";
     "workload.run";
     "workload.shared";
@@ -70,8 +90,8 @@ let registry_names =
 
 let trace_categories =
   [
-    "dag"; "gibbs"; "io"; "lattice"; "learn"; "mine"; "sched"; "share";
-    "steal"; "voting";
+    "dag"; "gibbs"; "io"; "lattice"; "learn"; "mine"; "quality"; "sched";
+    "share"; "steal"; "voting";
   ]
 
 let trace_event_names =
@@ -89,6 +109,9 @@ let trace_event_names =
     "parallel.run";
     "parallel.task";
     "pool.reused";
+    "quality.drift.alert";
+    "quality.scores";
+    "quality.shadow_eval";
     "share.donate";
     "steal";
     "task.run";
