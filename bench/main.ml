@@ -56,6 +56,7 @@ let quality_inject =
 let micro_rows : (string * float) list ref = ref []
 let section_rows : (string * float) list ref = ref []
 let parallel_block : Json.t option ref = ref None
+let cache_block : Json.t option ref = ref None
 
 let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
 
@@ -388,6 +389,9 @@ let write_bench_json () =
     @ (match !parallel_block with
       | Some block -> [ ("parallel", block) ]
       | None -> [])
+    @ (match !cache_block with
+      | Some block -> [ ("cache", block) ]
+      | None -> [])
     @ [ ("telemetry", Mrsl.Telemetry.to_json Mrsl.Telemetry.global) ]
   in
   let oc = open_out bench_out in
@@ -657,6 +661,143 @@ let render_quality rng =
   Buffer.add_string buf (Printf.sprintf "\n[wrote %s]\n" quality_out);
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Posterior-cache artifact: the evidence-keyed cache on the serving hot
+   path, measured on a workload built to have high signature sharing.
+
+   The schema pairs chain-correlated attributes (the miner turns these
+   into meta-rules) with high-cardinality iid noise attributes whose
+   pairs with any head fall below the support threshold — so the noise
+   never reaches a rule body, is lattice-irrelevant, and distinct tuples
+   that differ only in noise share one evidence signature. The workload
+   is [patterns] evidence patterns x [variants] noise variants: the
+   tuple DAG sees distinct incomparable tuples (no sample sharing), but
+   the cache collapses their posterior computations.
+
+   Three sequential runs from identical RNG seeds: uncached, cached with
+   a cold cache, cached again with the same (now warm) cache — each on a
+   fresh sampler so the per-sampler CPD memo starts empty and the cache
+   is the only carried state. Estimates must be bit-identical across all
+   three; walls, hit rate, and dedup fan-out land in BENCH_1.json, and
+   the cache.* counters (global registry) feed ci/bench_gate
+   --require-counter. Fixed sizes, independent of MRSL_SCALE. *)
+
+let render_cache rng =
+  let buf = Buffer.create 512 in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let dep = 4 and noise = 2 in
+  let dep_card = 3 and noise_card = 16 in
+  let arity = dep + noise in
+  let schema =
+    Relation.Schema.of_cardinalities
+      (List.init arity (fun i -> if i < dep then dep_card else noise_card))
+  in
+  (* a.(0) uniform; a.(i) copies a.(i-1) with probability 0.8; noise iid.
+     With threshold 0.03, a (noise=v, head=w) pair has support ~
+     1/16 * 1/3 ~ 0.021 < 0.03 and never becomes a rule body, while
+     correlated pairs sit near 1/3 * 0.8 ~ 0.27. *)
+  let sample_point () =
+    let p = Array.make arity 0 in
+    p.(0) <- Prob.Rng.int rng dep_card;
+    for i = 1 to dep - 1 do
+      p.(i) <-
+        (if Prob.Rng.float rng < 0.8 then p.(i - 1)
+         else Prob.Rng.int rng dep_card)
+    done;
+    for j = dep to arity - 1 do
+      p.(j) <- Prob.Rng.int rng noise_card
+    done;
+    p
+  in
+  let train = Array.init 1500 (fun _ -> sample_point ()) in
+  let model =
+    Mrsl.Model.learn_points
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.03 }
+      schema train
+  in
+  let patterns = 8 and variants = 12 in
+  let workload =
+    List.concat
+      (List.init patterns (fun k ->
+           let base = sample_point () in
+           List.init variants (fun v ->
+               let p = Array.copy base in
+               p.(dep) <- ((v * 5) + k) mod noise_card;
+               p.(dep + 1) <- ((v * 11) + (3 * k)) mod noise_card;
+               let t = Relation.Tuple.of_point p in
+               t.(k mod dep) <- None;
+               if k land 1 = 1 then t.((k + 1) mod dep) <- None;
+               t)))
+  in
+  let config = { Mrsl.Gibbs.burn_in = 5; samples = 30 } in
+  let run_with sampler =
+    Mrsl.Workload.run ~config (Prob.Rng.create (seed + 17)) sampler workload
+  in
+  let uncached = run_with (Mrsl.Gibbs.sampler model) in
+  let cache = Mrsl.Posterior_cache.create () in
+  let cold = run_with (Mrsl.Gibbs.sampler ~cache model) in
+  let cold_stats = Mrsl.Posterior_cache.stats cache in
+  let warm = run_with (Mrsl.Gibbs.sampler ~cache model) in
+  let stats = Mrsl.Posterior_cache.stats cache in
+  let identical (a : Mrsl.Workload.result) (b : Mrsl.Workload.result) =
+    List.length a.estimates = List.length b.estimates
+    && List.for_all2
+         (fun (ta, (ea : Mrsl.Gibbs.estimate)) (tb, (eb : Mrsl.Gibbs.estimate)) ->
+           ta = tb && (ea.joint :> float array) = (eb.joint :> float array))
+         a.estimates b.estimates
+  in
+  let bit_identical = identical uncached cold && identical uncached warm in
+  let wall (r : Mrsl.Workload.result) = r.stats.wall_seconds in
+  let speedup denom num = if num > 0. then denom /. num else Float.nan in
+  out "workload: %d tuples (%d evidence patterns x %d noise variants)"
+    (List.length workload) patterns variants;
+  out "uncached:    %.3fs (%d sweeps)" (wall uncached) uncached.stats.sweeps;
+  out "cached cold: %.3fs  speedup %.2fx  (%d hits / %d misses, fanout %d)"
+    (wall cold)
+    (speedup (wall uncached) (wall cold))
+    cold_stats.hits cold_stats.misses cold_stats.dedup_fanout;
+  out "cached warm: %.3fs  speedup %.2fx  (hit rate %.3f over both runs)"
+    (wall warm)
+    (speedup (wall uncached) (wall warm))
+    (Mrsl.Posterior_cache.hit_rate cache);
+  out "cache: %d entries, %d bytes, %d evictions" stats.entries stats.bytes
+    stats.evictions;
+  out "estimates bit-identical across all three runs: %b" bit_identical;
+  if not bit_identical then
+    failwith "posterior cache changed sampling output (bit-identity broken)";
+  cache_block :=
+    Some
+      (Json.Obj
+         [
+           ("workload_tuples", Json.Int (List.length workload));
+           ("evidence_patterns", Json.Int patterns);
+           ("noise_variants", Json.Int variants);
+           ("samples_per_tuple", Json.Int config.samples);
+           ("burn_in", Json.Int config.burn_in);
+           ("uncached_wall_seconds", Json.Float (wall uncached));
+           ("cold_wall_seconds", Json.Float (wall cold));
+           ("warm_wall_seconds", Json.Float (wall warm));
+           ("speedup_cold", Json.Float (speedup (wall uncached) (wall cold)));
+           ("speedup_warm", Json.Float (speedup (wall uncached) (wall warm)));
+           ("cold_hits", Json.Int cold_stats.hits);
+           ("cold_misses", Json.Int cold_stats.misses);
+           ("hits", Json.Int stats.hits);
+           ("misses", Json.Int stats.misses);
+           ("hit_rate", Json.Float (Mrsl.Posterior_cache.hit_rate cache));
+           ("dedup_fanout", Json.Int stats.dedup_fanout);
+           ("evictions", Json.Int stats.evictions);
+           ("entries", Json.Int stats.entries);
+           ("bytes", Json.Int stats.bytes);
+           ("bit_identical", Json.Bool bit_identical);
+         ]);
+  Buffer.contents buf
+
 let artifacts =
   [
     ( "table1",
@@ -701,6 +842,9 @@ let artifacts =
     ( "quality",
       "Quality: shadow-mask calibration, drift, ensemble health",
       render_quality );
+    ( "cache",
+      "Posterior cache: hit rate, dedup fan-out, cached-vs-uncached speedup",
+      render_cache );
   ]
 
 let () =

@@ -313,6 +313,25 @@ let infer_cmd =
     in
     Arg.(value & flag & info [ "retry" ] ~doc)
   in
+  let cache_arg =
+    let on =
+      Arg.info [ "cache" ]
+        ~doc:
+          "Memoize single-missing-value posteriors by evidence signature \
+           (model epoch + attribute + lattice-relevant known cells) and \
+           dedup identical inference requests across the workload. Cached \
+           output is bit-identical to uncached output. Enabled by default."
+    in
+    let off =
+      Arg.info [ "no-cache" ]
+        ~doc:"Disable the evidence-keyed posterior cache."
+    in
+    Arg.(value & vflag true [ (true, on); (false, off) ])
+  in
+  let cache_mb_arg =
+    let doc = "Posterior-cache byte budget, in MiB (LRU-evicted beyond it)." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+  in
   let print_estimate schema top (tup, est) =
     let block = Probdb.Block.of_estimate est in
     Format.printf "%a:@." (Relation.Tuple.pp schema) tup;
@@ -329,7 +348,8 @@ let infer_cmd =
         (Probdb.Block.alternative_count block - top)
   in
   let run input support max_itemsets method_ strategy samples burn_in top
-      model_path lenient domains on_fault retry trace prometheus seed =
+      model_path lenient domains on_fault retry use_cache cache_mb trace
+      prometheus seed =
     with_trace trace @@ fun () ->
     Fun.protect ~finally:(fun () -> write_prometheus prometheus) @@ fun () ->
     let inst =
@@ -369,11 +389,24 @@ let infer_cmd =
     if incomplete = [] then print_endline "no incomplete tuples to infer"
     else begin
       let config = { Mrsl.Gibbs.burn_in; samples } in
+      let cache =
+        if use_cache then begin
+          if cache_mb < 1 then begin
+            Printf.eprintf "--cache-mb must be >= 1\n";
+            exit 1
+          end;
+          Some
+            (Mrsl.Posterior_cache.create
+               ~max_bytes:(cache_mb * 1024 * 1024)
+               ())
+        end
+        else None
+      in
       if retry then begin
         (* Convergence-checked sequential path: one chain per distinct
            tuple, retried with doubled draws while split R-hat exceeds
            the threshold and the budget lasts. *)
-        let sampler = Mrsl.Gibbs.sampler ~method_ model in
+        let sampler = Mrsl.Gibbs.sampler ~method_ ?cache model in
         let rng = Prob.Rng.create seed in
         let distinct = List.sort_uniq compare incomplete in
         Printf.printf
@@ -403,7 +436,7 @@ let infer_cmd =
               | `Skip -> Mrsl.Parallel.Skip_and_report
             in
             let contained =
-              Mrsl.Parallel.run_contained ~config ~strategy ~method_
+              Mrsl.Parallel.run_contained ~config ~strategy ~method_ ?cache
                 ~domains:d ~policy ~seed model incomplete
             in
             let result = contained.result in
@@ -424,7 +457,7 @@ let infer_cmd =
               Printf.eprintf "%d tuples skipped by fault containment\n"
                 (List.length contained.faults)
         | None ->
-            let sampler = Mrsl.Gibbs.sampler ~method_ model in
+            let sampler = Mrsl.Gibbs.sampler ~method_ ?cache model in
             let result =
               Mrsl.Workload.run ~config ~strategy
                 (Prob.Rng.create seed)
@@ -448,8 +481,8 @@ let infer_cmd =
     Term.(
       const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
       $ strategy_arg $ samples_arg $ burn_in_arg $ top_arg $ model_arg
-      $ lenient_arg $ domains_arg $ on_fault_arg $ retry_arg $ trace_arg
-      $ prometheus_arg $ seed_arg)
+      $ lenient_arg $ domains_arg $ on_fault_arg $ retry_arg $ cache_arg
+      $ cache_mb_arg $ trace_arg $ prometheus_arg $ seed_arg)
 
 (* ---------------- profile ---------------- *)
 

@@ -24,13 +24,19 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== smoke bench =="
-MRSL_SCALE="${MRSL_SCALE:-smoke}" dune exec bench/main.exe -- micro
+MRSL_SCALE="${MRSL_SCALE:-smoke}" dune exec bench/main.exe -- micro cache
 
 if [ "$GATE" = 1 ]; then
   echo "== bench regression gate =="
+  # Micro regression comparison plus the posterior-cache counter gate:
+  # the cache artifact must have produced real hits and a real dedup
+  # fan-out, proving the serving hot path actually went through the
+  # evidence-keyed cache.
   dune exec ci/bench_gate.exe -- \
     --baseline bench/baseline/BENCH_1.json \
-    --current "${MRSL_BENCH_OUT:-BENCH_1.json}"
+    --current "${MRSL_BENCH_OUT:-BENCH_1.json}" \
+    --require-counter cache.hits \
+    --require-counter cache.dedup_fanout
 else
   echo "== bench regression gate skipped (--no-gate) =="
 fi
@@ -95,6 +101,21 @@ dune exec ci/quality_gate.exe -- \
   --baseline bench/baseline/QUALITY_1.json \
   --current QUALITY_BAD.json \
   --expect-fail
+
+echo "== cache pass =="
+# Dedicated cache suite: hit/miss/eviction accounting, epoch
+# invalidation, dedup fan-out, cached-vs-uncached bit-identity.
+dune exec test/main.exe -- test cache
+
+# Negative check: disabling the cache must not change anything the CLI
+# prints — estimates are bit-identical with and without the cache, and
+# the CLI deliberately emits no cache statistics.
+dune exec bin/mrsl_cli.exe -- infer -i examples/example.csv \
+  --samples 100 --burn-in 20 --seed 2011 --cache > INFER_CACHED.out
+dune exec bin/mrsl_cli.exe -- infer -i examples/example.csv \
+  --samples 100 --burn-in 20 --seed 2011 --no-cache > INFER_UNCACHED.out
+diff INFER_CACHED.out INFER_UNCACHED.out
+echo "cache on/off outputs identical"
 
 echo "== trace pass =="
 # End-to-end traced inference on the bundled example. The artifact must

@@ -219,7 +219,17 @@ let run_with_retries ?(config = Gibbs.default_config)
     points
   in
   let forced =
-    Fault_inject.should_force_nonconvergence ~key:(Hashtbl.hash tup)
+    (* Full mixed-radix evidence code, not [Hashtbl.hash]: the latter's
+       bounded traversal collapses wide tuples onto shared keys, so one
+       forced-nonconvergence decision silently covered whole families of
+       tuples and skewed the injected rate. *)
+    let schema = Model.schema (Gibbs.model sampler) in
+    let cards =
+      Array.init (Relation.Schema.arity schema)
+        (Relation.Schema.cardinality schema)
+    in
+    Fault_inject.should_force_nonconvergence
+      ~key:(Posterior_cache.tuple_code ~cards tup)
   in
   (* Ensemble-health denominator: convergence-checked runs, so
      [degrade.nonconverged] reads as a nonconvergence *share*. *)

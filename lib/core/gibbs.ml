@@ -11,6 +11,9 @@ type sampler = {
      too large to key safely. *)
   memo : (int, Prob.Dist.t) Hashtbl.t option;
   domain_size : int;
+  cache : Posterior_cache.t option;
+      (* cross-run, cross-sampler evidence-keyed posterior cache; the memo
+         above remains the per-sampler full-point fast path *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -30,7 +33,7 @@ let memo_domain_size cards =
   | n -> Some n
   | exception Invalid_argument _ -> None (* overflow only: cards validated *)
 
-let sampler ?(method_ = Voting.best_averaged) ?(memoize = true) model =
+let sampler ?(method_ = Voting.best_averaged) ?(memoize = true) ?cache model =
   let schema = Model.schema model in
   let arity = Relation.Schema.arity schema in
   let cards = Array.init arity (Relation.Schema.cardinality schema) in
@@ -42,15 +45,18 @@ let sampler ?(method_ = Voting.best_averaged) ?(memoize = true) model =
       Some (Hashtbl.create 4096)
     else None
   in
-  { model; method_; cards; memo; domain_size; hits = 0; misses = 0 }
+  { model; method_; cards; memo; domain_size; cache; hits = 0; misses = 0 }
 
 let model s = s.model
+let voting_method s = s.method_
+let posterior_cache s = s.cache
 
 let evidence_tuple point a =
   Array.mapi (fun i v -> if i = a then None else Some v) point
 
 let compute_conditional s point a =
-  Infer_single.infer ~method_:s.method_ s.model (evidence_tuple point a) a
+  Infer_single.infer ~method_:s.method_ ?cache:s.cache s.model
+    (evidence_tuple point a) a
 
 let conditional s point a =
   match s.memo with
@@ -112,7 +118,9 @@ let chain ?(telemetry = Telemetry.global) rng s tup =
   @@ fun () ->
   Array.iter
     (fun a ->
-      let d = Infer_single.infer ~method_:s.method_ s.model tup a in
+      let d =
+        Infer_single.infer ~method_:s.method_ ?cache:s.cache s.model tup a
+      in
       state.(a) <- Prob.Dist.sample rng d)
     missing;
   { sampler = s; tuple = tup; missing; state }

@@ -32,14 +32,27 @@ val memo_domain_size : int array -> int option
     cardinality is [< 1] — a malformed schema is a programming error,
     not a reason to silently disable the memo. Exposed for tests. *)
 
-val sampler : ?method_:Voting.method_ -> ?memoize:bool -> Model.t -> sampler
+val sampler : ?method_:Voting.method_ -> ?memoize:bool ->
+  ?cache:Posterior_cache.t -> Model.t -> sampler
 (** [memoize] (default [true]) controls the conditional-CPD cache. Turning
     it off reproduces the cost model of the paper's prototype, where every
     Gibbs sweep pays the full ensemble-voting cost — used by the Fig 11
     harness so sampling counts and wall time stay proportional, and ablated
-    in the benchmarks. *)
+    in the benchmarks.
+
+    [?cache] attaches an evidence-keyed {!Posterior_cache}: chain
+    initialization and memo-missed conditionals consult it before paying
+    the lattice-match + vote, and fill it afterwards. Because cached
+    posteriors are bit-identical to the uncached computation, attaching a
+    cache never changes sampling output — only wall time. *)
 
 val model : sampler -> Model.t
+
+val voting_method : sampler -> Voting.method_
+(** The voting method the sampler's inference calls use. *)
+
+val posterior_cache : sampler -> Posterior_cache.t option
+(** The attached evidence-keyed posterior cache, if any. *)
 
 val conditional : sampler -> int array -> int -> Prob.Dist.t
 (** [conditional s point a] — memoized MRSL estimate of attribute [a]

@@ -44,13 +44,24 @@ let rung_name = function
   | Marginal_prior -> "marginal-prior"
   | Uniform -> "uniform"
 
-(* Fault injection: a dropped voter set exercises the ladder end to
-   end. Keyed by (attribute, evidence) so the decision is stable. *)
-let apply_voter_drop tup a selected =
-  if
-    (Fault_inject.current ()).Fault_inject.voter_drop_rate > 0.
-    && Fault_inject.should_drop_voters ~key:(Hashtbl.hash (a, tup))
-  then []
+(* Fault injection: a dropped voter set exercises the ladder end to end.
+   Keyed by (attribute, evidence) via the full mixed-radix evidence code —
+   [Stdlib.Hashtbl.hash]'s bounded traversal ignored the tail of wide
+   tuples, making tuples that differ only in late attributes share one
+   drop decision and systematically skewing the injected fault rate. *)
+let apply_voter_drop model tup a selected =
+  if (Fault_inject.current ()).Fault_inject.voter_drop_rate > 0. then begin
+    let schema = Model.schema model in
+    let cards =
+      Array.init (Relation.Schema.arity schema)
+        (Relation.Schema.cardinality schema)
+    in
+    if
+      Fault_inject.should_drop_voters
+        ~key:(Posterior_cache.evidence_key ~cards tup a)
+    then []
+    else selected
+  end
   else selected
 
 (* One ladder walk shared by {!infer} and {!explain}: the estimate, the
@@ -59,7 +70,7 @@ let apply_voter_drop tup a selected =
    explaining a task never double-counts a degradation that {!infer}
    already recorded. *)
 let infer_rung ~count ?(method_ = Voting.best_averaged) ?telemetry model tup a =
-  let selected = apply_voter_drop tup a (voters ~method_ model tup a) in
+  let selected = apply_voter_drop model tup a (voters ~method_ model tup a) in
   let fallback () =
     let card = Relation.Schema.cardinality (Model.schema model) a in
     let prior = marginal_prior model a in
@@ -79,12 +90,24 @@ let infer_rung ~count ?(method_ = Voting.best_averaged) ?telemetry model tup a =
       | _ -> fallback ()
       | exception Invalid_argument _ -> fallback ())
 
-let infer ?method_ ?telemetry model tup a =
-  let d, _, _ = infer_rung ~count:true ?method_ ?telemetry model tup a in
-  d
+let infer ?method_ ?telemetry ?cache model tup a =
+  match cache with
+  | None ->
+      let d, _, _ = infer_rung ~count:true ?method_ ?telemetry model tup a in
+      d
+  | Some c ->
+      (* Validate up front: a cache hit must not skip the structural
+         checks a miss would have performed. *)
+      check_task model tup a;
+      let method_ = Option.value method_ ~default:Voting.best_averaged in
+      Posterior_cache.find_or_compute c model ~method_ tup a (fun () ->
+          let d, _, _ =
+            infer_rung ~count:true ~method_ ?telemetry model tup a
+          in
+          d)
 
-let infer_result ?method_ ?telemetry model tup a =
-  match infer ?method_ ?telemetry model tup a with
+let infer_result ?method_ ?telemetry ?cache model tup a =
+  match infer ?method_ ?telemetry ?cache model tup a with
   | d -> Ok d
   | exception Invalid_argument msg ->
       Result.Error (Error.make Error.Input ~code:"infer.bad_task" msg)

@@ -33,18 +33,27 @@ val rung_name : rung -> string
 (** ["voters"], ["marginal-prior"], ["uniform"] — the stable identifiers
     used in machine-readable output. *)
 
-val infer : ?method_:Voting.method_ -> ?telemetry:Telemetry.t -> Model.t ->
-  Relation.Tuple.t -> int -> Prob.Dist.t
+val infer : ?method_:Voting.method_ -> ?telemetry:Telemetry.t ->
+  ?cache:Posterior_cache.t -> Model.t -> Relation.Tuple.t -> int ->
+  Prob.Dist.t
 (** [infer model t a] — estimated distribution of the missing attribute [a]
     in [t]. The method defaults to best-averaged (the paper's most accurate
     setting). Raises [Invalid_argument] when [a] is not missing in [t] or
     out of range. Values of other missing attributes are simply absent
     evidence — the matching meta-rules condition only on known values.
     Degraded rungs are counted in [telemetry] (default
-    {!Telemetry.global}); see the ladder above. *)
+    {!Telemetry.global}); see the ladder above.
+
+    [?cache] memoizes the result by evidence signature (see
+    {!Posterior_cache}): a hit returns the bit-identical distribution the
+    uncached computation would have produced, without re-running lattice
+    matching or voting. On a hit the [degrade.*] telemetry of the original
+    computation is {e not} re-counted — degradations are counted once per
+    distinct evidence signature, not once per request. *)
 
 val infer_result : ?method_:Voting.method_ -> ?telemetry:Telemetry.t ->
-  Model.t -> Relation.Tuple.t -> int -> (Prob.Dist.t, Error.t) result
+  ?cache:Posterior_cache.t -> Model.t -> Relation.Tuple.t -> int ->
+  (Prob.Dist.t, Error.t) result
 (** Non-raising boundary variant of {!infer}: structural misuse comes back
     as [Error Input/infer.bad_task] instead of [Invalid_argument]. *)
 

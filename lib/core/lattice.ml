@@ -3,6 +3,11 @@ type t = {
   head_card : int;
   by_body : Meta_rule.t Mining.Itemset.Table.t;
   max_body_size : int;
+  body_attrs : int array;
+      (* Sorted, duplicate-free union of the attributes mentioned by any
+         rule body in the lattice — the only attributes whose observed
+         values can influence [matching], and therefore the only cells a
+         posterior-cache key needs to encode. *)
 }
 
 let create ~head_attr ~head_card ~root rules =
@@ -29,7 +34,19 @@ let create ~head_attr ~head_card ~root rules =
       if Mining.Itemset.size m.body > !max_size then
         max_size := Mining.Itemset.size m.body)
     rules;
-  { head_attr; head_card; by_body; max_body_size = !max_size }
+  let body_attrs =
+    let module IS = Set.Make (Int) in
+    let set =
+      Mining.Itemset.Table.fold
+        (fun body _ acc ->
+          List.fold_left
+            (fun acc a -> if a = head_attr then acc else IS.add a acc)
+            acc (Mining.Itemset.attrs body))
+        by_body IS.empty
+    in
+    Array.of_list (IS.elements set)
+  in
+  { head_attr; head_card; by_body; max_body_size = !max_size; body_attrs }
 
 let head_attr t = t.head_attr
 let head_card t = t.head_card
@@ -49,6 +66,7 @@ let meta_rules t =
 let find t body = Mining.Itemset.Table.find_opt t.by_body body
 
 let max_body_size t = t.max_body_size
+let body_attrs t = t.body_attrs
 
 let matching t tup =
   (* Known assignments excluding the head attribute (bodies never mention

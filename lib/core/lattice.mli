@@ -29,6 +29,13 @@ val meta_rules : t -> Meta_rule.t list
 val find : t -> Mining.Itemset.t -> Meta_rule.t option
 val max_body_size : t -> int
 
+val body_attrs : t -> int array
+(** Sorted, duplicate-free attribute indices mentioned by at least one rule
+    body in the lattice (never includes the head attribute). Only these
+    attributes' observed values can change the outcome of {!matching} — the
+    lattice-relevant evidence context used by {!Posterior_cache} keys. The
+    returned array is owned by the lattice; do not mutate. *)
+
 val matching : t -> Relation.Tuple.t -> Meta_rule.t list
 (** All meta-rules whose body holds in the tuple's known values — the
     [vChoice = all] voter set. Never empty (contains the root). The head

@@ -25,7 +25,15 @@ type t = {
   params : params;
   frequent_itemsets : int;
   truncated : bool;
+  epoch : int;
+      (* Process-unique model generation, assigned at construction from a
+         global atomic counter. Two models never share an epoch, so a
+         posterior cache keyed by epoch can never serve results computed
+         against a different (e.g. retrained or reloaded) model. *)
 }
+
+let epoch_counter = Atomic.make 0
+let next_epoch () = Atomic.fetch_and_add epoch_counter 1
 
 (* The root meta-rule P(a): exact marginal value frequencies over the
    points, weight 1 (it is supported by the whole dataset). *)
@@ -133,6 +141,7 @@ let learn_points ?(params = default_params) schema points =
     params;
     frequent_itemsets = Mining.Apriori.count apriori;
     truncated = Mining.Apriori.truncated apriori;
+    epoch = next_epoch ();
   }
 
 let of_parts ?(params = default_params) ?(frequent_itemsets = 0)
@@ -148,7 +157,7 @@ let of_parts ?(params = default_params) ?(frequent_itemsets = 0)
         invalid_arg "Model.of_parts: lattice cardinality mismatch")
     lattices;
   { schema; lattices = Array.copy lattices; params; frequent_itemsets;
-    truncated }
+    truncated; epoch = next_epoch () }
 
 let learn ?params inst =
   learn_points ?params (Relation.Instance.schema inst)
@@ -169,6 +178,7 @@ let size t =
 
 let frequent_itemsets t = t.frequent_itemsets
 let truncated t = t.truncated
+let epoch t = t.epoch
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>MRSL model over %a: %d meta-rules%s@,%a@]"

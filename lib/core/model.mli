@@ -55,4 +55,11 @@ val frequent_itemsets : t -> int
 val truncated : t -> bool
 (** Whether Apriori's per-round cap fired during learning. *)
 
+val epoch : t -> int
+(** Process-unique model generation, assigned at construction. Every call
+    to {!learn}, {!learn_points} or {!of_parts} (and therefore every
+    {!Model_io.load}) yields a fresh epoch, so caches keyed by it —
+    {!Posterior_cache} — can never serve entries computed against a
+    different model, including a retrained one over the same schema. *)
+
 val pp : Format.formatter -> t -> unit

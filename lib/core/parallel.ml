@@ -36,6 +36,7 @@ module Sampler_cache = struct
     model : Model.t;
     method_ : Voting.method_ option;
     memoize : bool option;
+    pcache : Posterior_cache.t option;
     sampler : Gibbs.sampler;
   }
 
@@ -49,19 +50,27 @@ module Sampler_cache = struct
     | _ when n = 0 -> []
     | x :: tl -> x :: take (n - 1) tl
 
-  let get ?method_ ?memoize model =
+  let same_pcache a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | _ -> false
+
+  let get ?method_ ?memoize ?pcache model =
     let cache = Domain.DLS.get key in
     match
       List.find_opt
         (fun e ->
-          e.model == model && e.method_ = method_ && e.memoize = memoize)
+          e.model == model && e.method_ = method_ && e.memoize = memoize
+          && same_pcache e.pcache pcache)
         !cache
     with
     | Some e -> e.sampler
     | None ->
-        let sampler = Gibbs.sampler ?method_ ?memoize model in
+        let sampler = Gibbs.sampler ?method_ ?memoize ?cache:pcache model in
         cache :=
-          { model; method_; memoize; sampler } :: take (max_entries - 1) !cache;
+          { model; method_; memoize; pcache; sampler }
+          :: take (max_entries - 1) !cache;
         sampler
 end
 
@@ -120,7 +129,7 @@ let empty_result () =
   }
 
 let run_contained ?(config = Gibbs.default_config)
-    ?(strategy = Workload.Tuple_dag) ?method_ ?memoize ?domains
+    ?(strategy = Workload.Tuple_dag) ?method_ ?memoize ?cache ?domains
     ?(telemetry = Telemetry.global) ?(policy = Fail_fast) ?quality ~seed
     model workload =
   let requested =
@@ -136,8 +145,9 @@ let run_contained ?(config = Gibbs.default_config)
   | Workload.All_at_a_time ->
       (* One chain over the fully unknown tuple: inherently sequential.
          Run it on the calling domain with the caller-visible seed.
-         Per-task containment does not apply — there is one task. *)
-      let sampler = Sampler_cache.get ?method_ ?memoize model in
+         Per-task containment does not apply — there is one task.
+         [Workload.run] performs the posterior-cache prewarm itself. *)
+      let sampler = Sampler_cache.get ?method_ ?memoize ?pcache:cache model in
       let result =
         Workload.run ~config ~strategy ~telemetry ?quality
           (Prob.Rng.create seed)
@@ -159,6 +169,22 @@ let run_contained ?(config = Gibbs.default_config)
       else begin
         let workers = max 1 (min requested n) in
         Telemetry.gauge telemetry "parallel.domains" (float_of_int workers);
+        (* Request dedup: compute each distinct evidence-signature
+           posterior once on the orchestrating domain before any task is
+           dealt; workers' chain inits then hit the shared cache. Over the
+           raw workload (repeated client tuples count toward fan-out), on
+           top of — not replacing — the tuple-DAG sample sharing below.
+           Observation-only for sampling: cached posteriors are
+           bit-identical, and per-task RNG streams are untouched. *)
+        (match cache with
+        | None -> ()
+        | Some c ->
+            let method_v = Option.value method_ ~default:Voting.best_averaged in
+            ignore
+              (Posterior_cache.prewarm c model ~method_:method_v
+                 ~compute:(fun tup a ->
+                   Infer_single.infer ~method_:method_v ~telemetry model tup a)
+                 workload));
         let use_dag = strategy = Workload.Tuple_dag in
         let parents i = if use_dag then Tuple_dag.parents dag i else [] in
         let children i = if use_dag then Tuple_dag.children dag i else [] in
@@ -364,7 +390,7 @@ let run_contained ?(config = Gibbs.default_config)
         let logs = Array.init workers (fun _ -> fresh_log ()) in
         let worker_body wid =
           tracks.(wid) <- (Domain.self () :> int);
-          let sampler = Sampler_cache.get ?method_ ?memoize model in
+          let sampler = Sampler_cache.get ?method_ ?memoize ?pcache:cache model in
           let h0, m0 = Gibbs.cache_stats sampler in
           let log = logs.(wid) in
           let dq = deques.(wid) in
@@ -424,7 +450,9 @@ let run_contained ?(config = Gibbs.default_config)
         (* Merge: node order (first-seen workload order), exactly like the
            sequential strategies. Failed/skipped nodes are excluded from
            the estimates and reported in [faults] instead. *)
-        let est_sampler = Sampler_cache.get ?method_ ?memoize model in
+        let est_sampler =
+          Sampler_cache.get ?method_ ?memoize ?pcache:cache model
+        in
         let estimates = ref [] and faults = ref [] in
         for i = n - 1 downto 0 do
           let st = nodes.(i) in
@@ -485,10 +513,10 @@ let run_contained ?(config = Gibbs.default_config)
         }
       end
 
-let run ?config ?strategy ?method_ ?memoize ?domains ?telemetry ?quality
-    ~seed model workload =
-  (run_contained ?config ?strategy ?method_ ?memoize ?domains ?telemetry
-     ~policy:Fail_fast ?quality ~seed model workload)
+let run ?config ?strategy ?method_ ?memoize ?cache ?domains ?telemetry
+    ?quality ~seed model workload =
+  (run_contained ?config ?strategy ?method_ ?memoize ?cache ?domains
+     ?telemetry ~policy:Fail_fast ?quality ~seed model workload)
     .result
 
 (* Retained for callers that want the seed's subsumption-aware static

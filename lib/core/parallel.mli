@@ -49,9 +49,10 @@ type contained = {
 }
 
 val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
-  ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
-  ?telemetry:Telemetry.t -> ?policy:fault_policy -> ?quality:Quality.t ->
-  seed:int -> Model.t -> Relation.Tuple.t list -> contained
+  ?method_:Voting.method_ -> ?memoize:bool -> ?cache:Posterior_cache.t ->
+  ?domains:int -> ?telemetry:Telemetry.t -> ?policy:fault_policy ->
+  ?quality:Quality.t -> seed:int -> Model.t -> Relation.Tuple.t list ->
+  contained
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
     by the number of distinct tuples; it must be [>= 1]. Estimates are
     returned in first-seen workload order. [telemetry] (default
@@ -59,6 +60,16 @@ val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
     [parallel.steals], [parallel.sweeps], [parallel.shared], gauge
     [parallel.domains], histograms [parallel.queue_depth.max] and
     [gibbs.memo_hit_rate], and span [parallel.run].
+
+    [cache], when given, is the evidence-keyed {!Posterior_cache} shared
+    by every worker's sampler: before any task is dealt, the orchestrator
+    groups the raw workload's [(tuple, missing attribute)] tasks by
+    evidence signature and computes each distinct posterior once (request
+    dedup — counted as [cache.dedup_fanout]); workers' chain inits and
+    memo-missed conditionals then hit the cache. Cached posteriors are
+    bit-identical to the uncached computation and per-task RNG streams
+    are untouched, so a cached run's estimates equal an uncached run's at
+    any [domains] count (asserted by the test suite).
 
     [strategy] defaults to [Tuple_dag]. [Tuple_at_a_time] uses the same
     scheduler with no sharing edges. [All_at_a_time] is a single global
@@ -87,9 +98,9 @@ val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
     at any [domains] count (asserted by the test suite). *)
 
 val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
-  ?method_:Voting.method_ -> ?memoize:bool -> ?domains:int ->
-  ?telemetry:Telemetry.t -> ?quality:Quality.t -> seed:int -> Model.t ->
-  Relation.Tuple.t list -> Workload.result
+  ?method_:Voting.method_ -> ?memoize:bool -> ?cache:Posterior_cache.t ->
+  ?domains:int -> ?telemetry:Telemetry.t -> ?quality:Quality.t ->
+  seed:int -> Model.t -> Relation.Tuple.t list -> Workload.result
 (** [run_contained] under [Fail_fast], returning only the result — the
     pre-containment interface, unchanged. *)
 

@@ -53,4 +53,12 @@ val run : ?config:Gibbs.config -> ?strategy:strategy -> ?max_draws:int ->
     model, then {!Quality.observe_estimates}): pure observation feeding
     the drift monitor. The hook consumes no inference RNG and runs
     outside the sampling loops, so a monitored run is bit-identical to
-    an unmonitored one. *)
+    an unmonitored one.
+
+    When the sampler carries a {!Posterior_cache}
+    ([Gibbs.sampler ~cache]), the run first dedups the raw workload's
+    [(tuple, missing attribute)] tasks by evidence signature and computes
+    each distinct posterior once ([cache.dedup_fanout]); chain inits then
+    hit the cache. Cached posteriors are bit-identical to the uncached
+    computation and the inference RNG is untouched, so cached and
+    uncached runs produce identical estimates. *)

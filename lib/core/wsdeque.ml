@@ -1,16 +1,26 @@
 (* Two-stack deque under a mutex. [young] holds recent pushes newest
    first; [old] holds older tasks oldest first. The owner pops from
    [young]; thieves (and an owner finding [young] empty) take from [old],
-   reversing [young] into it when needed. *)
+   reversing [young] into it when needed.
+
+   [size] is an [Atomic.t]: {!length} is read by other domains without
+   taking the mutex (the scheduler samples queue depths while workers
+   mutate their deques), and a plain [mutable int] read outside the lock
+   is a data race under the OCaml 5 memory model — the reader could see a
+   torn/stale value with no happens-before edge. The atomic gives the
+   read a well-defined (if momentarily stale) value; all writes still
+   happen inside the locked sections, so the counter stays consistent
+   with the lists. *)
 
 type 'a t = {
   lock : Mutex.t;
   mutable young : 'a list;  (* newest first *)
   mutable old : 'a list;  (* oldest first *)
-  mutable size : int;
+  size : int Atomic.t;
 }
 
-let create () = { lock = Mutex.create (); young = []; old = []; size = 0 }
+let create () =
+  { lock = Mutex.create (); young = []; old = []; size = Atomic.make 0 }
 
 let with_lock d f =
   Mutex.lock d.lock;
@@ -25,20 +35,20 @@ let with_lock d f =
 let push d x =
   with_lock d (fun () ->
       d.young <- x :: d.young;
-      d.size <- d.size + 1)
+      Atomic.incr d.size)
 
 let pop d =
   with_lock d (fun () ->
       match d.young with
       | x :: tl ->
           d.young <- tl;
-          d.size <- d.size - 1;
+          Atomic.decr d.size;
           Some x
       | [] -> (
           match d.old with
           | x :: tl ->
               d.old <- tl;
-              d.size <- d.size - 1;
+              Atomic.decr d.size;
               Some x
           | [] -> None))
 
@@ -52,8 +62,8 @@ let steal d =
       match d.old with
       | x :: tl ->
           d.old <- tl;
-          d.size <- d.size - 1;
+          Atomic.decr d.size;
           Some x
       | [] -> None)
 
-let length d = d.size
+let length d = Atomic.get d.size

@@ -23,4 +23,9 @@ val steal : 'a t -> 'a option
 (** Thief end (oldest first). Safe from any domain. *)
 
 val length : 'a t -> int
-(** Current number of queued tasks (racy snapshot, for telemetry). *)
+(** Current number of queued tasks — a momentary snapshot, for
+    telemetry. Implemented as an [Atomic.get] of a counter maintained
+    inside the locked sections, so reading it from another domain is a
+    well-defined atomic read rather than the unsynchronized (racy under
+    the OCaml 5 memory model) plain-field read the seed performed. The
+    value is never negative and never exceeds the number of pushes. *)

@@ -47,9 +47,19 @@ let hellinger p q =
 
 let jensen_shannon p q =
   check p q "Divergence.jensen_shannon";
+  (* The mixture is built exactly, per term — routing it through
+     [Dist.of_weights] renormalized it by its own float sum, perturbing
+     every component, so [js p p] came back as a small nonzero value and
+     near-degenerate distributions got distorted scores that leaked into
+     the Quality drift alerts. With mᵢ = (pᵢ + qᵢ)/2 computed inline,
+     p = q gives mᵢ = pᵢ exactly and every log term is log 1 = 0. *)
   let n = Dist.size p in
-  let m =
-    Dist.of_weights
-      (Array.init n (fun i -> 0.5 *. (Dist.prob p i +. Dist.prob q i)))
-  in
-  (0.5 *. kl p m) +. (0.5 *. kl q m)
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let pi = Dist.prob p i and qi = Dist.prob q i in
+    let mi = 0.5 *. (pi +. qi) in
+    if pi > 0. then acc := !acc +. (0.5 *. pi *. log (pi /. mi));
+    if qi > 0. then acc := !acc +. (0.5 *. qi *. log (qi /. mi))
+  done;
+  (* Clamp float jitter to the theoretical range [0, ln 2]. *)
+  Float.min (log 2.) (Float.max 0. !acc)

@@ -27,4 +27,9 @@ val hellinger : Dist.t -> Dist.t -> float
 (** Hellinger distance, in [0, 1]. *)
 
 val jensen_shannon : Dist.t -> Dist.t -> float
-(** Symmetrized, bounded KL: JS(p, q) = ½KL(p‖m) + ½KL(q‖m), m = ½(p+q). *)
+(** Symmetrized, bounded KL: JS(p, q) = ½KL(p‖m) + ½KL(q‖m), m = ½(p+q).
+    The mixture is computed exactly per component (no renormalization or
+    smoothing — the seed routed it through {!Dist.of_weights}, whose
+    float-sum renormalization made [js p p] nonzero and distorted
+    near-degenerate scores), so [jensen_shannon p p = 0.] {e exactly} and
+    the result always lies in [[0, ln 2]]. *)

@@ -19,6 +19,7 @@ let () =
       ("persistence", Test_persistence.suite);
       ("queries", Test_queries.suite);
       ("faults", Test_faults.suite);
+      ("cache", Test_cache.suite);
       ("stress", Test_stress.suite);
       ("drivers", Test_drivers.suite);
       ("quality", Test_quality.suite);

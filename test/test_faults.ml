@@ -271,6 +271,43 @@ let test_voter_drop_degrades_not_raises () =
         (Prob.Dist.prob d 0)
   | None -> Alcotest.fail "trained model must have a root CPD"
 
+let test_fault_keys_discriminate_wide_tuples () =
+  (* Regression: the voter-drop and forced-nonconvergence sites used to
+     key decisions with [Stdlib.Hashtbl.hash tup], whose bounded
+     traversal ignores the tail of wide tuples — tuples differing only
+     past the traversal limit all received the SAME injection decision.
+     The keys now come from the full-traversal mixed-radix evidence
+     code, so at a fractional rate the decisions over tail-only variants
+     must not be constant. *)
+  let arity = 48 in
+  let cards = Array.make arity 3 in
+  let base = Array.init arity (fun _ -> Some 0) in
+  let variants =
+    List.init 27 (fun v ->
+        let t = Array.copy base in
+        t.(arity - 1) <- Some (v mod 3);
+        t.(arity - 2) <- Some (v / 3 mod 3);
+        t.(arity - 3) <- Some (v / 9 mod 3);
+        t)
+  in
+  Mrsl.Fault_inject.with_config
+    (cfg ~seed:42 ~nonconv:0.5 ~voters:0.5 ())
+    (fun () ->
+      let varies decide =
+        let ds = List.map decide variants in
+        List.exists Fun.id ds && List.exists not ds
+      in
+      Alcotest.(check bool) "voter-drop decisions vary across tail cells"
+        true
+        (varies (fun t ->
+             Mrsl.Fault_inject.should_drop_voters
+               ~key:(Mrsl.Posterior_cache.evidence_key ~cards t 0)));
+      Alcotest.(check bool)
+        "nonconvergence decisions vary across tail cells" true
+        (varies (fun t ->
+             Mrsl.Fault_inject.should_force_nonconvergence
+               ~key:(Mrsl.Posterior_cache.tuple_code ~cards t))))
+
 let test_infer_result_boundary () =
   let model = trained_model () in
   (* Attribute 0 is present, so the task is structurally invalid. *)
@@ -566,6 +603,9 @@ let suite =
     ( "ladder voter drop degrades not raises",
       `Quick,
       test_voter_drop_degrades_not_raises );
+    ( "fault keys discriminate wide tuples",
+      `Quick,
+      test_fault_keys_discriminate_wide_tuples );
     ("infer_result boundary", `Quick, test_infer_result_boundary);
     ("containment skips and reports", `Quick, test_containment_skips_and_reports);
     ( "containment bit-identical survivors",

@@ -40,6 +40,13 @@ let check_documented kind name =
 
 let registry_names =
   [
+    "cache.bytes";
+    "cache.dedup_fanout";
+    "cache.entries";
+    "cache.evictions";
+    "cache.hits";
+    "cache.lookup_seconds";
+    "cache.misses";
     "csv.rows_skipped";
     "degrade.marginal_prior";
     "degrade.nonconverged";
@@ -90,12 +97,15 @@ let registry_names =
 
 let trace_categories =
   [
-    "dag"; "gibbs"; "io"; "lattice"; "learn"; "mine"; "quality"; "sched";
-    "share"; "steal"; "voting";
+    "cache"; "dag"; "gibbs"; "io"; "lattice"; "learn"; "mine"; "quality";
+    "sched"; "share"; "steal"; "voting";
   ]
 
 let trace_event_names =
   [
+    "cache.evict";
+    "cache.fill";
+    "cache.prewarm";
     "csv.read";
     "dag.build";
     "degrade.marginal_prior";

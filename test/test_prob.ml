@@ -258,6 +258,55 @@ let test_js_symmetric_bounded () =
   Alcotest.(check bool) "JS bounded by log 2" true
     (Prob.Divergence.jensen_shannon p q <= log 2. +. 1e-9)
 
+(* Regression: the previous implementation rebuilt the mixture through
+   [Dist.of_weights], whose renormalization perturbed m = (p+q)/2 enough
+   that js p p was a small positive number instead of 0. The divergence
+   is now computed against the exact mixture. *)
+let test_js_self_exactly_zero () =
+  let dists =
+    [
+      Prob.Dist.uniform 4;
+      Prob.Dist.of_weights [| 0.9; 0.1 |];
+      Prob.Dist.of_weights [| 0.2; 0.3; 0.5 |];
+      Prob.Dist.smooth [| 1.; 0.; 0.; 0.; 0. |];
+      Prob.Dist.of_weights [| 1e-9; 1.0; 1e-12; 0.3 |];
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        "js p p is exactly 0" 0.
+        (Prob.Divergence.jensen_shannon p p))
+    dists
+
+let test_js_range_adversarial () =
+  let rng = Helpers.rng () in
+  for _ = 1 to 200 do
+    let n = 1 + Prob.Rng.int rng 6 in
+    (* Adversarial weights: many near-zero entries, occasional spikes, so
+       the mixture has components at very different scales. *)
+    let weights () =
+      Array.init n (fun _ ->
+          match Prob.Rng.int rng 3 with
+          | 0 -> 0.
+          | 1 -> Prob.Rng.float rng *. 1e-9
+          | _ -> Prob.Rng.float rng)
+    in
+    let wp = weights () and wq = weights () in
+    if Array.exists (fun w -> w > 0.) wp && Array.exists (fun w -> w > 0.) wq
+    then begin
+      let p = Prob.Dist.of_weights wp and q = Prob.Dist.of_weights wq in
+      let js = Prob.Divergence.jensen_shannon p q in
+      Alcotest.(check bool) "0 <= js" true (js >= 0.);
+      Alcotest.(check bool) "js <= ln 2" true (js <= log 2.)
+    end
+  done;
+  (* Disjoint supports attain the upper bound exactly. *)
+  let p = Prob.Dist.of_weights [| 1.; 0. |] in
+  let q = Prob.Dist.of_weights [| 0.; 1. |] in
+  check_float "js disjoint = ln 2" (log 2.)
+    (Prob.Divergence.jensen_shannon p q)
+
 let test_divergence_size_mismatch () =
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Divergence.kl: size mismatch") (fun () ->
@@ -398,6 +447,8 @@ let suite =
     ("TV bounds", `Quick, test_tv_bounds_and_value);
     ("Hellinger", `Quick, test_hellinger);
     ("JS symmetric/bounded", `Quick, test_js_symmetric_bounded);
+    ("JS self is exactly zero", `Quick, test_js_self_exactly_zero);
+    ("JS range adversarial", `Quick, test_js_range_adversarial);
     ("divergence size mismatch", `Quick, test_divergence_size_mismatch);
     ("mean/variance", `Quick, test_mean_var);
     ("median/percentile", `Quick, test_median_percentile);
