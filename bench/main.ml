@@ -57,6 +57,7 @@ let micro_rows : (string * float) list ref = ref []
 let section_rows : (string * float) list ref = ref []
 let parallel_block : Json.t option ref = ref None
 let cache_block : Json.t option ref = ref None
+let serve_block : Json.t option ref = ref None
 
 let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
 
@@ -391,6 +392,9 @@ let write_bench_json () =
       | None -> [])
     @ (match !cache_block with
       | Some block -> [ ("cache", block) ]
+      | None -> [])
+    @ (match !serve_block with
+      | Some block -> [ ("serve", block) ]
       | None -> [])
     @ [ ("telemetry", Mrsl.Telemetry.to_json Mrsl.Telemetry.global) ]
   in
@@ -798,6 +802,220 @@ let render_cache rng =
          ]);
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Serving artifact: an in-process [mrsl serve] daemon on a temp Unix
+   socket, driven over real sockets by a client on the bench domain.
+   Measures the transport + engine round trip the daemon adds on top of
+   raw inference: sequential request latency (p50/p99 µs), pipelined
+   sustained throughput (req/s), the dedup fan-out of a batch of
+   identical concurrent requests, and a hot model swap mid-stream. The
+   two named rows land in BENCH_1.json for ci/bench_gate.exe
+   (--require-latency p99 ceilings; req/s floors vs the baseline).
+   Fixed sizes, independent of MRSL_SCALE; single-missing requests only,
+   so every answer is exact (RNG-free) and the numbers measure serving,
+   not sampling. *)
+
+let render_serve rng =
+  let buf = Buffer.create 512 in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let network = Bayesnet.Network.generate rng entry.topology in
+  let train = Bayesnet.Network.sample_instance rng network 1500 in
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.02 }
+      train
+  in
+  let model_path = Filename.temp_file "mrsl-bench-model" ".mrsl" in
+  Mrsl.Model_io.save model_path model;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrsl-bench-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Serving.Protocol.Unix_socket sock in
+  (* Global registry on purpose: the serve.* counters land in the BENCH
+     telemetry snapshot, where the CI gate can --require-counter them. *)
+  let config =
+    {
+      Serving.Engine.default_config with
+      seed;
+      gibbs = { Mrsl.Gibbs.burn_in = 10; samples = 50 };
+    }
+  in
+  let engine = Serving.Engine.create ~config ~model_path () in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let server_config =
+    { (Serving.Server.default_config endpoint) with tick = 0.01 }
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Serving.Server.run ~stop
+          ~on_ready:(fun () -> Atomic.set ready true)
+          server_config engine)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server;
+      Sys.remove model_path)
+    (fun () ->
+      let client = Serving.Client.connect_retry endpoint in
+      Fun.protect
+        ~finally:(fun () -> Serving.Client.close client)
+        (fun () ->
+          let schema = Mrsl.Model.schema model in
+          let masked =
+            Relation.Instance.tuples
+              (Relation.Instance.mask_exact rng ~missing:1
+                 (Bayesnet.Network.sample_instance rng network 64))
+          in
+          let to_labels tup =
+            Array.mapi
+              (fun a cell ->
+                Option.map
+                  (fun v ->
+                    Relation.Attribute.value_label
+                      (Relation.Schema.attribute schema a)
+                      v)
+                  cell)
+              tup
+          in
+          let requests =
+            Array.map
+              (fun t ->
+                {
+                  Serving.Protocol.id = None;
+                  op = Serving.Protocol.Infer (to_labels t);
+                })
+              masked
+          in
+          let nth i = requests.(i mod Array.length requests) in
+          let expect_ok line =
+            if not (String.length line > 7 && String.sub line 0 7 = "{\"ok\":t")
+            then failwith (Printf.sprintf "serve bench: error response %s" line)
+          in
+          (* Warm the cache and the code paths out of the measurement. *)
+          for i = 0 to 63 do
+            expect_ok (Serving.Client.rpc client (nth i))
+          done;
+          (* Sequential round-trip latency: one request in flight. *)
+          let n_seq = 400 in
+          let lat_us = Array.make n_seq 0. in
+          let t0 = Mrsl.Clock.now () in
+          for i = 0 to n_seq - 1 do
+            let s = Mrsl.Clock.now_ns () in
+            expect_ok (Serving.Client.rpc client (nth i));
+            lat_us.(i) <-
+              float_of_int
+                (Mrsl.Clock.duration_ns ~start:s ~stop:(Mrsl.Clock.now_ns ()))
+              /. 1e3
+          done;
+          let seq_wall = Mrsl.Clock.now () -. t0 in
+          Array.sort compare lat_us;
+          let pct p =
+            lat_us.(min (n_seq - 1) (int_of_float (p *. float_of_int n_seq)))
+          in
+          let seq_p50 = pct 0.50 and seq_p99 = pct 0.99 in
+          let seq_rps = float_of_int n_seq /. seq_wall in
+          (* Pipelined sustained throughput: windows of concurrent
+             requests, each window drained as server batches. *)
+          let windows = 8 and window = 64 in
+          let n_pipe = windows * window in
+          let t0 = Mrsl.Clock.now () in
+          for w = 0 to windows - 1 do
+            for i = 0 to window - 1 do
+              Serving.Client.send client (nth ((w * window) + i))
+            done;
+            for _ = 1 to window do
+              expect_ok (Serving.Client.recv client)
+            done
+          done;
+          let pipe_wall = Mrsl.Clock.now () -. t0 in
+          let pipe_rps = float_of_int n_pipe /. pipe_wall in
+          (* Dedup fan-out: a burst of identical requests must collapse
+             to (at most) one posterior computation via prewarm. *)
+          let fanout_before =
+            (Mrsl.Posterior_cache.stats (Serving.Engine.cache engine))
+              .dedup_fanout
+          in
+          for _ = 1 to window do
+            Serving.Client.send client (nth 0)
+          done;
+          for _ = 1 to window do
+            expect_ok (Serving.Client.recv client)
+          done;
+          let fanout =
+            (Mrsl.Posterior_cache.stats (Serving.Engine.cache engine))
+              .dedup_fanout - fanout_before
+          in
+          (* Hot swap mid-stream: requests pipelined around a reload all
+             get answered; the epoch advances. *)
+          let epoch_before = Serving.Engine.epoch engine in
+          for i = 0 to 7 do
+            Serving.Client.send client (nth i)
+          done;
+          Serving.Client.send client
+            { Serving.Protocol.id = None; op = Serving.Protocol.Reload None };
+          for i = 8 to 15 do
+            Serving.Client.send client (nth i)
+          done;
+          for _ = 1 to 17 do
+            expect_ok (Serving.Client.recv client)
+          done;
+          let epoch_after = Serving.Engine.epoch engine in
+          if epoch_after = epoch_before then
+            failwith "serve bench: reload did not advance the model epoch";
+          out "sequential: %d reqs in %.3fs = %.0f req/s  p50 %.0fus  p99 %.0fus"
+            n_seq seq_wall seq_rps seq_p50 seq_p99;
+          out "pipelined:  %d reqs in %.3fs = %.0f req/s (windows of %d)"
+            n_pipe pipe_wall pipe_rps window;
+          out "dedup: %d identical concurrent requests -> fanout %d" window
+            fanout;
+          out "hot swap: epoch %d -> %d with 16 requests in flight, none dropped"
+            epoch_before epoch_after;
+          let row name requests wall rps p50 p99 =
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("requests", Json.Int requests);
+                ("wall_seconds", Json.Float wall);
+                ("req_per_s", Json.Float rps);
+                ("p50_us", Json.Float p50);
+                ("p99_us", Json.Float p99);
+              ]
+          in
+          serve_block :=
+            Some
+              (Json.Obj
+                 [
+                   ( "rows",
+                     Json.List
+                       [
+                         row "sequential" n_seq seq_wall seq_rps seq_p50
+                           seq_p99;
+                         (* Pipelined latency is a window property, not a
+                            per-request one; only its throughput is
+                            meaningful (and gated). *)
+                         row "pipelined" n_pipe pipe_wall pipe_rps 0. 0.;
+                       ] );
+                   ("dedup_burst", Json.Int window);
+                   ("dedup_fanout", Json.Int fanout);
+                   ("epoch_before", Json.Int epoch_before);
+                   ("epoch_after", Json.Int epoch_after);
+                 ])));
+  Buffer.contents buf
+
 let artifacts =
   [
     ( "table1",
@@ -845,6 +1063,9 @@ let artifacts =
     ( "cache",
       "Posterior cache: hit rate, dedup fan-out, cached-vs-uncached speedup",
       render_cache );
+    ( "serve",
+      "Serving daemon: request latency, throughput, dedup, hot swap",
+      render_serve );
   ]
 
 let () =

@@ -902,6 +902,339 @@ let experiment_cmd =
   in
   Cmd.v info Term.(const run $ id_arg $ seed_arg)
 
+(* ---------------- serve / client ---------------- *)
+
+let endpoint_term =
+  let socket_arg =
+    let doc = "Serve on (connect to) a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~doc ~docv:"PATH")
+  in
+  let host_arg =
+    let doc = "TCP host for --port." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc)
+  in
+  let port_arg =
+    let doc = "Serve on (connect to) TCP $(i,host):$(docv)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~doc ~docv:"PORT")
+  in
+  let make socket host port =
+    match (socket, port) with
+    | Some path, None -> Ok (Serving.Protocol.Unix_socket path)
+    | None, Some port -> Ok (Serving.Protocol.Tcp (host, port))
+    | Some _, Some _ -> Error (`Msg "--socket and --port are exclusive")
+    | None, None -> Error (`Msg "one of --socket or --port is required")
+  in
+  Term.(term_result (const make $ socket_arg $ host_arg $ port_arg))
+
+let serve_domains_arg =
+  let doc =
+    "Worker domains for multi-missing-value inference (default: runtime \
+     recommendation)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+
+let serve_cache_mb_arg =
+  let doc = "Posterior-cache byte budget, in MiB." in
+  Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+
+let engine_config_of seed method_ samples burn_in domains cache_mb =
+  if cache_mb < 1 then failwith "--cache-mb must be >= 1";
+  {
+    Serving.Engine.seed;
+    method_;
+    gibbs = { Mrsl.Gibbs.burn_in; samples };
+    domains;
+    cache_bytes = cache_mb * 1024 * 1024;
+  }
+
+let serve_cmd =
+  let model_arg =
+    let doc = "Serialized model to serve (see `learn --save-model')." in
+    Arg.(
+      required & opt (some file) None & info [ "model" ] ~doc ~docv:"FILE")
+  in
+  let batch_max_arg =
+    let doc =
+      "Drain at most $(docv) queued requests into one engine batch \
+       (batching is what dedups identical concurrent requests)."
+    in
+    Arg.(value & opt int 64 & info [ "batch-max" ] ~doc ~docv:"N")
+  in
+  let queue_arg =
+    let doc =
+      "Admission bound: beyond $(docv) queued requests new ones are \
+       answered `serve.overloaded' immediately."
+    in
+    Arg.(value & opt int 1024 & info [ "queue-capacity" ] ~doc ~docv:"N")
+  in
+  let run model_path endpoint seed method_ samples burn_in domains cache_mb
+      batch_max queue_capacity =
+    if Sys.getenv_opt "MRSL_LOG" = None then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let stop = Atomic.make false in
+    let hup = Atomic.make false in
+    Sys.set_signal Sys.sighup
+      (Sys.Signal_handle (fun _ -> Atomic.set hup true));
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    let config = engine_config_of seed method_ samples burn_in domains cache_mb in
+    let engine = Serving.Engine.create ~config ~model_path () in
+    let server_config =
+      {
+        (Serving.Server.default_config endpoint) with
+        batch_max;
+        queue_capacity;
+      }
+    in
+    Serving.Server.run ~stop ~hup server_config engine
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Serve a model over a Unix or TCP socket: line-delimited JSON \
+         requests (infer, ping, stats, reload, shutdown), batched \
+         inference with request dedup, bounded admission, hot model swap \
+         on SIGHUP or `reload', and a live Prometheus GET /metrics \
+         endpoint on the same socket."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_arg $ endpoint_term $ seed_arg $ method_arg
+      $ samples_arg $ burn_in_arg $ serve_domains_arg $ serve_cache_mb_arg
+      $ batch_max_arg $ queue_arg)
+
+let client_cmd =
+  let module Json = Mrsl.Telemetry.Json in
+  let with_client endpoint f =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let c = Serving.Client.connect_retry ~attempts:100 ~delay:0.05 endpoint in
+    Fun.protect ~finally:(fun () -> Serving.Client.close c) (fun () -> f c)
+  in
+  let print_response line =
+    print_endline line;
+    match Json.of_string line with
+    | Json.Obj fields ->
+        if List.assoc_opt "ok" fields = Some (Json.Bool false) then exit 1
+    | _ | (exception Json.Parse_error _) -> exit 1
+  in
+  let simple name ~doc op =
+    let run endpoint =
+      with_client endpoint (fun c ->
+          print_response
+            (Serving.Client.rpc c { Serving.Protocol.id = None; op }))
+    in
+    Cmd.v (Cmd.info name ~doc) Term.(const run $ endpoint_term)
+  in
+  let reload_cmd =
+    let path_arg =
+      let doc = "Model file to load (default: the server's current path)." in
+      Arg.(value & opt (some string) None & info [ "path" ] ~doc ~docv:"FILE")
+    in
+    let run endpoint path =
+      with_client endpoint (fun c ->
+          print_response
+            (Serving.Client.rpc c
+               { Serving.Protocol.id = None; op = Reload path }))
+    in
+    Cmd.v
+      (Cmd.info "reload" ~doc:"Hot-swap the served model.")
+      Term.(const run $ endpoint_term $ path_arg)
+  in
+  let infer_cmd =
+    let tuple_arg =
+      let doc =
+        "Comma-separated value labels in schema order; `?' (or empty) \
+         marks a missing value, e.g. \"30,?,NY\"."
+      in
+      Arg.(
+        required & opt (some string) None & info [ "tuple" ] ~doc ~docv:"T")
+    in
+    let run endpoint tuple =
+      let labels =
+        String.split_on_char ',' tuple
+        |> List.map (fun s ->
+               let s = String.trim s in
+               if s = "" || s = "?" then None else Some s)
+        |> Array.of_list
+      in
+      with_client endpoint (fun c ->
+          print_response
+            (Serving.Client.rpc c
+               { Serving.Protocol.id = None; op = Infer labels }))
+    in
+    Cmd.v
+      (Cmd.info "infer"
+         ~doc:"Request the posterior of one incomplete tuple.")
+      Term.(const run $ endpoint_term $ tuple_arg)
+  in
+  let raw_cmd =
+    let line_arg =
+      let doc = "Raw line to send (need not be valid JSON)." in
+      Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"LINE")
+    in
+    let run endpoint line =
+      with_client endpoint (fun c ->
+          Serving.Client.send_raw c line;
+          print_endline (Serving.Client.recv c))
+    in
+    Cmd.v
+      (Cmd.info "raw"
+         ~doc:
+           "Send one raw protocol line and print the response — for \
+            driving the server with malformed input.")
+      Term.(const run $ endpoint_term $ line_arg)
+  in
+  let metrics_cmd =
+    let run endpoint =
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      print_string (Serving.Client.scrape_metrics endpoint)
+    in
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:"Scrape GET /metrics and print the Prometheus exposition.")
+      Term.(const run $ endpoint_term)
+  in
+  let verify_cmd =
+    let window_arg =
+      let doc =
+        "Pipeline at most $(docv) outstanding requests (keeps a large \
+         verification under the server's admission bound while still \
+         exercising batching)."
+      in
+      Arg.(value & opt int 64 & info [ "window" ] ~doc ~docv:"N")
+    in
+    let model_arg =
+      let doc =
+        "The model file the server is serving — loaded locally as the \
+         reference."
+      in
+      Arg.(
+        required & opt (some file) None & info [ "model" ] ~doc ~docv:"FILE")
+    in
+    let run endpoint model_path input seed method_ samples burn_in domains
+        cache_mb window =
+      let inst = Relation.Csv_io.read_file input in
+      let config =
+        engine_config_of seed method_ samples burn_in domains cache_mb
+      in
+      (* A private registry keeps the reference engine's serve.* metrics
+         out of the process-global registry. *)
+      let local =
+        Serving.Engine.create
+          ~telemetry:(Mrsl.Telemetry.create ())
+          ~config ~model_path ()
+      in
+      let schema = Mrsl.Model.schema (Serving.Engine.model local) in
+      if not (Relation.Schema.equal schema (Relation.Instance.schema inst))
+      then failwith "model schema does not match the input CSV";
+      let to_labels tup =
+        Array.mapi
+          (fun a cell ->
+            Option.map
+              (fun v ->
+                Relation.Attribute.value_label
+                  (Relation.Schema.attribute schema a)
+                  v)
+              cell)
+          tup
+      in
+      let incomplete =
+        Array.to_list (Relation.Instance.incomplete_part inst)
+      in
+      if incomplete = [] then failwith "input has no incomplete tuples";
+      let requests =
+        List.mapi
+          (fun i tup ->
+            {
+              Serving.Protocol.id = Some (Json.Int i);
+              op = Infer (to_labels tup);
+            })
+          incomplete
+      in
+      (* Strip the epoch before comparing: model epochs are
+         process-unique, so the server's differs from the reference
+         engine's by construction. Everything else — attrs, posteriors
+         (round-trip float printing), mode, samples_used, id — must be
+         bit-identical. *)
+      let payload line =
+        match Json.of_string line with
+        | Json.Obj fields ->
+            Json.to_string ~pretty:false
+              (Json.Obj (List.filter (fun (k, _) -> k <> "epoch") fields))
+        | j -> Json.to_string ~pretty:false j
+      in
+      let mismatches = ref 0 in
+      let compared = ref 0 in
+      with_client endpoint (fun c ->
+          let rec go pending =
+            match pending with
+            | [] -> ()
+            | _ ->
+                let burst, rest =
+                  let rec split n = function
+                    | x :: tl when n > 0 ->
+                        let a, b = split (n - 1) tl in
+                        (x :: a, b)
+                    | l -> ([], l)
+                  in
+                  split (max 1 window) pending
+                in
+                List.iter (Serving.Client.send c) burst;
+                List.iter
+                  (fun req ->
+                    let served = Serving.Client.recv c in
+                    let reference =
+                      Serving.Engine.handle_request local req
+                    in
+                    incr compared;
+                    if payload served <> payload (String.trim reference)
+                    then begin
+                      incr mismatches;
+                      Printf.eprintf "MISMATCH\n  served:    %s\n  local:     %s\n"
+                        served (String.trim reference)
+                    end)
+                  burst;
+                go rest
+          in
+          go requests);
+      Printf.printf
+        "verified %d served posteriors bit-identical to local inference\n"
+        !compared;
+      if !mismatches > 0 then begin
+        Printf.eprintf "%d mismatches\n" !mismatches;
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Query the server for every incomplete tuple of a CSV and \
+            check each served posterior is bit-identical to local \
+            inference through the same library entry points.")
+      Term.(
+        const run $ endpoint_term $ model_arg $ input_arg $ seed_arg
+        $ method_arg $ samples_arg $ burn_in_arg $ serve_domains_arg
+        $ serve_cache_mb_arg $ window_arg)
+  in
+  let info =
+    Cmd.info "client"
+      ~doc:"Talk to a running $(b,mrsl serve) daemon (scripting and CI)."
+  in
+  Cmd.group info
+    [
+      simple "ping" ~doc:"Liveness check (reports the model epoch)."
+        Serving.Protocol.Ping;
+      simple "stats" ~doc:"Request counters and cache statistics."
+        Serving.Protocol.Stats;
+      simple "shutdown" ~doc:"Ask the server to shut down gracefully."
+        Serving.Protocol.Shutdown;
+      reload_cmd; infer_cmd; raw_cmd; metrics_cmd; verify_cmd;
+    ]
+
 let setup_logging () =
   match Sys.getenv_opt "MRSL_LOG" with
   | None -> ()
@@ -930,4 +1263,5 @@ let () =
           [
             generate_cmd; profile_cmd; learn_cmd; infer_cmd; explain_cmd;
             diagnose_cmd; quality_cmd; query_cmd; trace_cmd; experiment_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -20,6 +20,16 @@
    uses this to prove the instrumented phases actually ran. With at
    least one requirement of either kind, --baseline becomes optional.
 
+   Serving-latency mode: --require-latency NAME CEIL_US (repeatable)
+   asserts that the current report's serve block has a row NAME whose
+   p99_us is at most CEIL_US — an absolute latency SLO, deliberately
+   not baseline-relative (a latency budget does not move just because
+   the baseline machine was fast). Counts as a requirement, so
+   --baseline is optional with it. Independently, whenever BOTH reports
+   carry a serve block, every baseline row's req_per_s is a floor:
+   current throughput must stay within the tolerance of it, mirroring
+   the micro ns/run gate in the opposite direction.
+
    Double-accounting guard: when the current report carries a
    "parallel" block, every run in it must have counters_start_zero =
    true — per-run registries must begin empty even though the domain
@@ -42,17 +52,19 @@ let tolerance =
 let usage () =
   prerr_endline
     "usage: bench_gate [--baseline <BENCH.json>] --current <BENCH.json> \
-     [--require-counter NAME]... [--require-span NAME]...";
+     [--require-counter NAME]... [--require-span NAME]... \
+     [--require-latency NAME CEIL_US]...";
   prerr_endline
-    "  --baseline is required unless --require-counter or --require-span \
-     is given";
+    "  --baseline is required unless --require-counter, --require-span, \
+     or --require-latency is given";
   exit 2
 
 let parse_args () =
   let baseline = ref None
   and current = ref None
   and counters = ref []
-  and spans = ref [] in
+  and spans = ref []
+  and latencies = ref [] in
   let rec go = function
     | [] -> ()
     | "--baseline" :: v :: rest ->
@@ -67,13 +79,25 @@ let parse_args () =
     | "--require-span" :: v :: rest ->
         spans := v :: !spans;
         go rest
+    | "--require-latency" :: name :: ceil :: rest -> (
+        match float_of_string_opt ceil with
+        | Some c when c > 0. ->
+            latencies := (name, c) :: !latencies;
+            go rest
+        | _ ->
+            Printf.eprintf "bench_gate: bad latency ceiling %S\n%!" ceil;
+            exit 2)
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  match (!baseline, !current, List.rev !counters, List.rev !spans) with
-  | baseline, Some c, req_c, req_s when req_c <> [] || req_s <> [] ->
-      (baseline, c, req_c, req_s)
-  | Some _, Some c, [], [] -> (!baseline, c, [], [])
+  match
+    (!baseline, !current, List.rev !counters, List.rev !spans,
+     List.rev !latencies)
+  with
+  | baseline, Some c, req_c, req_s, req_l
+    when req_c <> [] || req_s <> [] || req_l <> [] ->
+      (baseline, c, req_c, req_s, req_l)
+  | Some _, Some c, [], [], [] -> (!baseline, c, [], [], [])
   | _ -> usage ()
 
 let load path =
@@ -134,6 +158,27 @@ let span_calls json name =
           | None -> None)
       | _ -> None)
 
+(* (name, req_per_s, p99_us) for every row of the serve block *)
+let serve_rows json =
+  match Json.member "serve" json with
+  | None -> []
+  | Some serve -> (
+      match Json.member "rows" serve with
+      | Some (Json.List rows) ->
+          List.filter_map
+            (fun row ->
+              match Json.member "name" row with
+              | Some (Json.String name) ->
+                  let num key =
+                    match Json.member key row with
+                    | Some v -> ( try Some (Json.to_float v) with _ -> None)
+                    | None -> None
+                  in
+                  Some (name, num "req_per_s", num "p99_us")
+              | _ -> None)
+            rows
+      | _ -> [])
+
 (* Double-accounting guard over the parallel block: the bench runs each
    domain-count configuration against a fresh registry, but the domain
    pool — and the per-domain DLS sampler/memo caches inside it — is
@@ -164,7 +209,8 @@ let check_counters_start_zero json =
       | _ -> 0)
 
 let () =
-  let baseline_opt, current_path, required_counters, required_spans =
+  let ( baseline_opt, current_path, required_counters, required_spans,
+        required_latencies ) =
     parse_args ()
   in
   let cur_json = load current_path in
@@ -219,6 +265,35 @@ let () =
     Printf.printf "all %d required spans present\n\n"
       (List.length required_spans)
   end;
+  (* Serving SLO assertions: named serve rows must exist with a p99 at
+     or below the given absolute ceiling. *)
+  if required_latencies <> [] then begin
+    Printf.printf "latency gate: %s\n" current_path;
+    let rows = serve_rows cur_json in
+    let bad = ref 0 in
+    List.iter
+      (fun (name, ceil_us) ->
+        match List.find_opt (fun (n, _, _) -> n = name) rows with
+        | Some (_, _, Some p99) when p99 <= ceil_us ->
+            Printf.printf "  %-28s p99 %9.0f us <= %9.0f us  ok\n" name p99
+              ceil_us
+        | Some (_, _, Some p99) ->
+            incr bad;
+            Printf.printf "  %-28s p99 %9.0f us >  %9.0f us  FAIL\n" name p99
+              ceil_us
+        | Some (_, _, None) ->
+            incr bad;
+            Printf.printf "  %-28s %24s  FAIL (no p99_us)\n" name "-"
+        | None ->
+            incr bad;
+            Printf.printf "  %-28s %24s  FAIL (missing row)\n" name "-")
+      required_latencies;
+    if !bad > 0 then (
+      Printf.printf "\n%d serving latency requirement(s) failed\n" !bad;
+      exit 1);
+    Printf.printf "all %d serving latency ceilings met\n\n"
+      (List.length required_latencies)
+  end;
   let baseline_path =
     match baseline_opt with
     | Some b -> b
@@ -267,12 +342,43 @@ let () =
         Printf.printf "%-38s| %12s | %12s | %8s | new (not gated)\n" name "-"
           "-" "-")
     cur;
+  (* Serving throughput floor: the req/s of every baseline serve row must
+     not drop by more than the tolerance. Latency ceilings stay absolute
+     (--require-latency); throughput is relative, like the micro gate. *)
+  let base_serve = serve_rows (load baseline_path) in
+  let cur_serve = serve_rows cur_json in
+  if base_serve <> [] then begin
+    Printf.printf "\nserve gate (req/s floor, tolerance %.0f%%):\n"
+      (100. *. tolerance);
+    List.iter
+      (fun (name, base_rps, _) ->
+        match base_rps with
+        | None -> ()
+        | Some base_rps -> (
+            match List.find_opt (fun (n, _, _) -> n = name) cur_serve with
+            | Some (_, Some cur_rps, _) ->
+                let floor = base_rps *. (1. -. tolerance) in
+                if cur_rps >= floor then
+                  Printf.printf
+                    "  serve/%-27s| %10.0f rps vs baseline %10.0f | ok\n" name
+                    cur_rps base_rps
+                else begin
+                  incr failures;
+                  Printf.printf
+                    "  serve/%-27s| %10.0f rps vs baseline %10.0f | FAIL \
+                     (floor %.0f)\n"
+                    name cur_rps base_rps floor
+                end
+            | _ ->
+                incr missing;
+                Printf.printf "  serve/%-27s| %10s | MISSING\n" name "-"))
+      base_serve
+  end;
   if !missing > 0 then (
     Printf.printf "\n%d baseline benchmark(s) missing from current run\n"
       !missing;
     exit 1);
   if !failures > 0 then (
-    Printf.printf "\n%d benchmark(s) regressed beyond %.0f%%\n" !failures
-      (100. *. tolerance);
+    Printf.printf "\n%d benchmark(s) regressed beyond tolerance\n" !failures;
     exit 1);
   Printf.printf "\nall benchmarks within tolerance\n"

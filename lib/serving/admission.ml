@@ -1,0 +1,48 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutex : Mutex.t;
+  telemetry : Mrsl.Telemetry.t;
+}
+
+let create ?(telemetry = Mrsl.Telemetry.global) ~capacity () =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { capacity; q = Queue.create (); mutex = Mutex.create (); telemetry }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let gauge_depth t = Mrsl.Telemetry.gauge t.telemetry "serve.queue_depth"
+
+let length t = locked t (fun () -> Queue.length t.q)
+
+let try_add t x =
+  let accepted =
+    locked t (fun () ->
+        if Queue.length t.q >= t.capacity then false
+        else begin
+          Queue.add x t.q;
+          true
+        end)
+  in
+  if not accepted then Mrsl.Telemetry.incr t.telemetry "serve.overloaded";
+  gauge_depth t (float_of_int (length t));
+  accepted
+
+let drain ~max t =
+  if max < 0 then invalid_arg "Admission.drain: max must be >= 0";
+  let items =
+    locked t (fun () ->
+        let out = ref [] in
+        let n = ref 0 in
+        while !n < max && not (Queue.is_empty t.q) do
+          out := Queue.pop t.q :: !out;
+          incr n
+        done;
+        List.rev !out)
+  in
+  gauge_depth t (float_of_int (length t));
+  items

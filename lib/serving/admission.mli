@@ -1,0 +1,30 @@
+(** Admission control: a bounded FIFO of pending requests.
+
+    The serving loop parses requests as fast as the sockets deliver
+    them, but executes them in batches; this queue is the buffer in
+    between, and its bound is the daemon's overload valve. When the
+    queue is full, {!try_add} refuses immediately — the server answers
+    [serve.overloaded] in microseconds instead of letting latency grow
+    without bound — and counts [serve.overloaded] in telemetry.
+
+    Mutex-protected: the core server loop is single-threaded, but tests
+    and future multi-domain accept loops may probe it concurrently. *)
+
+type 'a t
+
+val create : ?telemetry:Mrsl.Telemetry.t -> capacity:int -> unit -> 'a t
+(** [capacity] must be [>= 1] ([Invalid_argument] otherwise).
+    [telemetry] (default {!Mrsl.Telemetry.global}) receives the
+    [serve.overloaded] counter and the [serve.queue_depth] gauge. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val try_add : 'a t -> 'a -> bool
+(** Enqueue, or return [false] without blocking when the queue is at
+    capacity (counted as [serve.overloaded]). Updates the
+    [serve.queue_depth] gauge either way. *)
+
+val drain : max:int -> 'a t -> 'a list
+(** Dequeue up to [max] items, oldest first ([max >= 0]; an empty list
+    when the queue is empty). Updates the [serve.queue_depth] gauge. *)

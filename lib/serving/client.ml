@@ -1,0 +1,72 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let sockaddr = function
+  | Protocol.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Protocol.Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+
+let connect endpoint =
+  let domain, addr = sockaddr endpoint in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_retry ?(attempts = 100) ?(delay = 0.05) endpoint =
+  let rec go n =
+    match connect endpoint with
+    | t -> t
+    | exception e -> if n <= 1 then raise e else (Unix.sleepf delay; go (n - 1))
+  in
+  go (max 1 attempts)
+
+let close t =
+  (* close_out would flush and close the shared fd; closing the fd once
+     is enough and never raises on a peer reset. *)
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t line =
+  output_string t.oc line;
+  if not (String.length line > 0 && line.[String.length line - 1] = '\n') then
+    output_char t.oc '\n';
+  flush t.oc
+
+let send t req = send_raw t (Protocol.request_to_line req)
+let recv t = input_line t.ic
+
+let rpc t req =
+  send t req;
+  recv t
+
+let scrape_metrics endpoint =
+  let t = connect endpoint in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      output_string t.oc "GET /metrics HTTP/1.0\r\n\r\n";
+      flush t.oc;
+      let status = input_line t.ic in
+      if not (String.length status >= 12 && String.sub status 9 3 = "200") then
+        failwith (Printf.sprintf "metrics scrape failed: %s" (String.trim status));
+      (* Skip headers up to the blank line, then read the body to EOF. *)
+      let rec skip_headers () =
+        match String.trim (input_line t.ic) with
+        | "" -> ()
+        | _ -> skip_headers ()
+      in
+      skip_headers ();
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf t.ic 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf)

@@ -1,0 +1,39 @@
+(** Blocking client for the [mrsl serve] protocol.
+
+    One connection, synchronous line-at-a-time I/O — the scripting and
+    testing counterpart of the nonblocking server. {!send} and {!recv}
+    are split (rather than fused into one RPC call) so tests and
+    benches can pipeline: write a burst of requests, then read the
+    burst of responses — which is exactly what makes the server batch
+    them into one engine call. *)
+
+type t
+
+val connect : Protocol.endpoint -> t
+(** Raises [Unix.Unix_error] when nobody is listening. *)
+
+val connect_retry : ?attempts:int -> ?delay:float -> Protocol.endpoint -> t
+(** Retry [connect] up to [attempts] (default 100) times, sleeping
+    [delay] (default 0.05 s) between tries — for racing a server that
+    is still binding its socket. Re-raises the last error. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+(** Write one encoded request line and flush. *)
+
+val send_raw : t -> string -> unit
+(** Write an arbitrary line (plus ["\n"] unless already terminated) and
+    flush — for driving the server with malformed input. *)
+
+val recv : t -> string
+(** Read one response line (without the terminator). Raises
+    [End_of_file] when the server closed the connection. *)
+
+val rpc : t -> Protocol.request -> string
+(** [send] then [recv]. *)
+
+val scrape_metrics : Protocol.endpoint -> string
+(** Open a fresh connection, issue [GET /metrics HTTP/1.0], and return
+    the response {e body} (the Prometheus exposition). Raises [Failure]
+    on a non-200 status. *)

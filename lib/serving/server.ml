@@ -1,0 +1,307 @@
+let src = Logs.Src.create "mrsl.serve" ~doc:"mrsl serving daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  endpoint : Protocol.endpoint;
+  batch_max : int;
+  queue_capacity : int;
+  max_frame : int;
+  tick : float;
+}
+
+let default_config endpoint =
+  {
+    endpoint;
+    batch_max = 64;
+    queue_capacity = 1024;
+    max_frame = Protocol.Framing.default_max_frame;
+    tick = 0.05;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  framing : Protocol.Framing.t;
+  out : Buffer.t;
+  mutable http : bool;  (** answered as HTTP — ignore further input *)
+  mutable close_after_flush : bool;
+}
+
+type item = { conn : conn; req : Protocol.request; enqueued_at : float }
+
+let overloaded_error =
+  Mrsl.Error.make Mrsl.Error.Scheduler ~code:"serve.overloaded"
+    "server overloaded — request queue is full, retry later"
+
+let shutting_down_error =
+  Mrsl.Error.make Mrsl.Error.Scheduler ~code:"serve.shutting_down"
+    "server is shutting down"
+
+let truncated_error =
+  Mrsl.Error.make Mrsl.Error.Input ~code:"protocol.truncated"
+    "connection closed mid-frame"
+
+let bind_listener endpoint =
+  let fd =
+    match endpoint with
+    | Protocol.Unix_socket path ->
+        (* A dead server leaves its socket file behind; a live one holds
+           the listen — refuse to steal it. *)
+        (match (Unix.lstat path).st_kind with
+        | Unix.S_SOCK -> (
+            let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () ->
+                Unix.close probe;
+                failwith
+                  (Printf.sprintf "another server is listening on %s" path)
+            | exception Unix.Unix_error _ ->
+                Unix.close probe;
+                Unix.unlink path)
+        | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Protocol.Tcp (host, port) ->
+        let addr =
+          try (Unix.gethostbyname host).h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_of_string host
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        fd
+  in
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let http_path line =
+  (* "GET /metrics HTTP/1.1" -> "/metrics" *)
+  match String.split_on_char ' ' line with
+  | _ :: path :: _ -> path
+  | _ -> "/"
+
+let run ?stop ?hup ?on_ready config engine =
+  let telemetry = Engine.telemetry engine in
+  let queue =
+    Admission.create ~telemetry ~capacity:config.queue_capacity ()
+  in
+  let listener = bind_listener config.endpoint in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 32 in
+  let stopping = ref false in
+  (* Graceful-drain bound: a peer that stops reading must not be able to
+     wedge shutdown behind its unflushable response buffer. *)
+  let drain_deadline = ref infinity in
+  let begin_stopping () =
+    if not !stopping then begin
+      stopping := true;
+      drain_deadline := Unix.gettimeofday () +. 5.0
+    end
+  in
+  let closed = ref [] in
+  let close_conn conn =
+    if Hashtbl.mem conns conn.fd then begin
+      Hashtbl.remove conns conn.fd;
+      closed := conn.fd :: !closed;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let send conn line = Buffer.add_string conn.out line in
+  let handle_http conn line =
+    conn.http <- true;
+    conn.close_after_flush <- true;
+    match http_path line with
+    | "/metrics" ->
+        Mrsl.Telemetry.incr telemetry "serve.metrics_scrapes";
+        send conn
+          (Protocol.http_metrics_response
+             (Mrsl.Trace.prometheus_exposition telemetry))
+    | _ -> send conn Protocol.http_not_found_response
+  in
+  let handle_line conn line =
+    if not conn.http then
+      if Protocol.is_http_get line then handle_http conn line
+      else if String.trim line = "" then ()
+      else
+        match Protocol.parse_request line with
+        | Error e ->
+            Mrsl.Telemetry.incr telemetry "serve.errors";
+            send conn (Protocol.error_line e)
+        | Ok req ->
+            if !stopping then begin
+              Mrsl.Telemetry.incr telemetry "serve.errors";
+              send conn (Protocol.error_line ?id:req.id shutting_down_error)
+            end
+            else if
+              not
+                (Admission.try_add queue
+                   { conn; req; enqueued_at = Unix.gettimeofday () })
+            then send conn (Protocol.error_line ?id:req.id overloaded_error)
+  in
+  let read_buf = Bytes.create 65536 in
+  let handle_readable conn =
+    match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_conn conn
+    | 0 ->
+        (* EOF; a half-assembled frame means the peer truncated it. *)
+        if Protocol.Framing.pending conn.framing > 0 && not conn.http then begin
+          Mrsl.Telemetry.incr telemetry "serve.errors";
+          Log.warn (fun m -> m "%a" Mrsl.Error.pp truncated_error)
+        end;
+        (* Responses already queued for this connection can no longer be
+           read by anyone if the peer fully closed; keep flushing anyway
+           in case it only shut down its write side. *)
+        if Buffer.length conn.out = 0 then close_conn conn
+        else conn.close_after_flush <- true
+    | n -> (
+        match Protocol.Framing.feed conn.framing (Bytes.sub_string read_buf 0 n) with
+        | Ok lines -> List.iter (handle_line conn) lines
+        | Error e ->
+            Mrsl.Telemetry.incr telemetry "serve.errors";
+            send conn (Protocol.error_line e);
+            conn.close_after_flush <- true)
+  in
+  let handle_writable conn =
+    let data = Buffer.contents conn.out in
+    let len = String.length data in
+    if len > 0 then begin
+      match Unix.write_substring conn.fd data 0 len with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> close_conn conn
+      | written ->
+          Buffer.clear conn.out;
+          if written < len then
+            Buffer.add_substring conn.out data written (len - written)
+    end;
+    if Buffer.length conn.out = 0 && conn.close_after_flush then close_conn conn
+  in
+  let accept_all () =
+    let continue = ref (not !stopping) in
+    while !continue do
+      match Unix.accept listener with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          Mrsl.Telemetry.incr telemetry "serve.connections";
+          Hashtbl.replace conns fd
+            {
+              fd;
+              framing = Protocol.Framing.create ~max_frame:config.max_frame ();
+              out = Buffer.create 256;
+              http = false;
+              close_after_flush = false;
+            }
+    done
+  in
+  let run_batch () =
+    match Admission.drain ~max:config.batch_max queue with
+    | [] -> ()
+    | batch ->
+        let reqs = List.map (fun item -> item.req) batch in
+        let lines = Engine.handle_batch engine reqs in
+        let finished = Unix.gettimeofday () in
+        List.iter2
+          (fun item line ->
+            Mrsl.Telemetry.observe telemetry "serve.latency_seconds"
+              (Float.max 0. (finished -. item.enqueued_at));
+            if Hashtbl.mem conns item.conn.fd then begin
+              send item.conn line;
+              handle_writable item.conn
+            end)
+          batch lines;
+        if Engine.wants_shutdown reqs then begin_stopping ()
+  in
+  let maybe_reload () =
+    match hup with
+    | Some flag when Atomic.compare_and_set flag true false -> (
+        match Engine.reload engine with
+        | Ok fresh ->
+            Log.info (fun m ->
+                m "reloaded %s (epoch %d)" (Engine.model_path engine)
+                  (Mrsl.Model.epoch fresh))
+        | Error e ->
+            Mrsl.Telemetry.incr telemetry "serve.errors";
+            Log.err (fun m -> m "reload failed: %a" Mrsl.Error.pp e))
+    | _ -> ()
+  in
+  Log.info (fun m ->
+      m "serving %s on %s (epoch %d)"
+        (Engine.model_path engine)
+        (Protocol.endpoint_to_string config.endpoint)
+        (Engine.epoch engine));
+  Option.iter (fun f -> f ()) on_ready;
+  let finished () =
+    !stopping
+    && (Admission.length queue = 0
+        && Hashtbl.fold
+             (fun _ c acc -> acc && Buffer.length c.out = 0)
+             conns true
+       || Unix.gettimeofday () > !drain_deadline)
+  in
+  (try
+     while not (finished ()) do
+       (match stop with
+       | Some flag when Atomic.get flag -> begin_stopping ()
+       | _ -> ());
+       maybe_reload ();
+       let read_fds =
+         (if !stopping then [] else [ listener ])
+         @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+       in
+       let write_fds =
+         Hashtbl.fold
+           (fun fd c acc -> if Buffer.length c.out > 0 then fd :: acc else acc)
+           conns []
+       in
+       let readable, writable, _ =
+         try Unix.select read_fds write_fds [] config.tick
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       closed := [];
+       if List.mem listener readable then accept_all ();
+       List.iter
+         (fun fd ->
+           if fd <> listener && not (List.mem fd !closed) then
+             match Hashtbl.find_opt conns fd with
+             | Some conn -> handle_readable conn
+             | None -> ())
+         readable;
+       run_batch ();
+       List.iter
+         (fun fd ->
+           if not (List.mem fd !closed) then
+             match Hashtbl.find_opt conns fd with
+             | Some conn -> handle_writable conn
+             | None -> ())
+         writable;
+       (* Graceful drain must not wait on select ticks: while stopping,
+          flush every pending buffer eagerly. *)
+       if !stopping then
+         Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+         |> List.iter (fun c ->
+                if Buffer.length c.out > 0 then handle_writable c)
+     done
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     (match config.endpoint with
+     | Protocol.Unix_socket path -> (
+         try Unix.unlink path with Unix.Unix_error _ -> ())
+     | Protocol.Tcp _ -> ());
+     raise e);
+  Hashtbl.fold (fun _ c acc -> c :: acc) conns [] |> List.iter close_conn;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (match config.endpoint with
+  | Protocol.Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ());
+  Log.info (fun m -> m "shut down cleanly")

@@ -1,0 +1,53 @@
+(** The [mrsl serve] event loop: sockets, batching, admission, swap.
+
+    A single-threaded [Unix.select] loop (inference parallelism lives
+    inside {!Engine} via {!Mrsl.Parallel}'s domain pool, so the
+    transport needs no threads): accept connections on one endpoint,
+    reassemble line frames per connection ({!Protocol.Framing}), push
+    parsed requests through the bounded {!Admission} queue, and — once
+    per loop iteration — drain up to [batch_max] of them into one
+    {!Engine.handle_batch} call. Batching is what lets the posterior
+    cache's prewarm dedup identical concurrent requests from different
+    clients into one computation.
+
+    Overload ({!Admission.try_add} refusal) is answered immediately
+    with a [Scheduler/serve.overloaded] error line — the client learns
+    in microseconds instead of waiting behind an unbounded queue.
+
+    A connection whose first frame is an HTTP GET line is answered as
+    HTTP and closed: [GET /metrics] returns the live Prometheus
+    exposition of the engine's telemetry registry
+    ({!Mrsl.Trace.prometheus_exposition}, counted as
+    [serve.metrics_scrapes]); any other path returns 404.
+
+    Shutdown — a [shutdown] request, [Atomic.set stop true], or (as
+    wired by the CLI) SIGTERM/SIGINT — is graceful: the listener closes
+    first, every queued request is still answered, every response
+    buffer is flushed, and a Unix-socket path is unlinked. A raised
+    [hup] flag (SIGHUP under the CLI) triggers {!Engine.reload} between
+    batches; in-flight requests are never dropped by the swap. *)
+
+type config = {
+  endpoint : Protocol.endpoint;
+  batch_max : int;  (** max requests drained into one engine batch *)
+  queue_capacity : int;  (** admission bound *)
+  max_frame : int;  (** per-connection line bound, bytes *)
+  tick : float;  (** select timeout, seconds — stop/hup poll latency *)
+}
+
+val default_config : Protocol.endpoint -> config
+(** [batch_max = 64], [queue_capacity = 1024],
+    [max_frame = Protocol.Framing.default_max_frame], [tick = 0.05]. *)
+
+val run :
+  ?stop:bool Atomic.t ->
+  ?hup:bool Atomic.t ->
+  ?on_ready:(unit -> unit) ->
+  config ->
+  Engine.t ->
+  unit
+(** Serve until shut down. [on_ready] fires once the endpoint is bound
+    and listening (tests and benches connect from another domain on
+    it). [stop] forces a graceful shutdown when set; [hup] is consumed
+    (reset to [false]) and triggers a model reload. Raises
+    [Unix.Unix_error] when the endpoint cannot be bound. *)

@@ -20,6 +20,7 @@ let () =
       ("queries", Test_queries.suite);
       ("faults", Test_faults.suite);
       ("cache", Test_cache.suite);
+      ("serving", Test_serving.suite);
       ("stress", Test_stress.suite);
       ("drivers", Test_drivers.suite);
       ("quality", Test_quality.suite);

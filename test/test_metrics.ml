@@ -88,6 +88,18 @@ let registry_names =
     "quality.voters.root_only";
     "quality.voters.root_only_share";
     "quality.voters.specificity";
+    "serve.batch";
+    "serve.batch_size";
+    "serve.batches";
+    "serve.connections";
+    "serve.epoch";
+    "serve.errors";
+    "serve.latency_seconds";
+    "serve.metrics_scrapes";
+    "serve.overloaded";
+    "serve.queue_depth";
+    "serve.reloads";
+    "serve.requests";
     "workload.recorded";
     "workload.run";
     "workload.shared";
@@ -98,7 +110,7 @@ let registry_names =
 let trace_categories =
   [
     "cache"; "dag"; "gibbs"; "io"; "lattice"; "learn"; "mine"; "quality";
-    "sched"; "share"; "steal"; "voting";
+    "sched"; "serve"; "share"; "steal"; "voting";
   ]
 
 let trace_event_names =
@@ -122,6 +134,8 @@ let trace_event_names =
     "quality.drift.alert";
     "quality.scores";
     "quality.shadow_eval";
+    "serve.batch";
+    "serve.reload";
     "share.donate";
     "steal";
     "task.run";

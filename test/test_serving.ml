@@ -1,0 +1,361 @@
+(* Serving-layer suite (serving daemon PR).
+
+   Everything here drives the daemon's components in-process — protocol
+   codec, frame assembly, admission queue, engine batching — without a
+   socket; ci/run.sh's serve pass covers the real transport end to end.
+   Each engine gets a private telemetry registry so assertions on
+   serve.* counters are isolated from other suites. *)
+
+module P = Serving.Protocol
+module T = Mrsl.Telemetry
+module Json = T.Json
+
+let counter telemetry name =
+  match List.assoc_opt name (T.snapshot_counters telemetry) with
+  | Some n -> n
+  | None -> 0
+
+let model =
+  (* a0 -> a1 functional dependency, independent a2; cheap to learn and
+     fully deterministic. Shared: Model.epoch is per-construction, and
+     two engines must share an epoch for response lines to compare
+     equal. *)
+  lazy
+    (Mrsl.Model.learn_points
+       ~params:
+         { Mrsl.Model.default_params with support_threshold = 0.01 }
+       Helpers.dependent_schema
+       (Helpers.dependent_points 300))
+
+let engine_config =
+  {
+    Serving.Engine.default_config with
+    seed = 2011;
+    gibbs = { Mrsl.Gibbs.burn_in = 10; samples = 40 };
+  }
+
+let fresh_engine ?model_path () =
+  let telemetry = T.create () in
+  let engine =
+    Serving.Engine.of_model ~telemetry ~config:engine_config ?model_path
+      (Lazy.force model)
+  in
+  (engine, telemetry)
+
+let infer ?id labels = { P.id; op = P.Infer labels }
+let single = [| None; Some "v0"; Some "v1" |]
+
+let response_json line =
+  match Json.of_string (String.trim line) with
+  | Json.Obj fields -> fields
+  | _ -> Alcotest.failf "response is not a JSON object: %s" line
+
+let response_ok line =
+  List.assoc_opt "ok" (response_json line) = Some (Json.Bool true)
+
+let response_error_code line =
+  match List.assoc_opt "error" (response_json line) with
+  | Some (Json.Obj err) -> (
+      match List.assoc_opt "code" err with
+      | Some (Json.String c) -> c
+      | _ -> Alcotest.failf "error without code: %s" line)
+  | _ -> Alcotest.failf "expected an error response: %s" line
+
+let response_epoch line =
+  match List.assoc_opt "epoch" (response_json line) with
+  | Some (Json.Int e) -> e
+  | _ -> Alcotest.failf "response without epoch: %s" line
+
+(* --- protocol -------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let ops =
+    [
+      P.Ping;
+      P.Stats;
+      P.Shutdown;
+      P.Reload None;
+      P.Reload (Some "swap.mrsl");
+      P.Infer [| Some "v1"; None; Some "v0" |];
+      P.Infer [| None; None; None |];
+    ]
+  in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun id ->
+          let req = { P.id; op } in
+          let line = P.request_to_line req in
+          Alcotest.(check bool)
+            "line is newline-terminated" true
+            (String.length line > 0 && line.[String.length line - 1] = '\n');
+          match P.parse_request (String.trim line) with
+          | Ok req' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "round-trip %s" (String.trim line))
+                true (req = req')
+          | Error e ->
+              Alcotest.failf "round-trip failed: %s" (Mrsl.Error.to_string e))
+        [ None; Some (Json.Int 7); Some (Json.String "req-a") ])
+    ops
+
+let test_protocol_errors () =
+  let code line =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "expected a parse failure: %s" line
+    | Error e -> e.Mrsl.Error.code
+  in
+  Alcotest.(check string)
+    "malformed JSON" "protocol.parse" (code "this is not json");
+  Alcotest.(check string) "not an object" "protocol.parse" (code "[1,2]");
+  Alcotest.(check string)
+    "unknown op" "protocol.bad_request"
+    (code {|{"op":"zap"}|});
+  Alcotest.(check string)
+    "missing op" "protocol.bad_request" (code {|{"id":3}|});
+  Alcotest.(check string)
+    "malformed tuple" "protocol.bad_request"
+    (code {|{"op":"infer","tuple":"nope"}|});
+  (* the id of a broken request survives into the error line so a
+     pipelining client can still correlate it *)
+  (match P.parse_request {|{"id":41,"op":"zap"}|} with
+  | Ok _ -> Alcotest.fail "expected a failure"
+  | Error e ->
+      let line = P.error_line e in
+      Alcotest.(check bool)
+        "id echoed in error line" true
+        (Astring_like.contains line {|"id":41|});
+      Alcotest.(check bool) "marked not ok" false (response_ok line));
+  (* error lines always parse back as JSON *)
+  match P.parse_request "{{{" with
+  | Ok _ -> Alcotest.fail "expected a failure"
+  | Error e -> ignore (response_json (P.error_line e))
+
+let test_framing () =
+  let f = P.Framing.create () in
+  (match P.Framing.feed f "a\nbb\r\nc" with
+  | Ok frames ->
+      Alcotest.(check (list string)) "two frames, CRLF stripped"
+        [ "a"; "bb" ] frames
+  | Error e -> Alcotest.failf "feed failed: %s" (Mrsl.Error.to_string e));
+  Alcotest.(check int) "partial frame pending" 1 (P.Framing.pending f);
+  (match P.Framing.feed f "d\n" with
+  | Ok frames ->
+      Alcotest.(check (list string)) "split frame reassembled" [ "cd" ] frames
+  | Error e -> Alcotest.failf "feed failed: %s" (Mrsl.Error.to_string e));
+  Alcotest.(check int) "nothing pending" 0 (P.Framing.pending f)
+
+let test_framing_oversize () =
+  let f = P.Framing.create ~max_frame:8 () in
+  (match P.Framing.feed f "123456789" with
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+  | Error e ->
+      Alcotest.(check string)
+        "oversize code" "protocol.oversized" e.Mrsl.Error.code);
+  (* poisoned: even a small follow-up chunk keeps erroring *)
+  match P.Framing.feed f "x\n" with
+  | Ok _ -> Alcotest.fail "poisoned framing accepted a frame"
+  | Error e ->
+      Alcotest.(check string)
+        "still poisoned" "protocol.oversized" e.Mrsl.Error.code
+
+(* --- admission ------------------------------------------------------- *)
+
+let test_admission () =
+  let telemetry = T.create () in
+  let q = Serving.Admission.create ~telemetry ~capacity:2 () in
+  Alcotest.(check int) "capacity" 2 (Serving.Admission.capacity q);
+  Alcotest.(check bool) "first accepted" true (Serving.Admission.try_add q "a");
+  Alcotest.(check bool) "second accepted" true (Serving.Admission.try_add q "b");
+  Alcotest.(check bool) "third refused" false (Serving.Admission.try_add q "c");
+  Alcotest.(check int) "refusal counted" 1 (counter telemetry "serve.overloaded");
+  Alcotest.(check int) "length" 2 (Serving.Admission.length q);
+  Alcotest.(check (list string))
+    "drain is FIFO" [ "a" ]
+    (Serving.Admission.drain ~max:1 q);
+  Alcotest.(check bool)
+    "slot freed" true (Serving.Admission.try_add q "c");
+  Alcotest.(check (list string))
+    "drain the rest in order" [ "b"; "c" ]
+    (Serving.Admission.drain ~max:10 q);
+  Alcotest.(check (list string))
+    "empty drain" [] (Serving.Admission.drain ~max:10 q)
+
+(* --- engine ---------------------------------------------------------- *)
+
+let test_engine_batch_dedup () =
+  let engine, telemetry = fresh_engine () in
+  let reqs = List.init 8 (fun i -> infer ~id:(Json.Int i) single) in
+  let responses = Serving.Engine.handle_batch engine reqs in
+  Alcotest.(check int) "one response per request" 8 (List.length responses);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "served ok" true (response_ok line);
+      Alcotest.(check bool)
+        "exact single-missing path" true
+        (Astring_like.contains line {|"mode":"exact"|}))
+    responses;
+  (* identical concurrent requests pay one computation *)
+  let stats = Mrsl.Posterior_cache.stats (Serving.Engine.cache engine) in
+  Alcotest.(check int)
+    "dedup fan-out" 7 stats.Mrsl.Posterior_cache.dedup_fanout;
+  Alcotest.(check int) "requests counted" 8 (counter telemetry "serve.requests");
+  Alcotest.(check int) "one batch" 1 (counter telemetry "serve.batches");
+  (* batch composition does not leak into the payload: a later singleton
+     request for the same tuple is byte-identical *)
+  let solo = Serving.Engine.handle_request engine (infer ~id:(Json.Int 0) single) in
+  Alcotest.(check string) "batch vs solo" (List.hd responses) solo
+
+let test_engine_gibbs_deterministic () =
+  let engine, _ = fresh_engine () in
+  let req = infer [| None; None; Some "v1" |] in
+  let first = Serving.Engine.handle_request engine req in
+  let second = Serving.Engine.handle_request engine req in
+  Alcotest.(check bool) "served ok" true (response_ok first);
+  Alcotest.(check bool)
+    "multi-missing goes through Gibbs" true
+    (Astring_like.contains first {|"mode":"gibbs"|});
+  Alcotest.(check string) "repeat is bit-identical" first second
+
+let test_engine_request_errors () =
+  let engine, telemetry = fresh_engine () in
+  let code labels =
+    response_error_code
+      (Serving.Engine.handle_request engine (infer labels))
+  in
+  Alcotest.(check string)
+    "complete tuple refused" "serve.complete_tuple"
+    (code [| Some "v0"; Some "v0"; Some "v1" |]);
+  Alcotest.(check string)
+    "arity mismatch" "serve.bad_tuple" (code [| None; Some "v0" |]);
+  Alcotest.(check string)
+    "unknown label" "serve.bad_tuple"
+    (code [| None; Some "v0"; Some "purple" |]);
+  Alcotest.(check int) "errors counted" 3 (counter telemetry "serve.errors");
+  (* shutdown is acknowledged in-band; the transport decision is the
+     server loop's, via wants_shutdown *)
+  let bye =
+    Serving.Engine.handle_request engine { P.id = None; op = P.Shutdown }
+  in
+  Alcotest.(check bool) "shutdown acked" true (response_ok bye);
+  Alcotest.(check bool)
+    "wants_shutdown" true
+    (Serving.Engine.wants_shutdown [ { P.id = None; op = P.Shutdown } ]);
+  Alcotest.(check bool)
+    "plain batch does not" false
+    (Serving.Engine.wants_shutdown [ infer single ])
+
+let with_saved_model f =
+  let path = Filename.temp_file "mrsl_serving_test" ".mrsl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Mrsl.Model_io.save path (Lazy.force model);
+      f path)
+
+let test_engine_epoch_swap () =
+  with_saved_model @@ fun path ->
+  let engine, telemetry = fresh_engine ~model_path:path () in
+  let before = Serving.Engine.handle_request engine (infer single) in
+  let stats () = Mrsl.Posterior_cache.stats (Serving.Engine.cache engine) in
+  Alcotest.(check bool)
+    "cache warmed" true ((stats ()).Mrsl.Posterior_cache.entries > 0);
+  let epoch0 = Serving.Engine.epoch engine in
+  (match Serving.Engine.reload engine with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "reload failed: %s" (Mrsl.Error.to_string e));
+  Alcotest.(check bool)
+    "epoch advanced" true
+    (Serving.Engine.epoch engine <> epoch0);
+  Alcotest.(check int) "reload counted" 1 (counter telemetry "serve.reloads");
+  (* the stale generation is dropped eagerly — nothing keyed to the old
+     epoch can ever be served again *)
+  Alcotest.(check int)
+    "stale cache generation dropped" 0
+    (stats ()).Mrsl.Posterior_cache.entries;
+  (* same model file, so the posterior payload is unchanged — only the
+     epoch stamp moves *)
+  let after = Serving.Engine.handle_request engine (infer single) in
+  let strip line =
+    Json.to_string ~pretty:false
+      (Json.Obj
+         (List.filter (fun (k, _) -> k <> "epoch") (response_json line)))
+  in
+  Alcotest.(check string) "payload stable across swap" (strip before)
+    (strip after);
+  Alcotest.(check bool)
+    "epoch stamp moved" true
+    (response_epoch before <> response_epoch after)
+
+let test_engine_reload_failures () =
+  with_saved_model @@ fun path ->
+  let engine, telemetry = fresh_engine ~model_path:path () in
+  let epoch0 = Serving.Engine.epoch engine in
+  (match Serving.Engine.reload ~path:"/nonexistent/model.mrsl" engine with
+  | Ok _ -> Alcotest.fail "reload of a missing file succeeded"
+  | Error e ->
+      Alcotest.(check string) "load failure code" "serve.reload"
+        e.Mrsl.Error.code);
+  (* a schema change is refused: live clients hold tuples shaped by the
+     old schema *)
+  let other_path = Filename.temp_file "mrsl_serving_other" ".mrsl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove other_path with Sys_error _ -> ())
+    (fun () ->
+      let other =
+        Mrsl.Model.learn
+          ~params:
+            { Mrsl.Model.default_params with support_threshold = 0.01 }
+          (Helpers.fig1_relation ())
+      in
+      Mrsl.Model_io.save other_path other;
+      match Serving.Engine.reload ~path:other_path engine with
+      | Ok _ -> Alcotest.fail "schema-changing reload succeeded"
+      | Error e ->
+          Alcotest.(check string) "schema guard code" "serve.reload_schema"
+            e.Mrsl.Error.code);
+  (* both failures left the old model serving *)
+  Alcotest.(check int) "epoch unchanged" epoch0 (Serving.Engine.epoch engine);
+  Alcotest.(check int)
+    "no swap counted" 0
+    (counter telemetry "serve.reloads");
+  Alcotest.(check bool)
+    "still serving" true
+    (response_ok (Serving.Engine.handle_request engine (infer single)))
+
+let test_engine_batch_reload_segments () =
+  with_saved_model @@ fun path ->
+  let engine, _ = fresh_engine ~model_path:path () in
+  let batch =
+    [
+      infer ~id:(Json.Int 0) single;
+      { P.id = Some (Json.Int 1); op = P.Reload None };
+      infer ~id:(Json.Int 2) single;
+    ]
+  in
+  match Serving.Engine.handle_batch engine batch with
+  | [ r0; r1; r2 ] ->
+      Alcotest.(check bool) "pre-swap request served" true (response_ok r0);
+      Alcotest.(check bool) "reload acked" true (response_ok r1);
+      Alcotest.(check bool) "post-swap request served" true (response_ok r2);
+      (* the swap lands between the two infer requests: the first is
+         answered by the old model's epoch, the second by the new one *)
+      Alcotest.(check bool)
+        "epochs straddle the swap" true
+        (response_epoch r0 <> response_epoch r2)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+let suite =
+  [
+    ("protocol round-trip", `Quick, test_protocol_roundtrip);
+    ("protocol structured errors", `Quick, test_protocol_errors);
+    ("framing reassembly", `Quick, test_framing);
+    ("framing oversize poisons", `Quick, test_framing_oversize);
+    ("admission bound + FIFO", `Quick, test_admission);
+    ("batch dedups identical requests", `Quick, test_engine_batch_dedup);
+    ("gibbs requests deterministic", `Quick, test_engine_gibbs_deterministic);
+    ("request errors structured", `Quick, test_engine_request_errors);
+    ("epoch swap invalidates cache", `Quick, test_engine_epoch_swap);
+    ("reload failures keep serving", `Quick, test_engine_reload_failures);
+    ("reload splits a batch", `Quick, test_engine_batch_reload_segments);
+  ]
