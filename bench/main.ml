@@ -58,6 +58,7 @@ let section_rows : (string * float) list ref = ref []
 let parallel_block : Json.t option ref = ref None
 let cache_block : Json.t option ref = ref None
 let serve_block : Json.t option ref = ref None
+let chaos_block : Json.t option ref = ref None
 
 let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
 
@@ -396,6 +397,9 @@ let write_bench_json () =
     @ (match !serve_block with
       | Some block -> [ ("serve", block) ]
       | None -> [])
+    @ (match !chaos_block with
+      | Some block -> [ ("serve_chaos", block) ]
+      | None -> [])
     @ [ ("telemetry", Mrsl.Telemetry.to_json Mrsl.Telemetry.global) ]
   in
   let oc = open_out bench_out in
@@ -486,7 +490,8 @@ let render_faults rng =
     if Mrsl.Fault_inject.active () then Mrsl.Fault_inject.current ()
     else
       {
-        Mrsl.Fault_inject.seed;
+        Mrsl.Fault_inject.disabled with
+        seed;
         task_failure_rate = 0.25;
         csv_corruption_rate = 0.25;
         nonconvergence_rate = 1.0;
@@ -632,11 +637,9 @@ let render_quality rng =
   | first :: rest ->
       Mrsl.Fault_inject.with_config
         {
-          Mrsl.Fault_inject.seed;
-          task_failure_rate = 0.;
-          csv_corruption_rate = 0.;
+          Mrsl.Fault_inject.disabled with
+          seed;
           nonconvergence_rate = 1.0;
-          voter_drop_rate = 0.;
         }
         (fun () ->
           ignore
@@ -893,11 +896,7 @@ let render_serve rng =
           in
           let requests =
             Array.map
-              (fun t ->
-                {
-                  Serving.Protocol.id = None;
-                  op = Serving.Protocol.Infer (to_labels t);
-                })
+              (fun t -> Serving.Protocol.(req (Infer (to_labels t))))
               masked
           in
           let nth i = requests.(i mod Array.length requests) in
@@ -965,8 +964,7 @@ let render_serve rng =
           for i = 0 to 7 do
             Serving.Client.send client (nth i)
           done;
-          Serving.Client.send client
-            { Serving.Protocol.id = None; op = Serving.Protocol.Reload None };
+          Serving.Client.send client Serving.Protocol.(req (Reload None));
           for i = 8 to 15 do
             Serving.Client.send client (nth i)
           done;
@@ -1014,6 +1012,322 @@ let render_serve rng =
                    ("epoch_before", Json.Int epoch_before);
                    ("epoch_after", Json.Int epoch_after);
                  ])));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Serving chaos harness: the same in-process daemon pattern as the
+   serve artifact, but configured hostile-small (tiny queue, connection
+   cap, aggressive idle reaper, low output ceiling) and then attacked:
+   an accept storm past the cap, a slow-loris half frame, a peer that
+   stops reading under injected write stalls, a zero-budget deadline,
+   an overload burst deep enough to trip the cache-only rung, and a
+   torn-frame + connection-drop injection run driven through the
+   retrying client — whose surviving answers must stay bit-identical
+   to a local reference engine. The daemon must stay live through all
+   of it. Counters land in the global registry, where the CI chaos
+   pass --require-counter's every defense. *)
+
+let render_chaos rng =
+  let buf = Buffer.create 512 in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let entry = Bayesnet.Catalog.find "BN8" in
+  let network = Bayesnet.Network.generate rng entry.topology in
+  let train = Bayesnet.Network.sample_instance rng network 800 in
+  let model =
+    Mrsl.Model.learn
+      ~params:{ Mrsl.Model.default_params with support_threshold = 0.02 }
+      train
+  in
+  let model_path = Filename.temp_file "mrsl-chaos-model" ".mrsl" in
+  Mrsl.Model_io.save model_path model;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrsl-chaos-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Serving.Protocol.Unix_socket sock in
+  let config =
+    {
+      Serving.Engine.default_config with
+      seed;
+      gibbs = { Mrsl.Gibbs.burn_in = 10; samples = 50 };
+    }
+  in
+  (* Global registry on purpose, like render_serve: the serve.* and
+     fault.injected.* counters must land in the BENCH telemetry
+     snapshot for the chaos gate. *)
+  let engine = Serving.Engine.create ~config ~model_path () in
+  (* The uninjected reference for survivor bit-identity, on a private
+     registry so its traffic never pollutes the gated counters. *)
+  let local =
+    Serving.Engine.create
+      ~telemetry:(Mrsl.Telemetry.create ())
+      ~config ~model_path ()
+  in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let server_config =
+    {
+      (Serving.Server.default_config endpoint) with
+      tick = 0.005;
+      batch_max = 8;
+      queue_capacity = 64;
+      max_conns = 4;
+      idle_timeout = 0.3;
+      out_buf_max = 2048;
+      shed_watermark = 0.75;
+    }
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Serving.Server.run ~stop
+          ~on_ready:(fun () -> Atomic.set ready true)
+          server_config engine)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server;
+      Sys.remove model_path)
+    (fun () ->
+      let schema = Mrsl.Model.schema model in
+      let masked =
+        Relation.Instance.tuples
+          (Relation.Instance.mask_exact rng ~missing:1
+             (Bayesnet.Network.sample_instance rng network 64))
+      in
+      let to_labels tup =
+        Array.mapi
+          (fun a cell ->
+            Option.map
+              (fun v ->
+                Relation.Attribute.value_label
+                  (Relation.Schema.attribute schema a)
+                  v)
+              cell)
+          tup
+      in
+      let infer_op i =
+        Serving.Protocol.Infer (to_labels masked.(i mod Array.length masked))
+      in
+      let error_code line =
+        match Json.of_string line with
+        | j -> (
+            match Json.member "error" j with
+            | Some e -> (
+                match Json.member "code" e with
+                | Some (Json.String c) -> Some c
+                | _ -> None)
+            | None -> None)
+        | exception Json.Parse_error _ -> None
+      in
+      (* Epoch-stripped payload, as `mrsl client verify` compares:
+         model epochs are process-unique by construction. *)
+      let payload line =
+        match Json.of_string line with
+        | Json.Obj fields ->
+            Json.to_string ~pretty:false
+              (Json.Obj (List.filter (fun (k, _) -> k <> "epoch") fields))
+        | j -> Json.to_string ~pretty:false j
+        | exception Json.Parse_error _ -> line
+      in
+      (* A connection both admitted and alive: the accept storm and the
+         reaper phases leave corpses the server only collects on its
+         next tick, so a bare connect may be rejected off the cap. *)
+      let rec fresh_conn ?(tries = 100) () =
+        let c = Serving.Client.connect ~timeout:5. endpoint in
+        match Serving.Client.rpc c Serving.Protocol.(req Ping) with
+        | line when error_code line = None -> c
+        | _ | (exception End_of_file) ->
+            Serving.Client.close c;
+            if tries = 0 then failwith "chaos: no live connection obtainable";
+            Unix.sleepf 0.02;
+            fresh_conn ~tries:(tries - 1) ()
+      in
+      (* Phase 1 — accept storm: 12 connects against max_conns = 4. The
+         overflow must be rejected with one structured line each; the
+         admitted-but-silent rest must be reaped by the idle killer. *)
+      let storm = 12 in
+      let conns =
+        List.init storm (fun _ -> Serving.Client.connect ~timeout:3. endpoint)
+      in
+      let rejected = ref 0 and reaped = ref 0 in
+      List.iter
+        (fun c ->
+          (match Serving.Client.recv c with
+          | line ->
+              if error_code line = Some "serve.conn_rejected" then
+                incr rejected
+          | exception End_of_file -> incr reaped
+          | exception Serving.Client.Timeout -> ());
+          Serving.Client.close c)
+        conns;
+      if !rejected = 0 then failwith "chaos: accept storm never rejected";
+      if !reaped = 0 then failwith "chaos: idle reaper never fired";
+      out "accept storm: %d conns -> %d rejected at the cap, %d idle-reaped"
+        storm !rejected !reaped;
+      (* Phase 2 — slow-loris: half a frame, then silence. The reaper
+         must kill it (completed frames, not bytes, reset the clock). *)
+      let sl = Serving.Client.connect ~timeout:3. endpoint in
+      Serving.Client.send_partial sl "{\"op\":\"pi";
+      (match Serving.Client.recv sl with
+      | _ -> failwith "chaos: slow-loris got a response to half a frame"
+      | exception End_of_file -> ()
+      | exception Serving.Client.Timeout ->
+          failwith "chaos: slow-loris connection was never killed");
+      Serving.Client.close sl;
+      out "slow-loris: half-frame connection killed by the idle reaper";
+      (* Phase 3 — stalled writes: every flush moves one byte while the
+         victim pipelines pings it never reads; the server must cut the
+         connection at the output ceiling, not buffer without bound. *)
+      let victim = fresh_conn () in
+      Mrsl.Fault_inject.with_config
+        { Mrsl.Fault_inject.disabled with seed; stall_write_rate = 1.0 }
+        (fun () ->
+          for _ = 1 to 200 do
+            Serving.Client.send victim Serving.Protocol.(req Ping)
+          done;
+          match Serving.Client.recv victim with
+          | _ ->
+              failwith
+                "chaos: victim outran a fully stalled write — impossible"
+          | exception End_of_file -> ()
+          | exception Serving.Client.Timeout ->
+              failwith "chaos: out-buffer ceiling never cut the victim");
+      Serving.Client.close victim;
+      out "stalled writes: non-reading peer cut at the %d-byte ceiling"
+        server_config.Serving.Server.out_buf_max;
+      (* Phase 4 — zero budget: a deadline_ms=0 request must be shed
+         with the structured deadline error, never computed. *)
+      let c = fresh_conn () in
+      let line =
+        Serving.Client.rpc c
+          (Serving.Protocol.req ~deadline_ms:0 (infer_op 0))
+      in
+      if error_code line <> Some "serve.deadline_exceeded" then
+        failwith
+          (Printf.sprintf "chaos: zero deadline answered %s" line);
+      out "deadline: zero-budget request shed with serve.deadline_exceeded";
+      (* Phase 5 — overload burst: 96 pipelined cold requests against a
+         64-deep queue. The tail must be refused (serve.overloaded),
+         the above-watermark batches must shed (serve.shed), and every
+         shed request must succeed on sequential retry. *)
+      let burst = 96 in
+      let responses = Hashtbl.create burst in
+      for i = 0 to burst - 1 do
+        Serving.Client.send c
+          (Serving.Protocol.req ~id:(Json.Int i) (infer_op i))
+      done;
+      for _ = 1 to burst do
+        let line = Serving.Client.recv c in
+        match Json.member "id" (Json.of_string line) with
+        | Some (Json.Int i) -> Hashtbl.replace responses i line
+        | _ -> failwith "chaos: burst response without an id"
+      done;
+      let shed_count = ref 0 and ok_count = ref 0 and recovered = ref 0 in
+      for i = 0 to burst - 1 do
+        let line = Hashtbl.find responses i in
+        match error_code line with
+        | None -> incr ok_count
+        | Some ("serve.shed" | "serve.overloaded") -> incr shed_count
+        | Some other ->
+            failwith (Printf.sprintf "chaos: unexpected burst error %s" other)
+      done;
+      if !shed_count = 0 then
+        failwith "chaos: overload burst never tripped the shedding ladder";
+      for i = 0 to burst - 1 do
+        if error_code (Hashtbl.find responses i) <> None then begin
+          let line =
+            Serving.Client.rpc c
+              (Serving.Protocol.req ~id:(Json.Int i) (infer_op i))
+          in
+          if error_code line <> None then
+            failwith
+              (Printf.sprintf "chaos: retry after shed still failing: %s" line)
+          else incr recovered
+        end
+      done;
+      Serving.Client.close c;
+      out
+        "overload: burst of %d -> %d answered, %d shed/refused, all %d \
+         recovered on retry"
+        burst !ok_count !shed_count !recovered;
+      (* Phase 6 — torn frames + connection drops, retried by the
+         idempotent client; every survivor must be bit-identical to the
+         uninjected local reference. *)
+      let c = fresh_conn () in
+      let survivors = ref 0 and mismatches = ref 0 and lost = ref 0 in
+      Mrsl.Fault_inject.with_config
+        {
+          Mrsl.Fault_inject.disabled with
+          seed;
+          torn_frame_rate = 0.2;
+          conn_drop_rate = 0.2;
+        }
+        (fun () ->
+          for i = 0 to 31 do
+            let req =
+              Serving.Protocol.req ~id:(Json.Int (1000 + i)) (infer_op i)
+            in
+            match
+              Serving.Client.rpc_retry ~attempts:8 ~delay:0.02 ~seed c req
+            with
+            | line ->
+                incr survivors;
+                let reference = Serving.Engine.handle_request local req in
+                if payload line <> payload (String.trim reference) then begin
+                  incr mismatches;
+                  out "MISMATCH\n  served: %s\n  local:  %s" line
+                    (String.trim reference)
+                end
+            | exception (End_of_file | Serving.Client.Timeout | Unix.Unix_error _)
+              ->
+                incr lost
+          done);
+      Serving.Client.close c;
+      if !survivors = 0 then
+        failwith "chaos: no request survived torn-frame/drop injection";
+      if !mismatches > 0 then
+        failwith
+          (Printf.sprintf "chaos: %d survivor(s) not bit-identical"
+             !mismatches);
+      out
+        "injection: %d/32 survived torn frames + conn drops (%d exhausted \
+         retries), all bit-identical to local inference"
+        !survivors !lost;
+      (* Finale — the daemon took all of it and still answers. *)
+      let c = fresh_conn () in
+      let line = Serving.Client.rpc c Serving.Protocol.(req Ping) in
+      if error_code line <> None then
+        failwith (Printf.sprintf "chaos: daemon unhealthy at the end: %s" line);
+      Serving.Client.close c;
+      out "alive: daemon healthy after the full chaos run";
+      chaos_block :=
+        Some
+          (Json.Obj
+             [
+               ("storm_conns", Json.Int storm);
+               ("rejected", Json.Int !rejected);
+               ("idle_reaped", Json.Int !reaped);
+               ("burst", Json.Int burst);
+               ("burst_ok", Json.Int !ok_count);
+               ("burst_shed", Json.Int !shed_count);
+               ("burst_recovered", Json.Int !recovered);
+               ("injected_survivors", Json.Int !survivors);
+               ("injected_lost", Json.Int !lost);
+               ("injected_mismatches", Json.Int !mismatches);
+               ("bit_identical", Json.Bool (!mismatches = 0));
+               ("alive", Json.Bool true);
+             ]));
   Buffer.contents buf
 
 let artifacts =
@@ -1066,6 +1380,9 @@ let artifacts =
     ( "serve",
       "Serving daemon: request latency, throughput, dedup, hot swap",
       render_serve );
+    ( "chaos",
+      "Serving chaos: overload shedding, deadlines, reaping, injection",
+      render_chaos );
   ]
 
 let () =

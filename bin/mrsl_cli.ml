@@ -967,13 +967,47 @@ let serve_cmd =
     in
     Arg.(value & opt int 1024 & info [ "queue-capacity" ] ~doc ~docv:"N")
   in
+  let max_conns_arg =
+    let doc =
+      "Live-connection cap: past $(docv) connections an accept is \
+       answered `serve.conn_rejected' and closed immediately."
+    in
+    Arg.(value & opt int 1024 & info [ "max-conns" ] ~doc ~docv:"N")
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Kill a connection that completes no frame for $(docv) seconds \
+       while it has nothing queued (slow-loris defense); 0 disables."
+    in
+    Arg.(value & opt float 30. & info [ "idle-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let deadline_ms_arg =
+    let doc =
+      "Default per-request latency budget in milliseconds for requests \
+       that carry no `deadline_ms' of their own; a request still queued \
+       past its budget is shed with `serve.deadline_exceeded'. 0 \
+       disables the default budget."
+    in
+    Arg.(value & opt int 30_000 & info [ "deadline-ms" ] ~doc ~docv:"MS")
+  in
+  let out_buf_max_arg =
+    let doc =
+      "Per-connection response-buffer ceiling in bytes: a peer that \
+       stops reading is dropped (`serve.out_buf_killed') once its \
+       buffered responses pass $(docv)."
+    in
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "out-buf-max" ] ~doc ~docv:"BYTES")
+  in
   let run model_path endpoint seed method_ samples burn_in domains cache_mb
-      batch_max queue_capacity =
+      batch_max queue_capacity max_conns idle_timeout deadline_ms out_buf_max
+      =
     if Sys.getenv_opt "MRSL_LOG" = None then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let stop = Atomic.make false in
     let hup = Atomic.make false in
     Sys.set_signal Sys.sighup
@@ -988,6 +1022,12 @@ let serve_cmd =
         (Serving.Server.default_config endpoint) with
         batch_max;
         queue_capacity;
+        max_conns;
+        idle_timeout;
+        out_buf_max;
+        default_deadline =
+          (if deadline_ms <= 0 then infinity
+           else float_of_int deadline_ms /. 1000.);
       }
     in
     Serving.Server.run ~stop ~hup server_config engine
@@ -1005,13 +1045,16 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ endpoint_term $ seed_arg $ method_arg
       $ samples_arg $ burn_in_arg $ serve_domains_arg $ serve_cache_mb_arg
-      $ batch_max_arg $ queue_arg)
+      $ batch_max_arg $ queue_arg $ max_conns_arg $ idle_timeout_arg
+      $ deadline_ms_arg $ out_buf_max_arg)
 
 let client_cmd =
   let module Json = Mrsl.Telemetry.Json in
   let with_client endpoint f =
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let c = Serving.Client.connect_retry ~attempts:100 ~delay:0.05 endpoint in
+    let c =
+      Serving.Client.connect_retry ~attempts:100 ~delay:0.05 ~timeout:30.
+        endpoint
+    in
     Fun.protect ~finally:(fun () -> Serving.Client.close c) (fun () -> f c)
   in
   let print_response line =
@@ -1024,8 +1067,7 @@ let client_cmd =
   let simple name ~doc op =
     let run endpoint =
       with_client endpoint (fun c ->
-          print_response
-            (Serving.Client.rpc c { Serving.Protocol.id = None; op }))
+          print_response (Serving.Client.rpc c (Serving.Protocol.req op)))
     in
     Cmd.v (Cmd.info name ~doc) Term.(const run $ endpoint_term)
   in
@@ -1037,8 +1079,7 @@ let client_cmd =
     let run endpoint path =
       with_client endpoint (fun c ->
           print_response
-            (Serving.Client.rpc c
-               { Serving.Protocol.id = None; op = Reload path }))
+            (Serving.Client.rpc c (Serving.Protocol.req (Reload path))))
     in
     Cmd.v
       (Cmd.info "reload" ~doc:"Hot-swap the served model.")
@@ -1053,7 +1094,18 @@ let client_cmd =
       Arg.(
         required & opt (some string) None & info [ "tuple" ] ~doc ~docv:"T")
     in
-    let run endpoint tuple =
+    let deadline_arg =
+      let doc =
+        "Attach a `deadline_ms' latency budget of $(docv) milliseconds \
+         to the request; the server sheds it with \
+         `serve.deadline_exceeded' if still queued past the budget."
+      in
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "deadline-ms" ] ~doc ~docv:"MS")
+    in
+    let run endpoint tuple deadline_ms =
       let labels =
         String.split_on_char ',' tuple
         |> List.map (fun s ->
@@ -1064,12 +1116,12 @@ let client_cmd =
       with_client endpoint (fun c ->
           print_response
             (Serving.Client.rpc c
-               { Serving.Protocol.id = None; op = Infer labels }))
+               (Serving.Protocol.req ?deadline_ms (Infer labels))))
     in
     Cmd.v
       (Cmd.info "infer"
          ~doc:"Request the posterior of one incomplete tuple.")
-      Term.(const run $ endpoint_term $ tuple_arg)
+      Term.(const run $ endpoint_term $ tuple_arg $ deadline_arg)
   in
   let raw_cmd =
     let line_arg =
@@ -1090,8 +1142,7 @@ let client_cmd =
   in
   let metrics_cmd =
     let run endpoint =
-      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-      print_string (Serving.Client.scrape_metrics endpoint)
+      print_string (Serving.Client.scrape_metrics ~timeout:30. endpoint)
     in
     Cmd.v
       (Cmd.info "metrics"
@@ -1149,10 +1200,7 @@ let client_cmd =
       let requests =
         List.mapi
           (fun i tup ->
-            {
-              Serving.Protocol.id = Some (Json.Int i);
-              op = Infer (to_labels tup);
-            })
+            Serving.Protocol.req ~id:(Json.Int i) (Infer (to_labels tup)))
           incomplete
       in
       (* Strip the epoch before comparing: model epochs are

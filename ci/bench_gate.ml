@@ -30,6 +30,15 @@
    current throughput must stay within the tolerance of it, mirroring
    the micro ns/run gate in the opposite direction.
 
+   Shed-rate mode: --max-shed-rate FRAC asserts that the fraction of
+   serving work shed by the overload ladder —
+   (serve.shed + serve.deadline_exceeded + serve.overloaded) /
+   (serve.requests + serve.overloaded), absent counters reading 0 —
+   stays at or below FRAC. The healthy serve pass runs it near 0 (the
+   ladder must not fire under normal load); the chaos pass omits it
+   (shedding under hostile load is the point). Counts as a
+   requirement, so --baseline is optional with it.
+
    Double-accounting guard: when the current report carries a
    "parallel" block, every run in it must have counters_start_zero =
    true — per-run registries must begin empty even though the domain
@@ -53,10 +62,10 @@ let usage () =
   prerr_endline
     "usage: bench_gate [--baseline <BENCH.json>] --current <BENCH.json> \
      [--require-counter NAME]... [--require-span NAME]... \
-     [--require-latency NAME CEIL_US]...";
+     [--require-latency NAME CEIL_US]... [--max-shed-rate FRAC]";
   prerr_endline
     "  --baseline is required unless --require-counter, --require-span, \
-     or --require-latency is given";
+     --require-latency, or --max-shed-rate is given";
   exit 2
 
 let parse_args () =
@@ -64,7 +73,8 @@ let parse_args () =
   and current = ref None
   and counters = ref []
   and spans = ref []
-  and latencies = ref [] in
+  and latencies = ref []
+  and shed = ref None in
   let rec go = function
     | [] -> ()
     | "--baseline" :: v :: rest ->
@@ -87,17 +97,25 @@ let parse_args () =
         | _ ->
             Printf.eprintf "bench_gate: bad latency ceiling %S\n%!" ceil;
             exit 2)
+    | "--max-shed-rate" :: frac :: rest -> (
+        match float_of_string_opt frac with
+        | Some f when f >= 0. && f <= 1. ->
+            shed := Some f;
+            go rest
+        | _ ->
+            Printf.eprintf "bench_gate: bad shed-rate bound %S\n%!" frac;
+            exit 2)
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   match
     (!baseline, !current, List.rev !counters, List.rev !spans,
-     List.rev !latencies)
+     List.rev !latencies, !shed)
   with
-  | baseline, Some c, req_c, req_s, req_l
-    when req_c <> [] || req_s <> [] || req_l <> [] ->
-      (baseline, c, req_c, req_s, req_l)
-  | Some _, Some c, [], [], [] -> (!baseline, c, [], [], [])
+  | baseline, Some c, req_c, req_s, req_l, shed
+    when req_c <> [] || req_s <> [] || req_l <> [] || shed <> None ->
+      (baseline, c, req_c, req_s, req_l, shed)
+  | Some _, Some c, [], [], [], None -> (!baseline, c, [], [], [], None)
   | _ -> usage ()
 
 let load path =
@@ -210,7 +228,7 @@ let check_counters_start_zero json =
 
 let () =
   let ( baseline_opt, current_path, required_counters, required_spans,
-        required_latencies ) =
+        required_latencies, max_shed_rate ) =
     parse_args ()
   in
   let cur_json = load current_path in
@@ -294,6 +312,31 @@ let () =
     Printf.printf "all %d serving latency ceilings met\n\n"
       (List.length required_latencies)
   end;
+  (* Shed-rate ceiling: under a healthy load the overload ladder must
+     stay quiet — sheds as a fraction of offered serving work. *)
+  (match max_shed_rate with
+  | None -> ()
+  | Some bound ->
+      let c name = Option.value ~default:0. (counter_value cur_json name) in
+      let sheds =
+        c "serve.shed" +. c "serve.deadline_exceeded" +. c "serve.overloaded"
+      in
+      let offered = c "serve.requests" +. c "serve.overloaded" in
+      Printf.printf "shed gate: %s\n" current_path;
+      if offered <= 0. then begin
+        Printf.printf
+          "  no serving traffic in the report (serve.requests = 0)  FAIL\n";
+        exit 1
+      end;
+      let rate = sheds /. offered in
+      if rate <= bound then
+        Printf.printf "  shed rate %.4f (%.0f/%.0f) <= %.4f  ok\n\n" rate
+          sheds offered bound
+      else begin
+        Printf.printf "  shed rate %.4f (%.0f/%.0f) >  %.4f  FAIL\n" rate
+          sheds offered bound;
+        exit 1
+      end);
   let baseline_path =
     match baseline_opt with
     | Some b -> b

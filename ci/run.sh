@@ -6,8 +6,9 @@
 #                                 wall-time regression, serve req/s floor,
 #                                 quality baseline comparison and its
 #                                 negative test); absolute gates — required
-#                                 counters, spans and the serve latency
-#                                 ceiling — still run
+#                                 counters, spans, the serve latency ceiling
+#                                 and the healthy-traffic shed-rate ceiling —
+#                                 still run
 #   ci/run.sh --refresh-baseline  run with baseline gates off, then copy
 #                                 the fresh BENCH_1.json + QUALITY_1.json
 #                                 into bench/baseline/.  The one command to
@@ -67,7 +68,8 @@ dune exec ci/bench_gate.exe -- \
   --require-counter serve.requests \
   --require-counter serve.batches \
   --require-counter serve.reloads \
-  --require-latency sequential "${MRSL_SERVE_P99_US:-50000}"
+  --require-latency sequential "${MRSL_SERVE_P99_US:-50000}" \
+  --max-shed-rate 0.01
 
 echo "== serve pass =="
 # Dedicated serving suite: protocol round-trips, framing limits, batch
@@ -180,6 +182,60 @@ if [ -e "$SERVE_SOCK" ]; then
   exit 1
 fi
 echo "serve e2e smoke passed ($SERVE_REQS requests, epoch $EPOCH_BEFORE -> $EPOCH_AFTER)"
+
+echo "== serve chaos pass =="
+# In-process chaos harness: the bench artifact drives a live daemon
+# through an accept storm, slow-loris drip, stalled writes against a
+# tiny output ceiling, zero-budget deadlines, an overload burst past the
+# shed watermark, and torn-frame/conn-drop injection — asserting the
+# daemon stays live throughout, sheds with structured serve.* errors,
+# and serves every survivor bit-identically to an uninjected local
+# reference engine.
+MRSL_SCALE="${MRSL_SCALE:-smoke}" \
+MRSL_BENCH_OUT=BENCH_SERVE_CHAOS.json \
+  dune exec bench/main.exe -- chaos
+
+# Every defense and every injection site must actually have fired.
+dune exec ci/bench_gate.exe -- --current BENCH_SERVE_CHAOS.json \
+  --require-counter serve.conn_rejected \
+  --require-counter serve.idle_killed \
+  --require-counter serve.out_buf_killed \
+  --require-counter serve.deadline_exceeded \
+  --require-counter serve.shed \
+  --require-counter serve.overloaded \
+  --require-counter fault.injected.torn_frames \
+  --require-counter fault.injected.stalled_writes \
+  --require-counter fault.injected.conn_drops
+
+# E2E: the real daemon under write-stall injection.  Stalls delay
+# flushes but never corrupt them, so a patient pipelined client still
+# gets bit-identical posteriors; a zero-budget probe must come back as
+# a structured shed, and the injected stalls must show on /metrics.
+CHAOS_SOCK="$SERVE_DIR/mrsl-chaos.sock"
+MRSL_FAULT_SEED="${MRSL_FAULT_SEED:-2011}" \
+MRSL_FAULT_STALL_WRITE_RATE=0.3 \
+  "$MRSL_BIN" serve --model "$SERVE_MODEL" \
+  --socket "$CHAOS_SOCK" --seed 2011 --samples 200 --burn-in 50 \
+  > "$SERVE_DIR/serve-chaos.log" 2>&1 &
+SERVE_PID=$!
+
+mrsl_client ping --socket "$CHAOS_SOCK" | grep -q '"ok":true'
+
+mrsl_client verify --socket "$CHAOS_SOCK" --model "$SERVE_MODEL" \
+  -i "$SERVE_CSV" --seed 2011 --samples 200 --burn-in 50
+
+DEADLINE_RESP="$(mrsl_client infer --socket "$CHAOS_SOCK" \
+  --tuple "$SINGLE_TUPLE" --deadline-ms 0 || true)"
+echo "$DEADLINE_RESP" | grep -q 'serve.deadline_exceeded'
+
+mrsl_client metrics --socket "$CHAOS_SOCK" \
+  | grep -q '^mrsl_fault_injected_stalled_writes_total'
+mrsl_client ping --socket "$CHAOS_SOCK" | grep -q '"ok":true'
+
+mrsl_client shutdown --socket "$CHAOS_SOCK" | grep -q '"ok":true'
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve chaos e2e passed (bit-identical under stalled writes)"
 
 echo "== fault-injection pass =="
 # Dedicated fault suite: containment determinism, degradation ladder,

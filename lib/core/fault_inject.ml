@@ -4,6 +4,9 @@ type config = {
   csv_corruption_rate : float;
   nonconvergence_rate : float;
   voter_drop_rate : float;
+  torn_frame_rate : float;
+  stall_write_rate : float;
+  conn_drop_rate : float;
 }
 
 let disabled =
@@ -13,6 +16,9 @@ let disabled =
     csv_corruption_rate = 0.;
     nonconvergence_rate = 0.;
     voter_drop_rate = 0.;
+    torn_frame_rate = 0.;
+    stall_write_rate = 0.;
+    conn_drop_rate = 0.;
   }
 
 let check_rate name r =
@@ -23,7 +29,10 @@ let validate c =
   check_rate "task_failure_rate" c.task_failure_rate;
   check_rate "csv_corruption_rate" c.csv_corruption_rate;
   check_rate "nonconvergence_rate" c.nonconvergence_rate;
-  check_rate "voter_drop_rate" c.voter_drop_rate
+  check_rate "voter_drop_rate" c.voter_drop_rate;
+  check_rate "torn_frame_rate" c.torn_frame_rate;
+  check_rate "stall_write_rate" c.stall_write_rate;
+  check_rate "conn_drop_rate" c.conn_drop_rate
 
 let state = Atomic.make disabled
 
@@ -38,6 +47,8 @@ let active () =
   let c = current () in
   c.task_failure_rate > 0. || c.csv_corruption_rate > 0.
   || c.nonconvergence_rate > 0. || c.voter_drop_rate > 0.
+  || c.torn_frame_rate > 0. || c.stall_write_rate > 0.
+  || c.conn_drop_rate > 0.
 
 let with_config c f =
   let prev = Atomic.get state in
@@ -46,9 +57,10 @@ let with_config c f =
 
 let describe c =
   Printf.sprintf
-    "fault injection: seed=%d task=%.3f csv=%.3f nonconv=%.3f voters=%.3f"
+    "fault injection: seed=%d task=%.3f csv=%.3f nonconv=%.3f voters=%.3f \
+     torn=%.3f stall=%.3f drop=%.3f"
     c.seed c.task_failure_rate c.csv_corruption_rate c.nonconvergence_rate
-    c.voter_drop_rate
+    c.voter_drop_rate c.torn_frame_rate c.stall_write_rate c.conn_drop_rate
 
 (* --- deterministic decisions ---------------------------------------- *)
 
@@ -87,6 +99,9 @@ let site_csv = 2
 let site_nonconv = 3
 let site_voters = 4
 let site_shape = 5
+let site_torn = 6
+let site_stall = 7
+let site_drop = 8
 
 let should_fail_task ~node =
   hit (current ()).task_failure_rate ~site:site_task ~key:node
@@ -99,6 +114,10 @@ let should_force_nonconvergence ~key =
 
 let should_drop_voters ~key =
   hit (current ()).voter_drop_rate ~site:site_voters ~key
+
+let should_tear_frame ~key = hit (current ()).torn_frame_rate ~site:site_torn ~key
+let should_stall_write ~key = hit (current ()).stall_write_rate ~site:site_stall ~key
+let should_drop_conn ~key = hit (current ()).conn_drop_rate ~site:site_drop ~key
 
 (* --- CSV corruption -------------------------------------------------- *)
 
@@ -149,15 +168,24 @@ let install_from_env () =
   let csv = getf "MRSL_FAULT_CSV_RATE" in
   let nonconv = getf "MRSL_FAULT_NONCONV_RATE" in
   let voters = getf "MRSL_FAULT_VOTER_RATE" in
-  match (seed, task, csv, nonconv, voters) with
-  | None, None, None, None, None -> false
-  | _ ->
-      configure
-        {
-          seed = Option.value seed ~default:0;
-          task_failure_rate = Option.value task ~default:0.;
-          csv_corruption_rate = Option.value csv ~default:0.;
-          nonconvergence_rate = Option.value nonconv ~default:0.;
-          voter_drop_rate = Option.value voters ~default:0.;
-        };
-      true
+  let torn = getf "MRSL_FAULT_TORN_FRAME_RATE" in
+  let stall = getf "MRSL_FAULT_STALL_WRITE_RATE" in
+  let drop = getf "MRSL_FAULT_CONN_DROP_RATE" in
+  if
+    List.for_all Option.is_none [ task; csv; nonconv; voters; torn; stall; drop ]
+    && seed = None
+  then false
+  else begin
+    configure
+      {
+        seed = Option.value seed ~default:0;
+        task_failure_rate = Option.value task ~default:0.;
+        csv_corruption_rate = Option.value csv ~default:0.;
+        nonconvergence_rate = Option.value nonconv ~default:0.;
+        voter_drop_rate = Option.value voters ~default:0.;
+        torn_frame_rate = Option.value torn ~default:0.;
+        stall_write_rate = Option.value stall ~default:0.;
+        conn_drop_rate = Option.value drop ~default:0.;
+      };
+    true
+  end

@@ -27,6 +27,13 @@ type config = {
       (** P(a tuple's R̂ check is forced to fail), per tuple *)
   voter_drop_rate : float;
       (** P(an inference task sees an empty voter set), per task *)
+  torn_frame_rate : float;
+      (** P(a serving read is cut mid-frame and the peer vanishes), per read *)
+  stall_write_rate : float;
+      (** P(a serving write stalls or trickles one byte), per write *)
+  conn_drop_rate : float;
+      (** P(a connection dies before its batch's response is sent), per
+          response delivery *)
 }
 
 val disabled : config
@@ -48,10 +55,12 @@ val with_config : config -> (unit -> 'a) -> 'a
 
 val install_from_env : unit -> bool
 (** Read [MRSL_FAULT_SEED], [MRSL_FAULT_TASK_RATE], [MRSL_FAULT_CSV_RATE],
-    [MRSL_FAULT_NONCONV_RATE], [MRSL_FAULT_VOTER_RATE] and {!configure}
-    accordingly. Returns [false] (and leaves the state untouched) when
-    none of the variables is set. Called by the CLI and the bench
-    harness at startup, deliberately {e not} by the library. *)
+    [MRSL_FAULT_NONCONV_RATE], [MRSL_FAULT_VOTER_RATE],
+    [MRSL_FAULT_TORN_FRAME_RATE], [MRSL_FAULT_STALL_WRITE_RATE],
+    [MRSL_FAULT_CONN_DROP_RATE] and {!configure} accordingly. Returns
+    [false] (and leaves the state untouched) when none of the variables
+    is set. Called by the CLI and the bench harness at startup,
+    deliberately {e not} by the library. *)
 
 val describe : config -> string
 (** One-line human-readable summary. *)
@@ -65,6 +74,25 @@ val should_fail_task : node:int -> bool
 val should_corrupt_row : line:int -> bool
 val should_force_nonconvergence : key:int -> bool
 val should_drop_voters : key:int -> bool
+
+val should_tear_frame : key:int -> bool
+(** Serving chaos: cut this socket read mid-frame and treat the peer as
+    gone — exercises the truncated-frame accounting. [key] should mix
+    the connection id with a per-connection read counter. *)
+
+val should_stall_write : key:int -> bool
+(** Serving chaos: this socket write makes no (or one byte of) progress,
+    as if the peer stopped draining — exercises output-buffer bounds. *)
+
+val should_drop_conn : key:int -> bool
+(** Serving chaos: this connection dies between batch execution and
+    response delivery — exercises the closed-connection guards. *)
+
+val unit_float : seed:int -> site:int -> key:int -> float
+(** The raw deterministic uniform draw in [0, 1) behind every decision
+    point — exposed so callers needing reproducible randomness outside a
+    rate check (e.g. {!Serving.Client}'s backoff jitter) share the same
+    splitmix64 machinery instead of growing ad-hoc hashes. *)
 
 val corrupt_csv : string -> string * int list
 (** Corrupt a CSV document's data rows at the configured

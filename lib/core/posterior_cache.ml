@@ -262,6 +262,16 @@ let add_key t key dist =
 let bypassed () =
   (Fault_inject.current ()).Fault_inject.voter_drop_rate > 0.
 
+let find t model ~method_ tup a =
+  if bypassed () then None
+  else begin
+    let key = make_key model ~method_ tup a in
+    let t0 = Clock.now () in
+    let found = find_key t key in
+    Telemetry.observe t.telemetry "cache.lookup_seconds" (Clock.now () -. t0);
+    found
+  end
+
 let find_or_compute t model ~method_ tup a f =
   if bypassed () then f ()
   else begin

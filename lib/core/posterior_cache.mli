@@ -89,6 +89,17 @@ val signature : Model.t -> Relation.Tuple.t -> int -> int array
 
 (** {1 Lookup} *)
 
+val find : t -> Model.t -> method_:Voting.method_ ->
+  Relation.Tuple.t -> int -> Prob.Dist.t option
+(** Lookup-only probe: the cached posterior for the task's evidence
+    signature, or [None] without computing anything. The serving
+    engine's overload ladder leans on this for its cache-hit-only rung —
+    under pressure a hit is served for free and a miss is shed rather
+    than computed. Counts [cache.hits] / [cache.misses] and observes
+    [cache.lookup_seconds]; returns [None] unconditionally (nothing
+    counted) while voter-drop fault injection is active, so a degraded
+    generation can never satisfy a pressure probe. *)
+
 val find_or_compute : t -> Model.t -> method_:Voting.method_ ->
   Relation.Tuple.t -> int -> (unit -> Prob.Dist.t) -> Prob.Dist.t
 (** [find_or_compute t model ~method_ tup a f] — the cached posterior for

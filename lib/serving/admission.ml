@@ -18,6 +18,7 @@ let locked t f =
 let gauge_depth t = Mrsl.Telemetry.gauge t.telemetry "serve.queue_depth"
 
 let length t = locked t (fun () -> Queue.length t.q)
+let occupancy t = float_of_int (length t) /. float_of_int t.capacity
 
 let try_add t x =
   let accepted =

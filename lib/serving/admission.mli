@@ -20,6 +20,10 @@ val create : ?telemetry:Mrsl.Telemetry.t -> capacity:int -> unit -> 'a t
 val capacity : 'a t -> int
 val length : 'a t -> int
 
+val occupancy : 'a t -> float
+(** [length / capacity] — the load-shedding ladder's pressure signal
+    ([0.] empty, [1.] full). *)
+
 val try_add : 'a t -> 'a -> bool
 (** Enqueue, or return [false] without blocking when the queue is at
     capacity (counted as [serve.overloaded]). Updates the

@@ -1,4 +1,24 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+exception Timeout
+
+type t = {
+  endpoint : Protocol.endpoint;
+  mutable fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  recv_timeout : float option;
+}
+
+(* Site number for the backoff-jitter draws — disjoint from the server's
+   injection sites so a shared seed never correlates client jitter with
+   server faults. *)
+let jitter_site = 32
+
+let backoff_delay ?(base = 0.05) ?(max_delay = 1.0) ?(seed = 0) attempt =
+  let exp = base *. (2. ** float_of_int (max 0 attempt)) in
+  let capped = Float.min max_delay exp in
+  (* Deterministic jitter in [capped/2, capped): breaks retry herds
+     without making tests flaky. *)
+  let u = Mrsl.Fault_inject.unit_float ~seed ~site:jitter_site ~key:attempt in
+  capped *. (0.5 +. (0.5 *. u))
 
 let sockaddr = function
   | Protocol.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -9,7 +29,14 @@ let sockaddr = function
       in
       (Unix.PF_INET, Unix.ADDR_INET (addr, port))
 
-let connect endpoint =
+(* See {!Server.ignore_sigpipe}: a send to a server that already dropped
+   the connection must surface as EPIPE, not kill the process. *)
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" | "Cygwin" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
+let connect_fd endpoint =
   let domain, addr = sockaddr endpoint in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   (match Unix.connect fd addr with
@@ -17,56 +44,163 @@ let connect endpoint =
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  fd
 
-let connect_retry ?(attempts = 100) ?(delay = 0.05) endpoint =
+let connect ?timeout endpoint =
+  ignore_sigpipe ();
+  {
+    endpoint;
+    fd = connect_fd endpoint;
+    inbuf = Buffer.create 4096;
+    recv_timeout = timeout;
+  }
+
+let connect_retry ?(attempts = 100) ?(delay = 0.05) ?(max_delay = 1.0)
+    ?(seed = 0) ?timeout endpoint =
   let rec go n =
-    match connect endpoint with
+    match connect ?timeout endpoint with
     | t -> t
-    | exception e -> if n <= 1 then raise e else (Unix.sleepf delay; go (n - 1))
+    | exception e ->
+        if n >= max 1 attempts then raise e
+        else begin
+          Unix.sleepf (backoff_delay ~base:delay ~max_delay ~seed (n - 1));
+          go (n + 1)
+        end
   in
-  go (max 1 attempts)
+  go 1
 
-let close t =
-  (* close_out would flush and close the shared fd; closing the fd once
-     is enough and never raises on a peer reset. *)
-  (try flush t.oc with Sys_error _ -> ());
-  try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let reconnect t =
+  close t;
+  Buffer.clear t.inbuf;
+  t.fd <- connect_fd t.endpoint
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | n -> off := !off + n
+  done
 
 let send_raw t line =
-  output_string t.oc line;
-  if not (String.length line > 0 && line.[String.length line - 1] = '\n') then
-    output_char t.oc '\n';
-  flush t.oc
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = '\n' then line
+    else line ^ "\n"
+  in
+  write_all t.fd line
 
 let send t req = send_raw t (Protocol.request_to_line req)
-let recv t = input_line t.ic
+let send_partial t s = write_all t.fd s
+
+(* Take one complete line out of the receive buffer, or [None]. *)
+let take_line buf =
+  let data = Buffer.contents buf in
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some nl ->
+      let line =
+        if nl > 0 && data.[nl - 1] = '\r' then String.sub data 0 (nl - 1)
+        else String.sub data 0 nl
+      in
+      Buffer.clear buf;
+      Buffer.add_substring buf data (nl + 1) (String.length data - nl - 1);
+      Some line
+
+let read_chunk_size = 4096
+
+(* One bounded read into [t.inbuf]; [false] at EOF. Raises [Timeout]
+   once [deadline] (monotonic, [infinity] = none) passes — the whole
+   point of this client: a dead or stalled server surfaces as a typed
+   exception instead of a process blocked in [input_line] forever. *)
+let fill ~deadline t =
+  let rec wait () =
+    let remaining = deadline -. Mrsl.Clock.now () in
+    if remaining <= 0. then raise Timeout;
+    let tick = if remaining = infinity then -1. else remaining in
+    match Unix.select [ t.fd ] [] [] tick with
+    | [], _, _ -> raise Timeout
+    | _ :: _, _, _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  let chunk = Bytes.create read_chunk_size in
+  let rec read () =
+    match Unix.read t.fd chunk 0 read_chunk_size with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read ()
+    | 0 -> false
+    | n ->
+        Buffer.add_subbytes t.inbuf chunk 0 n;
+        true
+  in
+  read ()
+
+let op_deadline t =
+  match t.recv_timeout with
+  | None -> infinity
+  | Some s -> Mrsl.Clock.now () +. s
+
+let recv t =
+  let deadline = op_deadline t in
+  let rec go () =
+    match take_line t.inbuf with
+    | Some line -> line
+    | None -> if fill ~deadline t then go () else raise End_of_file
+  in
+  go ()
 
 let rpc t req =
   send t req;
   recv t
 
-let scrape_metrics endpoint =
-  let t = connect endpoint in
+let idempotent = function
+  | Protocol.Ping | Protocol.Stats | Protocol.Infer _ -> true
+  | Protocol.Reload _ | Protocol.Shutdown -> false
+
+let rpc_retry ?(attempts = 3) ?(delay = 0.05) ?(max_delay = 1.0) ?(seed = 0) t
+    req =
+  if not (idempotent req.Protocol.op) then
+    (* A reload or shutdown that died mid-flight may or may not have
+       been applied — blind re-send could double it. One shot only. *)
+    rpc t req
+  else begin
+    let rec go n =
+      match rpc t req with
+      | line -> line
+      | exception ((End_of_file | Timeout | Unix.Unix_error _) as e) ->
+          if n >= max 1 attempts then raise e
+          else begin
+            Unix.sleepf (backoff_delay ~base:delay ~max_delay ~seed (n - 1));
+            (* The dead connection may still hold half a response;
+               reconnecting resets framing so the retry can't read a
+               stale line as its answer. *)
+            (try reconnect t with _ -> ());
+            go (n + 1)
+          end
+    in
+    go 1
+  end
+
+let scrape_metrics ?timeout endpoint =
+  let t = connect ?timeout endpoint in
   Fun.protect
     ~finally:(fun () -> close t)
     (fun () ->
-      output_string t.oc "GET /metrics HTTP/1.0\r\n\r\n";
-      flush t.oc;
-      let status = input_line t.ic in
+      write_all t.fd "GET /metrics HTTP/1.0\r\n\r\n";
+      let status = recv t in
       if not (String.length status >= 12 && String.sub status 9 3 = "200") then
         failwith (Printf.sprintf "metrics scrape failed: %s" (String.trim status));
-      (* Skip headers up to the blank line, then read the body to EOF. *)
+      (* Skip headers up to the blank line, then read the body to EOF in
+         4 KiB chunks (this used to go through the channel one byte per
+         call). *)
       let rec skip_headers () =
-        match String.trim (input_line t.ic) with
-        | "" -> ()
-        | _ -> skip_headers ()
+        match String.trim (recv t) with "" -> () | _ -> skip_headers ()
       in
       skip_headers ();
-      let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_channel buf t.ic 1
-         done
-       with End_of_file -> ());
-      Buffer.contents buf)
+      let deadline = op_deadline t in
+      while fill ~deadline t do
+        ()
+      done;
+      Buffer.contents t.inbuf)

@@ -162,9 +162,14 @@ let stats_line t ?id () =
       ("requests", c "serve.requests");
       ("errors", c "serve.errors");
       ("overloaded", c "serve.overloaded");
+      ("shed", c "serve.shed");
+      ("deadline_exceeded", c "serve.deadline_exceeded");
       ("batches", c "serve.batches");
       ("reloads", c "serve.reloads");
       ("connections", c "serve.connections");
+      ("conn_rejected", c "serve.conn_rejected");
+      ("idle_killed", c "serve.idle_killed");
+      ("out_buf_killed", c "serve.out_buf_killed");
       ( "cache",
         Json.Obj
           [
@@ -178,6 +183,8 @@ let stats_line t ?id () =
 (* ------------------------------------------------------------------ *)
 (* Batch execution *)
 
+type pressure = Normal | Cache_only
+
 (* One decoded infer task, positioned in the response array. *)
 type infer_task = {
   slot : int;
@@ -185,21 +192,36 @@ type infer_task = {
   tuple : Relation.Tuple.t;
 }
 
-let run_single t responses tasks =
+let shed_error =
+  Mrsl.Error.make Mrsl.Error.Scheduler ~code:"serve.shed"
+    "server overloaded — request shed without computing (cache-hit-only \
+     degradation); retry later"
+
+(* Sheds follow the [serve.overloaded] accounting style: their own
+   counter, not [serve.errors] — shedding is the ladder working as
+   designed, not a request failure. *)
+let shed_response t ?id () =
+  Mrsl.Telemetry.incr t.telemetry "serve.shed";
+  Protocol.error_line ?id shed_error
+
+let run_single t ~pressure responses tasks =
   match tasks with
   | [] -> ()
   | _ ->
       let { method_; _ } = t.config in
       let telemetry = t.telemetry in
       let model = t.model in
-      (* Workload-level dedup: identical concurrent requests (same
-         evidence signature) pay one posterior computation; the per-task
-         lookups below fan it out (cache.dedup_fanout). *)
-      ignore
-        (Mrsl.Posterior_cache.prewarm t.cache model ~method_
-           ~compute:(fun tup a ->
-             Mrsl.Infer_single.infer ~method_ ~telemetry model tup a)
-           (List.map (fun task -> task.tuple) tasks));
+      (match pressure with
+      | Cache_only -> ()
+      | Normal ->
+          (* Workload-level dedup: identical concurrent requests (same
+             evidence signature) pay one posterior computation; the
+             per-task lookups below fan it out (cache.dedup_fanout). *)
+          ignore
+            (Mrsl.Posterior_cache.prewarm t.cache model ~method_
+               ~compute:(fun tup a ->
+                 Mrsl.Infer_single.infer ~method_ ~telemetry model tup a)
+               (List.map (fun task -> task.tuple) tasks)));
       List.iter
         (fun { slot; req_id = id; tuple } ->
           let a =
@@ -208,20 +230,41 @@ let run_single t responses tasks =
             | _ -> assert false
           in
           responses.(slot) <-
-            (match
-               Mrsl.Infer_single.infer_result ~method_ ~telemetry
-                 ~cache:t.cache model tuple a
-             with
-            | Ok dist ->
-                posterior_line t ?id ~mode:"exact"
-                  [ attr_json (Mrsl.Model.schema model) a dist ]
-            | Error e -> error_response t ?id e))
+            (match pressure with
+            | Cache_only -> (
+                (* Degraded rung: answer for free from the cache —
+                   payload identical to the uncontended path — or shed.
+                   Never compute under pressure. *)
+                match
+                  Mrsl.Posterior_cache.find t.cache model ~method_ tuple a
+                with
+                | Some dist ->
+                    posterior_line t ?id ~mode:"exact"
+                      [ attr_json (Mrsl.Model.schema model) a dist ]
+                | None -> shed_response t ?id ())
+            | Normal -> (
+                match
+                  Mrsl.Infer_single.infer_result ~method_ ~telemetry
+                    ~cache:t.cache model tuple a
+                with
+                | Ok dist ->
+                    posterior_line t ?id ~mode:"exact"
+                      [ attr_json (Mrsl.Model.schema model) a dist ]
+                | Error e -> error_response t ?id e)))
         tasks
 
-let run_multi t responses tasks =
-  match tasks with
-  | [] -> ()
-  | _ ->
+let run_multi t ~pressure responses tasks =
+  match (tasks, pressure) with
+  | [], _ -> ()
+  | _, Cache_only ->
+      (* Gibbs has no cheap cached answer (the posterior cache keys
+         single-attribute votes); under pressure multi-missing work is
+         always shed. *)
+      List.iter
+        (fun { slot; req_id = id; _ } ->
+          responses.(slot) <- shed_response t ?id ())
+        tasks
+  | _, Normal ->
       let { seed; method_; gibbs; domains; _ } = t.config in
       let model = t.model in
       let schema = Mrsl.Model.schema model in
@@ -269,7 +312,7 @@ let run_multi t responses tasks =
 
 (* A segment is a maximal run of requests with no reload between them:
    everything in it is answered by one model generation. *)
-let run_segment t responses segment =
+let run_segment t ~pressure responses segment =
   let singles = ref [] and multis = ref [] in
   List.iter
     (fun (slot, (req : Protocol.request)) ->
@@ -296,10 +339,10 @@ let run_segment t responses segment =
               | 1 -> singles := task :: !singles
               | _ -> multis := task :: !multis)))
     (List.rev segment);
-  run_single t responses (List.rev !singles);
-  run_multi t responses (List.rev !multis)
+  run_single t ~pressure responses (List.rev !singles);
+  run_multi t ~pressure responses (List.rev !multis)
 
-let handle_batch t reqs =
+let handle_batch ?(pressure = Normal) t reqs =
   match reqs with
   | [] -> []
   | _ ->
@@ -321,7 +364,7 @@ let handle_batch t reqs =
                 (fun slot (req : Protocol.request) ->
                   match req.op with
                   | Protocol.Reload path ->
-                      run_segment t responses !segment;
+                      run_segment t ~pressure responses !segment;
                       segment := [];
                       responses.(slot) <-
                         (match reload ?path t with
@@ -335,7 +378,7 @@ let handle_batch t reqs =
                         | Error e -> error_response t ?id:req.id e)
                   | _ -> segment := (slot, req) :: !segment)
                 reqs;
-              run_segment t responses !segment;
+              run_segment t ~pressure responses !segment;
               Array.to_list responses))
 
 let handle_request t req =

@@ -90,18 +90,29 @@ val reload : ?path:string -> t -> (Mrsl.Model.t, Mrsl.Error.t) result
     hold tuples in the old schema's shape; refusing the swap beats
     answering them against the wrong attribute domains). *)
 
+type pressure = Normal | Cache_only
+    (** The engine rung of the overload ladder. [Normal] computes.
+        [Cache_only] answers single-missing requests from the posterior
+        cache when the evidence signature is already there (payload
+        bit-identical to the uncontended answer) and sheds everything
+        else — cache misses and all multi-missing Gibbs work — with a
+        [Scheduler/serve.shed] error line, counted as [serve.shed] (not
+        [serve.errors]: shedding is the ladder working, not a failure).
+        {!Server} selects the rung from admission-queue occupancy. *)
+
 val handle_request : t -> Protocol.request -> string
 (** Answer one request — [handle_batch] on a singleton batch. *)
 
-val handle_batch : t -> Protocol.request list -> string list
+val handle_batch : ?pressure:pressure -> t -> Protocol.request list -> string list
 (** Answer a batch: one newline-terminated response line per request,
     in request order. Never raises — per-request failures (bad labels,
     arity mismatches, contained inference faults) become [ok:false]
-    response lines and count [serve.errors]. Counts [serve.requests] /
-    [serve.batches], observes [serve.batch_size], times the batch under
-    the [serve.batch] span and trace slice. [shutdown] requests are
-    acknowledged ([kind:"bye"]) but transport shutdown is the caller's
-    job — see {!wants_shutdown}. *)
+    response lines and count [serve.errors]. [pressure] (default
+    [Normal]) picks the overload rung described above. Counts
+    [serve.requests] / [serve.batches], observes [serve.batch_size],
+    times the batch under the [serve.batch] span and trace slice.
+    [shutdown] requests are acknowledged ([kind:"bye"]) but transport
+    shutdown is the caller's job — see {!wants_shutdown}. *)
 
 val wants_shutdown : Protocol.request list -> bool
 (** Whether the batch contains a [shutdown] request. *)

@@ -13,8 +13,9 @@ type op =
   | Shutdown
   | Infer of string option array
 
-type request = { id : Json.t option; op : op }
+type request = { id : Json.t option; deadline_ms : int option; op : op }
 
+let req ?id ?deadline_ms op = { id; deadline_ms; op }
 let missing_marker = "?"
 
 let bad_request ?id fmt =
@@ -53,30 +54,42 @@ let parse_request line =
       Error (Mrsl.Error.make Mrsl.Error.Input ~code:"protocol.parse" msg)
   | Json.Obj _ as obj -> (
       let id = Json.member "id" obj in
-      match Json.member "op" obj with
-      | Some (Json.String op) -> (
-          let req op = Ok { id; op } in
-          match op with
-          | "ping" -> req Ping
-          | "stats" -> req Stats
-          | "shutdown" -> req Shutdown
-          | "reload" -> (
-              match Json.member "path" obj with
-              | None | Some Json.Null -> req (Reload None)
-              | Some (Json.String p) -> req (Reload (Some p))
-              | Some _ -> bad_request ?id "reload path must be a string")
-          | "infer" -> (
-              match Json.member "tuple" obj with
-              | Some (Json.List cells) ->
-                  Result.map (fun op -> { id; op }) (parse_tuple ?id cells)
-              | Some _ | None ->
-                  bad_request ?id "infer requires a \"tuple\" array")
-          | other -> bad_request ?id "unknown op %S" other)
-      | Some _ -> bad_request ?id "\"op\" must be a string"
-      | None -> bad_request ?id "request has no \"op\" field")
+      let deadline =
+        match Json.member "deadline_ms" obj with
+        | None | Some Json.Null -> Ok None
+        | Some (Json.Int ms) when ms >= 0 -> Ok (Some ms)
+        | Some _ ->
+            bad_request ?id "\"deadline_ms\" must be a non-negative integer"
+      in
+      match deadline with
+      | Error e -> Error e
+      | Ok deadline_ms -> (
+          match Json.member "op" obj with
+          | Some (Json.String op) -> (
+              let req op = Ok { id; deadline_ms; op } in
+              match op with
+              | "ping" -> req Ping
+              | "stats" -> req Stats
+              | "shutdown" -> req Shutdown
+              | "reload" -> (
+                  match Json.member "path" obj with
+                  | None | Some Json.Null -> req (Reload None)
+                  | Some (Json.String p) -> req (Reload (Some p))
+                  | Some _ -> bad_request ?id "reload path must be a string")
+              | "infer" -> (
+                  match Json.member "tuple" obj with
+                  | Some (Json.List cells) ->
+                      Result.map
+                        (fun op -> { id; deadline_ms; op })
+                        (parse_tuple ?id cells)
+                  | Some _ | None ->
+                      bad_request ?id "infer requires a \"tuple\" array")
+              | other -> bad_request ?id "unknown op %S" other)
+          | Some _ -> bad_request ?id "\"op\" must be a string"
+          | None -> bad_request ?id "request has no \"op\" field"))
   | _ -> Error (Mrsl.Error.make Mrsl.Error.Input ~code:"protocol.parse" "not a JSON object")
 
-let request_to_line { id; op } =
+let request_to_line { id; deadline_ms; op } =
   let fields =
     match op with
     | Ping -> [ ("op", Json.String "ping") ]
@@ -96,6 +109,11 @@ let request_to_line { id; op } =
                       | None -> Json.Null | Some s -> Json.String s)
                     labels)) );
         ]
+  in
+  let fields =
+    match deadline_ms with
+    | Some ms -> fields @ [ ("deadline_ms", Json.Int ms) ]
+    | None -> fields
   in
   let fields =
     match id with Some id -> ("id", id) :: fields | None -> fields

@@ -10,9 +10,14 @@
 
     {v
     {"id": 7, "op": "infer", "tuple": ["v1", null, "v3"]}
+    {"id": 8, "op": "infer", "tuple": [null, "v2"], "deadline_ms": 250}
     {"op": "ping"} | {"op": "stats"} | {"op": "shutdown"}
     {"op": "reload"} | {"op": "reload", "path": "model.mrsl"}
     v}
+
+    [deadline_ms] is an optional per-request latency budget counted
+    from admission; a request still queued when its budget expires is
+    shed with [serve.deadline_exceeded] instead of being computed.
 
     [tuple] entries are attribute value {e labels} in schema order;
     [null] (or the CSV missing marker ["?"]) marks a missing value.
@@ -45,15 +50,27 @@ type op =
   | Infer of string option array
       (** value labels in schema order; [None] = missing *)
 
-type request = { id : Mrsl.Telemetry.Json.t option; op : op }
+type request = {
+  id : Mrsl.Telemetry.Json.t option;
+  deadline_ms : int option;
+      (** client-supplied latency budget, milliseconds from admission;
+          [None] = the server's default budget applies *)
+  op : op;
+}
+
+val req :
+  ?id:Mrsl.Telemetry.Json.t -> ?deadline_ms:int -> op -> request
+(** Plain constructor, so adding request metadata never churns every
+    call site again. *)
 
 val parse_request : string -> (request, Mrsl.Error.t) result
 (** Parse one request line. Malformed JSON comes back as
     [Input/protocol.parse]; a structurally valid object with an unknown
-    or missing ["op"], or a malformed ["tuple"], as
-    [Input/protocol.bad_request]. When the broken object still carried
-    an ["id"], it is preserved in the error's context under ["id"] (as
-    compact JSON) so the server can echo it. *)
+    or missing ["op"], a malformed ["tuple"], or a negative or
+    non-integer ["deadline_ms"], as [Input/protocol.bad_request]. When
+    the broken object still carried an ["id"], it is preserved in the
+    error's context under ["id"] (as compact JSON) so the server can
+    echo it. *)
 
 val request_to_line : request -> string
 (** Encode a request as one newline-terminated line (the client side). *)

@@ -8,6 +8,11 @@ type config = {
   queue_capacity : int;
   max_frame : int;
   tick : float;
+  max_conns : int;
+  idle_timeout : float;
+  out_buf_max : int;
+  default_deadline : float;
+  shed_watermark : float;
 }
 
 let default_config endpoint =
@@ -17,17 +22,34 @@ let default_config endpoint =
     queue_capacity = 1024;
     max_frame = Protocol.Framing.default_max_frame;
     tick = 0.05;
+    max_conns = 1024;
+    idle_timeout = 30.;
+    out_buf_max = 4 * 1024 * 1024;
+    default_deadline = 30.;
+    shed_watermark = 0.75;
   }
 
 type conn = {
   fd : Unix.file_descr;
+  id : int;  (** process-unique — the fault-injection key base *)
   framing : Protocol.Framing.t;
   out : Buffer.t;
   mutable http : bool;  (** answered as HTTP — ignore further input *)
   mutable close_after_flush : bool;
+  mutable last_frame : float;
+      (** monotonic time of the last {e completed} frame (accept time
+          before any) — byte-dripping slow-loris input does not advance
+          it, so the idle reaper still fires *)
+  mutable inflight : int;  (** admitted, not yet answered *)
+  mutable seq : int;  (** per-connection fault-injection event counter *)
 }
 
-type item = { conn : conn; req : Protocol.request; enqueued_at : float }
+type item = {
+  conn : conn;
+  req : Protocol.request;
+  enqueued_at : float;  (** monotonic *)
+  deadline : float;  (** monotonic absolute; [infinity] = no budget *)
+}
 
 let overloaded_error =
   Mrsl.Error.make Mrsl.Error.Scheduler ~code:"serve.overloaded"
@@ -40,6 +62,32 @@ let shutting_down_error =
 let truncated_error =
   Mrsl.Error.make Mrsl.Error.Input ~code:"protocol.truncated"
     "connection closed mid-frame"
+
+let deadline_error =
+  Mrsl.Error.make Mrsl.Error.Scheduler ~code:"serve.deadline_exceeded"
+    "deadline expired while the request was queued — shed without computing; \
+     retry with a larger budget"
+
+let conn_rejected_error =
+  Mrsl.Error.make Mrsl.Error.Scheduler ~code:"serve.conn_rejected"
+    "server at its connection cap — connection refused, retry later"
+
+(* A peer that disappears between select and write raises SIGPIPE on the
+   write; the default disposition kills the whole daemon. Transport code
+   owns this guard (it used to live in the CLI, where every new
+   entrypoint had to remember it). *)
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" | "Cygwin" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
+(* Deterministic per-event fault-injection key: connection identity
+   folded with a per-connection event counter, so a given (seed, rate)
+   always tears/stalls/drops the same events of the same connections. *)
+let inj_key conn =
+  let k = (conn.id * 8191) + conn.seq in
+  conn.seq <- conn.seq + 1;
+  k
 
 let bind_listener endpoint =
   let fd =
@@ -84,12 +132,14 @@ let http_path line =
   | _ -> "/"
 
 let run ?stop ?hup ?on_ready config engine =
+  ignore_sigpipe ();
   let telemetry = Engine.telemetry engine in
   let queue =
     Admission.create ~telemetry ~capacity:config.queue_capacity ()
   in
   let listener = bind_listener config.endpoint in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 32 in
+  let conn_ids = ref 0 in
   let stopping = ref false in
   (* Graceful-drain bound: a peer that stops reading must not be able to
      wedge shutdown behind its unflushable response buffer. *)
@@ -97,7 +147,7 @@ let run ?stop ?hup ?on_ready config engine =
   let begin_stopping () =
     if not !stopping then begin
       stopping := true;
-      drain_deadline := Unix.gettimeofday () +. 5.0
+      drain_deadline := Mrsl.Clock.now () +. 5.0
     end
   in
   let closed = ref [] in
@@ -109,6 +159,31 @@ let run ?stop ?hup ?on_ready config engine =
     end
   in
   let send conn line = Buffer.add_string conn.out line in
+  (* Liveness must be the same record, not the same fd: the OS recycles
+     descriptor numbers, so a queued item whose connection died can
+     alias a fresh connection through [Hashtbl.mem] alone — and deliver
+     the dead peer's responses to the new one. *)
+  let conn_live conn =
+    match Hashtbl.find_opt conns conn.fd with
+    | Some c -> c == conn
+    | None -> false
+  in
+  (* HTTP connections are exempt: the metrics exposition is
+     server-generated, bounded by the registry, and closes after one
+     flush — only peer-driven response pileup is a hostile signal. *)
+  let check_out_ceiling conn =
+    if
+      (not conn.http)
+      && Buffer.length conn.out > config.out_buf_max
+      && conn_live conn
+    then begin
+      Mrsl.Telemetry.incr telemetry "serve.out_buf_killed";
+      Log.warn (fun m ->
+          m "output buffer over %d bytes on a non-reading peer — dropping"
+            config.out_buf_max);
+      close_conn conn
+    end
+  in
   let handle_http conn line =
     conn.http <- true;
     conn.close_after_flush <- true;
@@ -134,11 +209,52 @@ let run ?stop ?hup ?on_ready config engine =
               Mrsl.Telemetry.incr telemetry "serve.errors";
               send conn (Protocol.error_line ?id:req.id shutting_down_error)
             end
-            else if
-              not
-                (Admission.try_add queue
-                   { conn; req; enqueued_at = Unix.gettimeofday () })
-            then send conn (Protocol.error_line ?id:req.id overloaded_error)
+            else begin
+              let now = Mrsl.Clock.now () in
+              let budget =
+                match req.deadline_ms with
+                | Some ms -> float_of_int ms /. 1000.
+                | None -> config.default_deadline
+              in
+              let deadline =
+                if budget >= infinity then infinity else now +. budget
+              in
+              if
+                Admission.try_add queue
+                  { conn; req; enqueued_at = now; deadline }
+              then conn.inflight <- conn.inflight + 1
+              else send conn (Protocol.error_line ?id:req.id overloaded_error)
+            end
+  in
+  let handle_writable conn =
+    let data = Buffer.contents conn.out in
+    let len = String.length data in
+    if len > 0 then begin
+      (* Stalled-write injection: flush at most one byte this round —
+         the response trickles out and the buffer backs up, exactly like
+         a peer with a wedged receive window. *)
+      let wlen =
+        if Mrsl.Fault_inject.should_stall_write ~key:(inj_key conn) then begin
+          Mrsl.Telemetry.incr telemetry "fault.injected.stalled_writes";
+          1
+        end
+        else len
+      in
+      match Unix.write_substring conn.fd data 0 wlen with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> close_conn conn
+      | written ->
+          Buffer.clear conn.out;
+          if written < len then
+            Buffer.add_substring conn.out data written (len - written)
+    end;
+    if conn_live conn then begin
+      if Buffer.length conn.out = 0 && conn.close_after_flush then
+        close_conn conn
+      else check_out_ceiling conn
+    end
   in
   let read_buf = Bytes.create 65536 in
   let handle_readable conn =
@@ -158,29 +274,35 @@ let run ?stop ?hup ?on_ready config engine =
            in case it only shut down its write side. *)
         if Buffer.length conn.out = 0 then close_conn conn
         else conn.close_after_flush <- true
-    | n -> (
-        match Protocol.Framing.feed conn.framing (Bytes.sub_string read_buf 0 n) with
-        | Ok lines -> List.iter (handle_line conn) lines
+    | n ->
+        (* Torn-frame injection: deliver only a prefix of the chunk and
+           drop the connection, as if the peer died mid-frame. *)
+        let torn =
+          (not conn.http) && Mrsl.Fault_inject.should_tear_frame ~key:(inj_key conn)
+        in
+        let len = if torn then max 1 (n / 2) else n in
+        (match Protocol.Framing.feed conn.framing (Bytes.sub_string read_buf 0 len) with
+        | Ok lines ->
+            if lines <> [] then conn.last_frame <- Mrsl.Clock.now ();
+            List.iter (handle_line conn) lines;
+            (* A burst of synchronous replies (rejects, parse errors)
+               can pile up inside this one callback; give the socket a
+               chance to drain before the ceiling judges the buffer —
+               [handle_writable] flushes and then checks it. *)
+            if Buffer.length conn.out > 0 then handle_writable conn
         | Error e ->
             Mrsl.Telemetry.incr telemetry "serve.errors";
             send conn (Protocol.error_line e);
-            conn.close_after_flush <- true)
-  in
-  let handle_writable conn =
-    let data = Buffer.contents conn.out in
-    let len = String.length data in
-    if len > 0 then begin
-      match Unix.write_substring conn.fd data 0 len with
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-        ->
-          ()
-      | exception Unix.Unix_error _ -> close_conn conn
-      | written ->
-          Buffer.clear conn.out;
-          if written < len then
-            Buffer.add_substring conn.out data written (len - written)
-    end;
-    if Buffer.length conn.out = 0 && conn.close_after_flush then close_conn conn
+            conn.close_after_flush <- true);
+        if torn then begin
+          Mrsl.Telemetry.incr telemetry "fault.injected.torn_frames";
+          if conn_live conn && Protocol.Framing.pending conn.framing > 0
+          then begin
+            Mrsl.Telemetry.incr telemetry "serve.errors";
+            Log.warn (fun m -> m "%a" Mrsl.Error.pp truncated_error)
+          end;
+          close_conn conn
+        end
   in
   let accept_all () =
     let continue = ref (not !stopping) in
@@ -192,34 +314,111 @@ let run ?stop ?hup ?on_ready config engine =
           continue := false
       | fd, _ ->
           Unix.set_nonblock fd;
-          Mrsl.Telemetry.incr telemetry "serve.connections";
-          Hashtbl.replace conns fd
-            {
-              fd;
-              framing = Protocol.Framing.create ~max_frame:config.max_frame ();
-              out = Buffer.create 256;
-              http = false;
-              close_after_flush = false;
-            }
+          if Hashtbl.length conns >= config.max_conns then begin
+            (* Immediate structured reject: one best-effort write so a
+               well-behaved client learns why, then close. Never admit
+               the fd into the select set. *)
+            Mrsl.Telemetry.incr telemetry "serve.conn_rejected";
+            let line = Protocol.error_line conn_rejected_error in
+            (try
+               ignore (Unix.write_substring fd line 0 (String.length line))
+             with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            Mrsl.Telemetry.incr telemetry "serve.connections";
+            incr conn_ids;
+            Hashtbl.replace conns fd
+              {
+                fd;
+                id = !conn_ids;
+                framing = Protocol.Framing.create ~max_frame:config.max_frame ();
+                out = Buffer.create 256;
+                http = false;
+                close_after_flush = false;
+                last_frame = Mrsl.Clock.now ();
+                inflight = 0;
+                seq = 0;
+              }
+          end
     done
   in
+  let answer item line =
+    item.conn.inflight <- item.conn.inflight - 1;
+    Mrsl.Telemetry.observe telemetry "serve.latency_seconds"
+      (Float.max 0. (Mrsl.Clock.now () -. item.enqueued_at));
+    if conn_live item.conn then begin
+      (* Connection-drop injection: kill the connection at the moment
+         its answer would have been delivered — the worst time. *)
+      if Mrsl.Fault_inject.should_drop_conn ~key:(inj_key item.conn) then begin
+        Mrsl.Telemetry.incr telemetry "fault.injected.conn_drops";
+        close_conn item.conn
+      end
+      else send item.conn line
+    end
+  in
+  (* One flush per connection per batch — flushing inside [answer] would
+     cost a write syscall per response and halve pipelined throughput.
+     [handle_writable] also applies the output ceiling right after the
+     flush attempt, so a non-reading peer is judged on what the socket
+     refused to take, never on a transient unflushed burst. *)
+  let flush_batch batch =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun item ->
+        if not (Hashtbl.mem seen item.conn.id) then begin
+          Hashtbl.add seen item.conn.id ();
+          if conn_live item.conn && Buffer.length item.conn.out > 0 then
+            handle_writable item.conn
+        end)
+      batch
+  in
   let run_batch () =
+    (* Pressure is read where the batch is formed: a queue at or above
+       the watermark when we drain means arrivals are outrunning
+       service, so this batch runs on the cache-hit-only rung. *)
+    let pressure =
+      if Admission.occupancy queue >= config.shed_watermark then
+        Engine.Cache_only
+      else Engine.Normal
+    in
     match Admission.drain ~max:config.batch_max queue with
     | [] -> ()
     | batch ->
-        let reqs = List.map (fun item -> item.req) batch in
-        let lines = Engine.handle_batch engine reqs in
-        let finished = Unix.gettimeofday () in
-        List.iter2
-          (fun item line ->
-            Mrsl.Telemetry.observe telemetry "serve.latency_seconds"
-              (Float.max 0. (finished -. item.enqueued_at));
-            if Hashtbl.mem conns item.conn.fd then begin
-              send item.conn line;
-              handle_writable item.conn
-            end)
-          batch lines;
-        if Engine.wants_shutdown reqs then begin_stopping ()
+        let now = Mrsl.Clock.now () in
+        let expired, live =
+          List.partition (fun item -> now > item.deadline) batch
+        in
+        List.iter
+          (fun item ->
+            Mrsl.Telemetry.incr telemetry "serve.deadline_exceeded";
+            answer item (Protocol.error_line ?id:item.req.id deadline_error))
+          expired;
+        if live <> [] then begin
+          let reqs = List.map (fun item -> item.req) live in
+          let lines = Engine.handle_batch ~pressure engine reqs in
+          List.iter2 answer live lines;
+          if Engine.wants_shutdown reqs then begin_stopping ()
+        end;
+        flush_batch batch
+  in
+  (* The idle reaper: a connection with nothing admitted and no
+     completed frame for [idle_timeout] is a slow-loris (or a peer that
+     stopped reading its responses) — kill it. [inflight > 0] exempts
+     connections that are only waiting on us. *)
+  let sweep_idle () =
+    if config.idle_timeout > 0. then begin
+      let now = Mrsl.Clock.now () in
+      Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+      |> List.iter (fun c ->
+             if c.inflight = 0 && now -. c.last_frame > config.idle_timeout
+             then begin
+               Mrsl.Telemetry.incr telemetry "serve.idle_killed";
+               Log.warn (fun m ->
+                   m "idle connection killed after %.1fs" config.idle_timeout);
+               close_conn c
+             end)
+    end
   in
   let maybe_reload () =
     match hup with
@@ -246,7 +445,7 @@ let run ?stop ?hup ?on_ready config engine =
         && Hashtbl.fold
              (fun _ c acc -> acc && Buffer.length c.out = 0)
              conns true
-       || Unix.gettimeofday () > !drain_deadline)
+       || Mrsl.Clock.now () > !drain_deadline)
   in
   (try
      while not (finished ()) do
@@ -284,6 +483,7 @@ let run ?stop ?hup ?on_ready config engine =
              | Some conn -> handle_writable conn
              | None -> ())
          writable;
+       sweep_idle ();
        (* Graceful drain must not wait on select ticks: while stopping,
           flush every pending buffer eagerly. *)
        if !stopping then

@@ -10,9 +10,44 @@
     cache's prewarm dedup identical concurrent requests from different
     clients into one computation.
 
-    Overload ({!Admission.try_add} refusal) is answered immediately
-    with a [Scheduler/serve.overloaded] error line — the client learns
-    in microseconds instead of waiting behind an unbounded queue.
+    {2 Hostile-traffic defenses}
+
+    Every limit answers with a structured error and its own counter, so
+    an operator can tell shedding (the defenses working) from failure:
+
+    - {e connection cap} — past [max_conns] live connections, an accept
+      is answered with one [Scheduler/serve.conn_rejected] line and
+      closed immediately, never admitted to the select set
+      ([serve.conn_rejected]);
+    - {e idle reaper} — a connection that completes no frame for
+      [idle_timeout] seconds while nothing of its is queued is killed
+      ([serve.idle_killed]); byte-dripping slow-loris input does not
+      reset the timer, only completed frames do;
+    - {e output ceiling} — a peer that stops reading while responses
+      pile up is dropped once its buffer passes [out_buf_max] bytes
+      ([serve.out_buf_killed]);
+    - {e request deadlines} — each admitted request carries a latency
+      budget (the request's own [deadline_ms], else
+      [default_deadline]); a request still queued past its budget is
+      shed with [Scheduler/serve.deadline_exceeded] instead of being
+      computed ([serve.deadline_exceeded]);
+    - {e load-shedding ladder} — admission-queue overflow is refused
+      with [serve.overloaded] as before; when the queue is at or above
+      [shed_watermark] of capacity at drain time the batch runs on
+      {!Engine.Cache_only}: posterior-cache hits are answered
+      bit-identically for free, everything else is shed with
+      [serve.shed].
+
+    Sheds and kills count their own [serve.*] counters, {e not}
+    [serve.errors] — shedding is the ladder working, not a failure.
+
+    {2 Fault injection}
+
+    Three {!Mrsl.Fault_inject} sites exercise the defenses from inside:
+    torn frames (a read delivers a prefix, then the connection dies),
+    stalled writes (a flush moves one byte), and connection drops at
+    answer-delivery time. Each injected event counts
+    [fault.injected.torn_frames] / [.stalled_writes] / [.conn_drops].
 
     A connection whose first frame is an HTTP GET line is answered as
     HTTP and closed: [GET /metrics] returns the live Prometheus
@@ -33,11 +68,25 @@ type config = {
   queue_capacity : int;  (** admission bound *)
   max_frame : int;  (** per-connection line bound, bytes *)
   tick : float;  (** select timeout, seconds — stop/hup poll latency *)
+  max_conns : int;  (** live-connection cap — excess accepts rejected *)
+  idle_timeout : float;
+      (** seconds without a completed frame before an idle connection
+          is killed; [0.] disables the reaper *)
+  out_buf_max : int;
+      (** per-connection response-buffer ceiling, bytes *)
+  default_deadline : float;
+      (** latency budget, seconds, for requests that carry no
+          [deadline_ms]; [infinity] disables the default budget *)
+  shed_watermark : float;
+      (** queue-occupancy fraction at which batches degrade to
+          cache-hit-only ({!Engine.Cache_only}) *)
 }
 
 val default_config : Protocol.endpoint -> config
 (** [batch_max = 64], [queue_capacity = 1024],
-    [max_frame = Protocol.Framing.default_max_frame], [tick = 0.05]. *)
+    [max_frame = Protocol.Framing.default_max_frame], [tick = 0.05],
+    [max_conns = 1024], [idle_timeout = 30.], [out_buf_max = 4 MiB],
+    [default_deadline = 30.], [shed_watermark = 0.75]. *)
 
 val run :
   ?stop:bool Atomic.t ->
@@ -46,8 +95,12 @@ val run :
   config ->
   Engine.t ->
   unit
-(** Serve until shut down. [on_ready] fires once the endpoint is bound
-    and listening (tests and benches connect from another domain on
-    it). [stop] forces a graceful shutdown when set; [hup] is consumed
-    (reset to [false]) and triggers a model reload. Raises
+(** Serve until shut down. Installs the [SIGPIPE]-ignore disposition
+    (a peer vanishing between select and write must not kill the
+    daemon). [on_ready] fires once the endpoint is bound and listening
+    (tests and benches connect from another domain on it). [stop]
+    forces a graceful shutdown when set; [hup] is consumed (reset to
+    [false]) and triggers a model reload. All internal timing
+    (deadlines, idle reaping, drain bound, latency histograms) uses the
+    monotonic {!Mrsl.Clock}, immune to wall-clock steps. Raises
     [Unix.Unix_error] when the endpoint cannot be bound. *)

@@ -271,13 +271,7 @@ let test_voter_drop_bypasses_cache () =
            Mrsl.Infer_single.infer ~method_ model t 0))
   in
   Mrsl.Fault_inject.with_config
-    {
-      Mrsl.Fault_inject.seed = 7;
-      task_failure_rate = 0.;
-      csv_corruption_rate = 0.;
-      nonconvergence_rate = 0.;
-      voter_drop_rate = 1.0;
-    }
+    { Mrsl.Fault_inject.disabled with seed = 7; voter_drop_rate = 1.0 }
     (fun () ->
       lookup ();
       lookup ();

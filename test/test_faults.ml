@@ -51,7 +51,8 @@ let test_error_guard () =
 let cfg ?(seed = 11) ?(task = 0.) ?(csv = 0.) ?(nonconv = 0.) ?(voters = 0.)
     () =
   {
-    Mrsl.Fault_inject.seed;
+    Mrsl.Fault_inject.disabled with
+    seed;
     task_failure_rate = task;
     csv_corruption_rate = csv;
     nonconvergence_rate = nonconv;

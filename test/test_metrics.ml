@@ -52,7 +52,10 @@ let registry_names =
     "degrade.nonconverged";
     "degrade.uniform";
     "experiments.timed_seconds";
+    "fault.injected.conn_drops";
     "fault.injected.csv_rows";
+    "fault.injected.stalled_writes";
+    "fault.injected.torn_frames";
     "fault.task_failures";
     "fault.tuples_skipped";
     "fault.upstream_skipped";
@@ -91,15 +94,20 @@ let registry_names =
     "serve.batch";
     "serve.batch_size";
     "serve.batches";
+    "serve.conn_rejected";
     "serve.connections";
+    "serve.deadline_exceeded";
     "serve.epoch";
     "serve.errors";
+    "serve.idle_killed";
     "serve.latency_seconds";
     "serve.metrics_scrapes";
+    "serve.out_buf_killed";
     "serve.overloaded";
     "serve.queue_depth";
     "serve.reloads";
     "serve.requests";
+    "serve.shed";
     "workload.recorded";
     "workload.run";
     "workload.shared";

@@ -363,13 +363,7 @@ let test_explain_rung_degraded () =
   let model = dependent_model () in
   let tup = [| None; Some 0; Some 0 |] in
   Mrsl.Fault_inject.with_config
-    {
-      Mrsl.Fault_inject.seed = 1;
-      task_failure_rate = 0.;
-      csv_corruption_rate = 0.;
-      nonconvergence_rate = 0.;
-      voter_drop_rate = 1.0;
-    }
+    { Mrsl.Fault_inject.disabled with seed = 1; voter_drop_rate = 1.0 }
     (fun () ->
       let e = Mrsl.Infer_single.explain model tup 0 in
       Alcotest.(check string) "degraded rung" "marginal-prior"

@@ -42,7 +42,7 @@ let fresh_engine ?model_path () =
   in
   (engine, telemetry)
 
-let infer ?id labels = { P.id; op = P.Infer labels }
+let infer ?id labels = P.req ?id (P.Infer labels)
 let single = [| None; Some "v0"; Some "v1" |]
 
 let response_json line =
@@ -84,7 +84,7 @@ let test_protocol_roundtrip () =
     (fun op ->
       List.iter
         (fun id ->
-          let req = { P.id; op } in
+          let req = P.req ?id op in
           let line = P.request_to_line req in
           Alcotest.(check bool)
             "line is newline-terminated" true
@@ -235,12 +235,12 @@ let test_engine_request_errors () =
   (* shutdown is acknowledged in-band; the transport decision is the
      server loop's, via wants_shutdown *)
   let bye =
-    Serving.Engine.handle_request engine { P.id = None; op = P.Shutdown }
+    Serving.Engine.handle_request engine (P.req P.Shutdown)
   in
   Alcotest.(check bool) "shutdown acked" true (response_ok bye);
   Alcotest.(check bool)
     "wants_shutdown" true
-    (Serving.Engine.wants_shutdown [ { P.id = None; op = P.Shutdown } ]);
+    (Serving.Engine.wants_shutdown [ (P.req P.Shutdown) ]);
   Alcotest.(check bool)
     "plain batch does not" false
     (Serving.Engine.wants_shutdown [ infer single ])
@@ -329,7 +329,7 @@ let test_engine_batch_reload_segments () =
   let batch =
     [
       infer ~id:(Json.Int 0) single;
-      { P.id = Some (Json.Int 1); op = P.Reload None };
+      (P.req ~id:(Json.Int 1) (P.Reload None));
       infer ~id:(Json.Int 2) single;
     ]
   in
@@ -345,10 +345,330 @@ let test_engine_batch_reload_segments () =
         (response_epoch r0 <> response_epoch r2)
   | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
 
+(* --- protocol deadlines ---------------------------------------------- *)
+
+let test_protocol_deadline_roundtrip () =
+  let r = P.req ~id:(Json.Int 3) ~deadline_ms:250 P.Ping in
+  let line = P.request_to_line r in
+  Alcotest.(check bool)
+    "deadline encoded" true
+    (Astring_like.contains line {|"deadline_ms":250|});
+  (match P.parse_request (String.trim line) with
+  | Ok r' -> Alcotest.(check bool) "deadline round-trips" true (r = r')
+  | Error e -> Alcotest.failf "round-trip failed: %s" (Mrsl.Error.to_string e));
+  (match P.parse_request {|{"op":"ping"}|} with
+  | Ok r' ->
+      Alcotest.(check bool)
+        "absent stays absent" true
+        (r'.P.deadline_ms = None)
+  | Error e -> Alcotest.failf "parse failed: %s" (Mrsl.Error.to_string e));
+  match P.parse_request {|{"op":"ping","deadline_ms":-5}|} with
+  | Ok _ -> Alcotest.fail "negative deadline accepted"
+  | Error e ->
+      Alcotest.(check string)
+        "negative deadline refused" "protocol.bad_request" e.Mrsl.Error.code
+
+(* --- engine load-shedding ladder ------------------------------------- *)
+
+let test_engine_cache_only () =
+  let engine, telemetry = fresh_engine () in
+  (* Cold: nothing cached — a Cache_only batch sheds instead of
+     computing, with its own counter, not serve.errors. *)
+  (match
+     Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+       [ infer ~id:(Json.Int 0) single ]
+   with
+  | [ line ] ->
+      Alcotest.(check string)
+        "cold miss shed" "serve.shed" (response_error_code line)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  Alcotest.(check int) "shed counted" 1 (counter telemetry "serve.shed");
+  Alcotest.(check int)
+    "shed is not an error" 0
+    (counter telemetry "serve.errors");
+  (* Warm: a normal request populates the cache; the same request under
+     pressure is then answered bit-identically, for free. *)
+  let normal = Serving.Engine.handle_request engine (infer single) in
+  (match
+     Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+       [ infer single ]
+   with
+  | [ line ] ->
+      Alcotest.(check bool) "warm hit served" true (response_ok line);
+      Alcotest.(check string) "bit-identical to the normal answer" normal line
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (* multi-missing has no cached rung: always shed under pressure *)
+  (match
+     Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+       [ infer [| None; None; Some "v1" |] ]
+   with
+  | [ line ] ->
+      Alcotest.(check string)
+        "gibbs work shed" "serve.shed" (response_error_code line)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (* control-plane ops keep answering under pressure *)
+  match
+    Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+      [ P.req P.Ping ]
+  with
+  | [ line ] ->
+      Alcotest.(check bool) "ping served under pressure" true (response_ok line)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+(* --- client resilience ----------------------------------------------- *)
+
+let test_client_backoff () =
+  let delay = Serving.Client.backoff_delay ~base:0.05 ~max_delay:1.0 in
+  Alcotest.(check (float 1e-12))
+    "deterministic" (delay ~seed:9 0) (delay ~seed:9 0);
+  (* attempt n lands in [cap/2, cap) with cap = min max_delay base*2^n *)
+  List.iter
+    (fun attempt ->
+      let cap = Float.min 1.0 (0.05 *. (2. ** float_of_int attempt)) in
+      let d = delay ~seed:9 attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within jitter band" attempt)
+        true
+        (d >= cap /. 2. && d < cap))
+    [ 0; 1; 2; 3; 8; 20 ];
+  Alcotest.(check bool)
+    "seed de-correlates the herd" true
+    (delay ~seed:1 4 <> delay ~seed:2 4)
+
+(* --- server, over a real socket -------------------------------------- *)
+
+(* Run [f endpoint] against a live daemon in another domain, then stop
+   it and return the engine's (private) telemetry registry — counter
+   assertions happen after [Domain.join], which orders the server
+   domain's writes before our reads. *)
+let with_server ?(configure = fun c -> c) f =
+  let engine, telemetry = fresh_engine () in
+  let sock = Filename.temp_file "mrsl-serving-test" ".sock" in
+  Sys.remove sock;
+  let endpoint = P.Unix_socket sock in
+  let config =
+    configure { (Serving.Server.default_config endpoint) with tick = 0.005 }
+  in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serving.Server.run ~stop
+          ~on_ready:(fun () -> Atomic.set ready true)
+          config engine)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () -> f endpoint);
+  telemetry
+
+(* Raw fd plumbing: the resilient {!Serving.Client} hides exactly the
+   degenerate peer behaviors (half-close, torn frames, never reading)
+   these tests need to produce. *)
+let raw_connect = function
+  | P.Unix_socket path ->
+      (match Sys.os_type with
+      | "Unix" | "Cygwin" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+      | _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | P.Tcp _ -> Alcotest.fail "tests use unix sockets"
+
+let raw_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let read_line_fd ?(timeout = 5.) fd =
+  let deadline = Mrsl.Clock.now () +. timeout in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    let data = Buffer.contents buf in
+    match String.index_opt data '\n' with
+    | Some i -> String.sub data 0 i
+    | None ->
+        let remaining = deadline -. Mrsl.Clock.now () in
+        if remaining <= 0. then Alcotest.fail "read_line_fd timed out";
+        (match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> Alcotest.fail "read_line_fd timed out"
+        | _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> raise End_of_file
+            | n -> Buffer.add_subbytes buf chunk 0 n));
+        go ()
+  in
+  go ()
+
+(* Drain until the server closes the connection; fail on timeout. *)
+let expect_eof ?(timeout = 5.) fd =
+  let deadline = Mrsl.Clock.now () +. timeout in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    let remaining = deadline -. Mrsl.Clock.now () in
+    if remaining <= 0. then Alcotest.fail "expected EOF, got silence";
+    match Unix.select [ fd ] [] [] remaining with
+    | [], _, _ -> Alcotest.fail "expected EOF, got silence"
+    | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | _ -> go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            ())
+  in
+  go ()
+
+let test_server_half_close () =
+  let telemetry =
+    with_server @@ fun endpoint ->
+    let fd = raw_connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> raw_close fd)
+      (fun () ->
+        let line = "{\"op\":\"ping\"}\n" in
+        ignore (Unix.write_substring fd line 0 (String.length line));
+        (* EOF with a response still owed: the server must treat this as
+           a half-close and flush, not drop the pong. *)
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let resp = read_line_fd fd in
+        Alcotest.(check bool) "pong after half-close" true (response_ok resp);
+        expect_eof fd)
+  in
+  Alcotest.(check int)
+    "clean close is not an error" 0
+    (counter telemetry "serve.errors")
+
+let test_server_truncated_frame () =
+  let telemetry =
+    with_server @@ fun endpoint ->
+    let fd = raw_connect endpoint in
+    ignore (Unix.write_substring fd "{\"op\":\"pi" 0 9);
+    raw_close fd;
+    (* A later probe round-trip guarantees the server has processed the
+       EOF (its readiness predates the probe's accept). *)
+    let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+    Fun.protect
+      ~finally:(fun () -> Serving.Client.close c)
+      (fun () ->
+        Alcotest.(check bool)
+          "daemon alive" true
+          (response_ok (Serving.Client.rpc c (P.req P.Ping))))
+  in
+  Alcotest.(check int)
+    "truncated frame counted" 1
+    (counter telemetry "serve.errors")
+
+let test_server_idle_kill () =
+  let telemetry =
+    with_server ~configure:(fun c -> { c with idle_timeout = 0.15 })
+    @@ fun endpoint ->
+    let fd = raw_connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> raw_close fd)
+      (fun () ->
+        (* Slow-loris: keep dripping bytes that never complete a frame.
+           The reaper keys on completed frames, so the drip must not
+           keep the connection alive. *)
+        try
+          for _ = 1 to 50 do
+            ignore (Unix.write_substring fd "x" 0 1);
+            Unix.sleepf 0.02
+          done;
+          Alcotest.fail "slow-loris connection survived the reaper"
+        with Unix.Unix_error _ -> ())
+  in
+  Alcotest.(check int)
+    "idle kill counted" 1
+    (counter telemetry "serve.idle_killed")
+
+let test_server_out_buf_kill () =
+  let telemetry =
+    with_server ~configure:(fun c ->
+        { c with out_buf_max = 512; idle_timeout = 0. })
+    @@ fun endpoint ->
+    (* Stalled writes force responses to pile up server-side (an
+       un-injected flush would just park them in the socket buffer). *)
+    Mrsl.Fault_inject.with_config
+      { Mrsl.Fault_inject.disabled with seed = 5; stall_write_rate = 1.0 }
+      (fun () ->
+        let fd = raw_connect endpoint in
+        Fun.protect
+          ~finally:(fun () -> raw_close fd)
+          (fun () ->
+            let ping = "{\"op\":\"ping\"}\n" in
+            (try
+               for _ = 1 to 200 do
+                 ignore (Unix.write_substring fd ping 0 (String.length ping))
+               done
+             with Unix.Unix_error _ -> ());
+            (* never read a byte: the 200 pongs must cross the 512-byte
+               ceiling and get this connection dropped *)
+            expect_eof ~timeout:10. fd))
+  in
+  Alcotest.(check bool)
+    "out-buffer kill counted" true
+    (counter telemetry "serve.out_buf_killed" >= 1)
+
+let test_server_deadline_shed () =
+  let telemetry =
+    with_server @@ fun endpoint ->
+    let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+    Fun.protect
+      ~finally:(fun () -> Serving.Client.close c)
+      (fun () ->
+        let line = Serving.Client.rpc c (P.req ~deadline_ms:0 (P.Infer single)) in
+        Alcotest.(check string)
+          "zero budget shed before computing" "serve.deadline_exceeded"
+          (response_error_code line);
+        let ok =
+          Serving.Client.rpc c (P.req ~deadline_ms:30_000 (P.Infer single))
+        in
+        Alcotest.(check bool) "roomy budget served" true (response_ok ok))
+  in
+  Alcotest.(check int)
+    "deadline shed counted" 1
+    (counter telemetry "serve.deadline_exceeded");
+  Alcotest.(check int)
+    "shed is not an error" 0
+    (counter telemetry "serve.errors")
+
+let test_server_conn_cap () =
+  let telemetry =
+    with_server ~configure:(fun c -> { c with max_conns = 1 })
+    @@ fun endpoint ->
+    let c1 = Serving.Client.connect_retry ~timeout:5. endpoint in
+    Fun.protect
+      ~finally:(fun () -> Serving.Client.close c1)
+      (fun () ->
+        (* the ping round-trip pins c1 as accepted before c2 arrives *)
+        Alcotest.(check bool)
+          "first connection serves" true
+          (response_ok (Serving.Client.rpc c1 (P.req P.Ping)));
+        let fd = raw_connect endpoint in
+        Fun.protect
+          ~finally:(fun () -> raw_close fd)
+          (fun () ->
+            let line = read_line_fd fd in
+            Alcotest.(check string)
+              "structured reject" "serve.conn_rejected"
+              (response_error_code line);
+            expect_eof fd);
+        Alcotest.(check bool)
+          "survivor unaffected" true
+          (response_ok (Serving.Client.rpc c1 (P.req P.Ping))))
+  in
+  Alcotest.(check int)
+    "reject counted" 1
+    (counter telemetry "serve.conn_rejected")
+
 let suite =
   [
     ("protocol round-trip", `Quick, test_protocol_roundtrip);
     ("protocol structured errors", `Quick, test_protocol_errors);
+    ("protocol deadline_ms", `Quick, test_protocol_deadline_roundtrip);
     ("framing reassembly", `Quick, test_framing);
     ("framing oversize poisons", `Quick, test_framing_oversize);
     ("admission bound + FIFO", `Quick, test_admission);
@@ -358,4 +678,12 @@ let suite =
     ("epoch swap invalidates cache", `Quick, test_engine_epoch_swap);
     ("reload failures keep serving", `Quick, test_engine_reload_failures);
     ("reload splits a batch", `Quick, test_engine_batch_reload_segments);
+    ("cache-only pressure rung", `Quick, test_engine_cache_only);
+    ("client backoff deterministic", `Quick, test_client_backoff);
+    ("server half-close flushes", `Quick, test_server_half_close);
+    ("server counts truncated frames", `Quick, test_server_truncated_frame);
+    ("server reaps slow-loris", `Quick, test_server_idle_kill);
+    ("server enforces output ceiling", `Quick, test_server_out_buf_kill);
+    ("server sheds expired deadlines", `Quick, test_server_deadline_shed);
+    ("server rejects past the conn cap", `Quick, test_server_conn_cap);
   ]
