@@ -22,6 +22,17 @@ let seed_arg =
   let doc = "Random seed (all commands are deterministic given the seed)." in
   Arg.(value & opt int 2011 & info [ "seed" ] ~doc)
 
+(* Validated at the cmdliner layer so a bad value is a usage error
+   (like every other argument here), not an uncaught Failure. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let support_arg =
   let doc = "Support threshold θ for frequent-itemset mining." in
   Arg.(value & opt float 0.02 & info [ "support" ] ~doc ~docv:"THETA")
@@ -330,7 +341,7 @@ let infer_cmd =
   in
   let cache_mb_arg =
     let doc = "Posterior-cache byte budget, in MiB (LRU-evicted beyond it)." in
-    Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+    Arg.(value & opt positive_int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
   in
   let print_estimate schema top (tup, est) =
     let block = Probdb.Block.of_estimate est in
@@ -390,16 +401,11 @@ let infer_cmd =
     else begin
       let config = { Mrsl.Gibbs.burn_in; samples } in
       let cache =
-        if use_cache then begin
-          if cache_mb < 1 then begin
-            Printf.eprintf "--cache-mb must be >= 1\n";
-            exit 1
-          end;
+        if use_cache then
           Some
             (Mrsl.Posterior_cache.create
                ~max_bytes:(cache_mb * 1024 * 1024)
                ())
-        end
         else None
       in
       if retry then begin
@@ -935,10 +941,9 @@ let serve_domains_arg =
 
 let serve_cache_mb_arg =
   let doc = "Posterior-cache byte budget, in MiB." in
-  Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+  Arg.(value & opt positive_int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
 
 let engine_config_of seed method_ samples burn_in domains cache_mb =
-  if cache_mb < 1 then failwith "--cache-mb must be >= 1";
   {
     Serving.Engine.seed;
     method_;
@@ -970,9 +975,11 @@ let serve_cmd =
   let max_conns_arg =
     let doc =
       "Live-connection cap: past $(docv) connections an accept is \
-       answered `serve.conn_rejected' and closed immediately."
+       answered `serve.conn_rejected' and closed immediately. \
+       Regardless of $(docv), descriptors the select loop cannot \
+       represent (>= 1024) are always rejected."
     in
-    Arg.(value & opt int 1024 & info [ "max-conns" ] ~doc ~docv:"N")
+    Arg.(value & opt int 1000 & info [ "max-conns" ] ~doc ~docv:"N")
   in
   let idle_timeout_arg =
     let doc =
@@ -1001,9 +1008,22 @@ let serve_cmd =
       & opt int (4 * 1024 * 1024)
       & info [ "out-buf-max" ] ~doc ~docv:"BYTES")
   in
+  let out_buf_total_arg =
+    let doc =
+      "Aggregate response-buffer budget in bytes across all \
+       connections: per-connection ceilings compose (max-conns x \
+       out-buf-max), so past $(docv) total buffered bytes the \
+       connections with the largest buffers are dropped \
+       (`serve.out_buf_killed') until the rest fits."
+    in
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "out-buf-total" ] ~doc ~docv:"BYTES")
+  in
   let run model_path endpoint seed method_ samples burn_in domains cache_mb
       batch_max queue_capacity max_conns idle_timeout deadline_ms out_buf_max
-      =
+      out_buf_total =
     if Sys.getenv_opt "MRSL_LOG" = None then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -1025,6 +1045,7 @@ let serve_cmd =
         max_conns;
         idle_timeout;
         out_buf_max;
+        out_buf_total;
         default_deadline =
           (if deadline_ms <= 0 then infinity
            else float_of_int deadline_ms /. 1000.);
@@ -1046,7 +1067,7 @@ let serve_cmd =
       const run $ model_arg $ endpoint_term $ seed_arg $ method_arg
       $ samples_arg $ burn_in_arg $ serve_domains_arg $ serve_cache_mb_arg
       $ batch_max_arg $ queue_arg $ max_conns_arg $ idle_timeout_arg
-      $ deadline_ms_arg $ out_buf_max_arg)
+      $ deadline_ms_arg $ out_buf_max_arg $ out_buf_total_arg)
 
 let client_cmd =
   let module Json = Mrsl.Telemetry.Json in

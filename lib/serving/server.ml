@@ -11,9 +11,25 @@ type config = {
   max_conns : int;
   idle_timeout : float;
   out_buf_max : int;
+  out_buf_total : int;
   default_deadline : float;
   shed_watermark : float;
 }
+
+(* [Unix.select] represents each fd set as a bit array of FD_SETSIZE
+   slots (1024 on every platform we target); passing any fd >= that
+   raises EINVAL — which, uncaught, would kill the daemon under exactly
+   the accept flood it is meant to survive. So admission refuses any
+   descriptor select cannot represent, and the default connection cap
+   sits under the limit to leave room for the listener, stdio, and
+   whatever the engine holds open. On Unix a [Unix.file_descr] is the
+   raw integer, so the check can read it directly. *)
+let fd_setsize = 1024
+
+let selectable fd =
+  match Sys.os_type with
+  | "Unix" | "Cygwin" -> (Obj.magic fd : int) < fd_setsize
+  | _ -> true
 
 let default_config endpoint =
   {
@@ -22,9 +38,10 @@ let default_config endpoint =
     queue_capacity = 1024;
     max_frame = Protocol.Framing.default_max_frame;
     tick = 0.05;
-    max_conns = 1024;
+    max_conns = 1000;
     idle_timeout = 30.;
     out_buf_max = 4 * 1024 * 1024;
+    out_buf_total = 64 * 1024 * 1024;
     default_deadline = 30.;
     shed_watermark = 0.75;
   }
@@ -103,9 +120,24 @@ let bind_listener endpoint =
                 Unix.close probe;
                 failwith
                   (Printf.sprintf "another server is listening on %s" path)
-            | exception Unix.Unix_error _ ->
-                Unix.close probe;
-                Unix.unlink path)
+            | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+              ->
+                (* Nobody holds the listen (or the file vanished under
+                   us): the socket is a dead server's leftover. *)
+                (try Unix.close probe with Unix.Unix_error _ -> ());
+                (try Unix.unlink path
+                 with Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+            | exception Unix.Unix_error (err, _, _) ->
+                (* A live server can answer the probe with a transient
+                   error (EAGAIN on a full backlog, EINTR, ...) —
+                   unlinking here would steal its traffic. Refuse to
+                   start instead. *)
+                (try Unix.close probe with Unix.Unix_error _ -> ());
+                failwith
+                  (Printf.sprintf
+                     "probing %s failed (%s) — another server may be \
+                      listening; remove the socket manually if it is stale"
+                     path (Unix.error_message err)))
         | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
         | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -314,7 +346,11 @@ let run ?stop ?hup ?on_ready config engine =
           continue := false
       | fd, _ ->
           Unix.set_nonblock fd;
-          if Hashtbl.length conns >= config.max_conns then begin
+          (* [selectable] is a hard floor under the configured cap: an
+             fd select cannot represent must never reach the select set,
+             whatever [max_conns] says. *)
+          if Hashtbl.length conns >= config.max_conns || not (selectable fd)
+          then begin
             (* Immediate structured reject: one best-effort write so a
                well-behaved client learns why, then close. Never admit
                the fd into the select set. *)
@@ -420,6 +456,41 @@ let run ?stop ?hup ?on_ready config engine =
              end)
     end
   in
+  (* Per-connection ceilings compose into a large aggregate: [max_conns]
+     peers each just under [out_buf_max] is gigabytes of buffered
+     responses with every individual limit respected. The aggregate
+     budget bounds total buffered memory by killing the worst offenders
+     (largest buffers first) until the rest fits. HTTP connections are
+     exempt from the kill for the same reason as the per-connection
+     ceiling — their output is server-generated and bounded — but their
+     bytes still count toward the total, because memory is memory. *)
+  let sweep_out_budget () =
+    let total =
+      Hashtbl.fold (fun _ c acc -> acc + Buffer.length c.out) conns 0
+    in
+    if total > config.out_buf_total then begin
+      let offenders =
+        Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+        |> List.filter (fun c -> (not c.http) && Buffer.length c.out > 0)
+        |> List.sort (fun a b ->
+               compare (Buffer.length b.out) (Buffer.length a.out))
+      in
+      let excess = ref (total - config.out_buf_total) in
+      List.iter
+        (fun c ->
+          if !excess > 0 then begin
+            excess := !excess - Buffer.length c.out;
+            Mrsl.Telemetry.incr telemetry "serve.out_buf_killed";
+            Log.warn (fun m ->
+                m
+                  "aggregate output buffers over %d bytes — dropping the \
+                   largest (%d bytes buffered)"
+                  config.out_buf_total (Buffer.length c.out));
+            close_conn c
+          end)
+        offenders
+    end
+  in
   let maybe_reload () =
     match hup with
     | Some flag when Atomic.compare_and_set flag true false -> (
@@ -463,8 +534,12 @@ let run ?stop ?hup ?on_ready config engine =
            conns []
        in
        let readable, writable, _ =
+         (* EINVAL is defensive: admission never lets an fd >=
+            FD_SETSIZE into the sets, but a select failure must degrade
+            to an idle tick, not kill the daemon. *)
          try Unix.select read_fds write_fds [] config.tick
-         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+         with Unix.Unix_error ((Unix.EINTR | Unix.EINVAL), _, _) ->
+           ([], [], [])
        in
        closed := [];
        if List.mem listener readable then accept_all ();
@@ -484,6 +559,7 @@ let run ?stop ?hup ?on_ready config engine =
              | None -> ())
          writable;
        sweep_idle ();
+       sweep_out_budget ();
        (* Graceful drain must not wait on select ticks: while stopping,
           flush every pending buffer eagerly. *)
        if !stopping then

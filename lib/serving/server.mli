@@ -18,14 +18,23 @@
     - {e connection cap} — past [max_conns] live connections, an accept
       is answered with one [Scheduler/serve.conn_rejected] line and
       closed immediately, never admitted to the select set
-      ([serve.conn_rejected]);
+      ([serve.conn_rejected]); the same reject fires for any accepted
+      descriptor numbered at or above [FD_SETSIZE] (1024), which
+      [Unix.select] cannot represent — a hard floor under the
+      configured cap, so a flood can never push an unrepresentable fd
+      into the select set and crash the loop with [EINVAL];
     - {e idle reaper} — a connection that completes no frame for
       [idle_timeout] seconds while nothing of its is queued is killed
       ([serve.idle_killed]); byte-dripping slow-loris input does not
       reset the timer, only completed frames do;
     - {e output ceiling} — a peer that stops reading while responses
       pile up is dropped once its buffer passes [out_buf_max] bytes
-      ([serve.out_buf_killed]);
+      ([serve.out_buf_killed]); and because per-connection ceilings
+      compose — [max_conns] peers each just under [out_buf_max] is
+      gigabytes with every individual limit respected — an {e
+      aggregate} budget [out_buf_total] bounds the sum across all
+      connections, killing the largest buffers first until the rest
+      fits (also [serve.out_buf_killed]);
     - {e request deadlines} — each admitted request carries a latency
       budget (the request's own [deadline_ms], else
       [default_deadline]); a request still queued past its budget is
@@ -68,12 +77,17 @@ type config = {
   queue_capacity : int;  (** admission bound *)
   max_frame : int;  (** per-connection line bound, bytes *)
   tick : float;  (** select timeout, seconds — stop/hup poll latency *)
-  max_conns : int;  (** live-connection cap — excess accepts rejected *)
+  max_conns : int;
+      (** live-connection cap — excess accepts rejected; fds [select]
+          cannot represent (>= 1024) are rejected regardless *)
   idle_timeout : float;
       (** seconds without a completed frame before an idle connection
           is killed; [0.] disables the reaper *)
   out_buf_max : int;
       (** per-connection response-buffer ceiling, bytes *)
+  out_buf_total : int;
+      (** aggregate response-buffer budget across all connections,
+          bytes — largest buffers are killed first past it *)
   default_deadline : float;
       (** latency budget, seconds, for requests that carry no
           [deadline_ms]; [infinity] disables the default budget *)
@@ -85,7 +99,9 @@ type config = {
 val default_config : Protocol.endpoint -> config
 (** [batch_max = 64], [queue_capacity = 1024],
     [max_frame = Protocol.Framing.default_max_frame], [tick = 0.05],
-    [max_conns = 1024], [idle_timeout = 30.], [out_buf_max = 4 MiB],
+    [max_conns = 1000] (under [FD_SETSIZE] with room for the listener,
+    stdio, and the engine's own descriptors), [idle_timeout = 30.],
+    [out_buf_max = 4 MiB], [out_buf_total = 64 MiB],
     [default_deadline = 30.], [shed_watermark = 0.75]. *)
 
 val run :

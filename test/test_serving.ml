@@ -441,10 +441,16 @@ let test_client_backoff () =
    it and return the engine's (private) telemetry registry — counter
    assertions happen after [Domain.join], which orders the server
    domain's writes before our reads. *)
-let with_server ?(configure = fun c -> c) f =
+let with_server ?(configure = fun c -> c) ?sock f =
   let engine, telemetry = fresh_engine () in
-  let sock = Filename.temp_file "mrsl-serving-test" ".sock" in
-  Sys.remove sock;
+  let sock =
+    match sock with
+    | Some s -> s
+    | None ->
+        let s = Filename.temp_file "mrsl-serving-test" ".sock" in
+        Sys.remove s;
+        s
+  in
   let endpoint = P.Unix_socket sock in
   let config =
     configure { (Serving.Server.default_config endpoint) with tick = 0.005 }
@@ -612,6 +618,79 @@ let test_server_out_buf_kill () =
     "out-buffer kill counted" true
     (counter telemetry "serve.out_buf_killed" >= 1)
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_server_socket_probe () =
+  (* A live server's socket must never be stolen: a second startup on
+     the same path refuses instead of unlinking and rebinding. *)
+  ignore
+    ( with_server @@ fun endpoint ->
+      let engine2, _ = fresh_engine () in
+      (match
+         Serving.Server.run
+           { (Serving.Server.default_config endpoint) with tick = 0.005 }
+           engine2
+       with
+      | () -> Alcotest.fail "second server started on a live socket"
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            "refusal names the live server" true (contains msg "listening"));
+      (* ...and the live server is undisturbed by the probe *)
+      let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+      Fun.protect
+        ~finally:(fun () -> Serving.Client.close c)
+        (fun () ->
+          Alcotest.(check bool)
+            "original server undisturbed" true
+            (response_ok (Serving.Client.rpc c (P.req P.Ping)))) );
+  (* A dead server's leftover (nobody holds the listen — the probe sees
+     ECONNREFUSED) is unlinked and taken over. *)
+  let sock = Filename.temp_file "mrsl-serving-stale" ".sock" in
+  Sys.remove sock;
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX sock);
+  Unix.close dead;
+  ignore
+    ( with_server ~sock @@ fun endpoint ->
+      let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+      Fun.protect
+        ~finally:(fun () -> Serving.Client.close c)
+        (fun () ->
+          Alcotest.(check bool)
+            "stale socket taken over" true
+            (response_ok (Serving.Client.rpc c (P.req P.Ping)))) )
+
+let test_server_out_buf_total_kill () =
+  let telemetry =
+    (* Per-connection ceiling far out of reach: only the aggregate
+       budget can be what kills the non-reading peer. *)
+    with_server ~configure:(fun c ->
+        { c with out_buf_max = max_int; out_buf_total = 512; idle_timeout = 0. })
+    @@ fun endpoint ->
+    Mrsl.Fault_inject.with_config
+      { Mrsl.Fault_inject.disabled with seed = 5; stall_write_rate = 1.0 }
+      (fun () ->
+        let fd = raw_connect endpoint in
+        Fun.protect
+          ~finally:(fun () -> raw_close fd)
+          (fun () ->
+            let ping = "{\"op\":\"ping\"}\n" in
+            (try
+               for _ = 1 to 200 do
+                 ignore (Unix.write_substring fd ping 0 (String.length ping))
+               done
+             with Unix.Unix_error _ -> ());
+            expect_eof ~timeout:10. fd))
+  in
+  Alcotest.(check bool)
+    "aggregate out-buffer kill counted" true
+    (counter telemetry "serve.out_buf_killed" >= 1)
+
 let test_server_deadline_shed () =
   let telemetry =
     with_server @@ fun endpoint ->
@@ -684,6 +763,10 @@ let suite =
     ("server counts truncated frames", `Quick, test_server_truncated_frame);
     ("server reaps slow-loris", `Quick, test_server_idle_kill);
     ("server enforces output ceiling", `Quick, test_server_out_buf_kill);
+    ( "server enforces aggregate output budget",
+      `Quick,
+      test_server_out_buf_total_kill );
     ("server sheds expired deadlines", `Quick, test_server_deadline_shed);
     ("server rejects past the conn cap", `Quick, test_server_conn_cap);
+    ("socket probe: live kept, stale reclaimed", `Quick, test_server_socket_probe);
   ]
