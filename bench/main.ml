@@ -993,6 +993,36 @@ let render_serve rng =
                 ("p99_us", Json.Float p99);
               ]
           in
+          (* Server-side per-phase decomposition of the same traffic:
+             the daemon runs in-process on the global registry, so its
+             queue-wait / compute / flush-wait histograms are readable
+             right here. Emitted into the artifact for the CI histogram
+             gate (--require-histogram / --histogram-p99). *)
+          let phase key name =
+            match Mrsl.Telemetry.histogram Mrsl.Telemetry.global name with
+            | None -> (key, Json.Obj [ ("count", Json.Int 0) ])
+            | Some (s : Mrsl.Telemetry.summary) ->
+                ( key,
+                  Json.Obj
+                    [
+                      ("count", Json.Int s.count);
+                      ("p50_ms", Json.Float (s.p50 *. 1000.));
+                      ("p99_ms", Json.Float (s.p99 *. 1000.));
+                      ("max_ms", Json.Float (s.max *. 1000.));
+                    ] )
+          in
+          let phase_p99 name =
+            match Mrsl.Telemetry.histogram Mrsl.Telemetry.global name with
+            | None -> 0.
+            | Some s -> s.Mrsl.Telemetry.p99 *. 1000.
+          in
+          out
+            "phases (server-side p99): queue %.2fms  compute %.2fms  flush \
+             %.2fms  total %.2fms"
+            (phase_p99 "serve.queue_wait_seconds")
+            (phase_p99 "serve.compute_seconds")
+            (phase_p99 "serve.flush_wait_seconds")
+            (phase_p99 "serve.latency_seconds");
           serve_block :=
             Some
               (Json.Obj
@@ -1006,6 +1036,14 @@ let render_serve rng =
                             per-request one; only its throughput is
                             meaningful (and gated). *)
                          row "pipelined" n_pipe pipe_wall pipe_rps 0. 0.;
+                       ] );
+                   ( "phases",
+                     Json.Obj
+                       [
+                         phase "queue_wait" "serve.queue_wait_seconds";
+                         phase "compute" "serve.compute_seconds";
+                         phase "flush_wait" "serve.flush_wait_seconds";
+                         phase "total" "serve.latency_seconds";
                        ] );
                    ("dedup_burst", Json.Int window);
                    ("dedup_fanout", Json.Int fanout);

@@ -1021,9 +1021,34 @@ let serve_cmd =
       & opt int (64 * 1024 * 1024)
       & info [ "out-buf-total" ] ~doc ~docv:"BYTES")
   in
+  let access_log_arg =
+    let doc =
+      "Write a structured JSON access log (one object per logged \
+       request: phase breakdown, outcome, conn, epoch) to $(docv); `-' \
+       logs to stdout. Sampling is deterministic — see `--log-sample'."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "access-log" ] ~doc ~docv:"FILE")
+  in
+  let slow_ms_arg =
+    let doc =
+      "Always log requests slower than $(docv) milliseconds end-to-end, \
+       regardless of the sampling rate."
+    in
+    Arg.(value & opt float 100. & info [ "slow-ms" ] ~doc ~docv:"MS")
+  in
+  let log_sample_arg =
+    let doc =
+      "Fraction of ordinary requests to log, decided by a deterministic \
+       splitmix draw keyed on (seed, request sequence) — the same seed \
+       and workload always sample the same lines. Errors, sheds, and \
+       deadline expiries are always logged."
+    in
+    Arg.(value & opt float 1.0 & info [ "log-sample" ] ~doc ~docv:"FRAC")
+  in
   let run model_path endpoint seed method_ samples burn_in domains cache_mb
       batch_max queue_capacity max_conns idle_timeout deadline_ms out_buf_max
-      out_buf_total =
+      out_buf_total trace access_log slow_ms log_sample =
     if Sys.getenv_opt "MRSL_LOG" = None then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -1037,6 +1062,12 @@ let serve_cmd =
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
     let config = engine_config_of seed method_ samples burn_in domains cache_mb in
     let engine = Serving.Engine.create ~config ~model_path () in
+    let log_oc =
+      match access_log with
+      | None -> None
+      | Some "-" -> Some stdout
+      | Some path -> Some (open_out path)
+    in
     let server_config =
       {
         (Serving.Server.default_config endpoint) with
@@ -1049,9 +1080,19 @@ let serve_cmd =
         default_deadline =
           (if deadline_ms <= 0 then infinity
            else float_of_int deadline_ms /. 1000.);
+        access_log = log_oc;
+        slow_ms;
+        log_sample;
       }
     in
-    Serving.Server.run ~stop ~hup server_config engine
+    Fun.protect
+      ~finally:(fun () ->
+        match log_oc with
+        | Some oc when oc != stdout -> close_out_noerr oc
+        | _ -> ())
+      (fun () ->
+        with_trace trace (fun () ->
+            Serving.Server.run ~stop ~hup server_config engine))
   in
   let info =
     Cmd.info "serve"
@@ -1067,7 +1108,8 @@ let serve_cmd =
       const run $ model_arg $ endpoint_term $ seed_arg $ method_arg
       $ samples_arg $ burn_in_arg $ serve_domains_arg $ serve_cache_mb_arg
       $ batch_max_arg $ queue_arg $ max_conns_arg $ idle_timeout_arg
-      $ deadline_ms_arg $ out_buf_max_arg $ out_buf_total_arg)
+      $ deadline_ms_arg $ out_buf_max_arg $ out_buf_total_arg $ trace_arg
+      $ access_log_arg $ slow_ms_arg $ log_sample_arg)
 
 let client_cmd =
   let module Json = Mrsl.Telemetry.Json in
@@ -1168,6 +1210,53 @@ let client_cmd =
     Cmd.v
       (Cmd.info "metrics"
          ~doc:"Scrape GET /metrics and print the Prometheus exposition.")
+      Term.(const run $ endpoint_term)
+  in
+  let profile_cmd =
+    let run endpoint =
+      with_client endpoint (fun c ->
+          let obj = Serving.Client.stats_json c in
+          let phases =
+            match Json.member "phases" obj with
+            | Some (Json.Obj ps) -> ps
+            | _ ->
+                failwith
+                  "stats response has no phases object — is the daemon \
+                   older than the observability pass?"
+          in
+          let num key fields =
+            match List.assoc_opt key fields with
+            | Some (Json.Float f) -> Some f
+            | Some (Json.Int i) -> Some (float_of_int i)
+            | _ -> None
+          in
+          Printf.printf "%-12s %8s %12s %12s %12s\n" "phase" "count"
+            "p50 (ms)" "p99 (ms)" "max (ms)";
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | Json.Obj fields ->
+                  let count =
+                    match num "count" fields with
+                    | Some c -> int_of_float c
+                    | None -> 0
+                  in
+                  let cell key =
+                    match num key fields with
+                    | Some f when count > 0 -> Printf.sprintf "%.3f" f
+                    | _ -> "-"
+                  in
+                  Printf.printf "%-12s %8d %12s %12s %12s\n" name count
+                    (cell "p50_ms") (cell "p99_ms") (cell "max_ms")
+              | _ -> ())
+            phases)
+    in
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Show the daemon's live per-phase latency breakdown \
+            (queue-wait / compute / flush-wait / total p50, p99, and \
+            max) from its `stats' op.")
       Term.(const run $ endpoint_term)
   in
   let verify_cmd =
@@ -1301,7 +1390,7 @@ let client_cmd =
         Serving.Protocol.Stats;
       simple "shutdown" ~doc:"Ask the server to shut down gracefully."
         Serving.Protocol.Shutdown;
-      reload_cmd; infer_cmd; raw_cmd; metrics_cmd; verify_cmd;
+      reload_cmd; infer_cmd; raw_cmd; metrics_cmd; profile_cmd; verify_cmd;
     ]
 
 let setup_logging () =

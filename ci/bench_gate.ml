@@ -30,6 +30,15 @@
    current throughput must stay within the tolerance of it, mirroring
    the micro ns/run gate in the opposite direction.
 
+   Histogram mode: --require-histogram NAME (repeatable) asserts that
+   telemetry histogram NAME is present with count > 0 in --current —
+   the serve pass uses this to prove the per-phase latency
+   decomposition actually observed requests. --histogram-p99 NAME
+   CEIL (repeatable) additionally bounds the histogram's p99 by an
+   absolute ceiling in the histogram's own units (seconds for the
+   serve.*_seconds family). Both count as requirements, so --baseline
+   is optional with them.
+
    Shed-rate mode: --max-shed-rate FRAC asserts that the fraction of
    serving work shed by the overload ladder —
    (serve.shed + serve.deadline_exceeded + serve.overloaded) /
@@ -62,10 +71,12 @@ let usage () =
   prerr_endline
     "usage: bench_gate [--baseline <BENCH.json>] --current <BENCH.json> \
      [--require-counter NAME]... [--require-span NAME]... \
+     [--require-histogram NAME]... [--histogram-p99 NAME CEIL]... \
      [--require-latency NAME CEIL_US]... [--max-shed-rate FRAC]";
   prerr_endline
     "  --baseline is required unless --require-counter, --require-span, \
-     --require-latency, or --max-shed-rate is given";
+     --require-histogram, --histogram-p99, --require-latency, or \
+     --max-shed-rate is given";
   exit 2
 
 let parse_args () =
@@ -73,6 +84,8 @@ let parse_args () =
   and current = ref None
   and counters = ref []
   and spans = ref []
+  and histograms = ref []
+  and hist_p99s = ref []
   and latencies = ref []
   and shed = ref None in
   let rec go = function
@@ -89,6 +102,17 @@ let parse_args () =
     | "--require-span" :: v :: rest ->
         spans := v :: !spans;
         go rest
+    | "--require-histogram" :: v :: rest ->
+        histograms := v :: !histograms;
+        go rest
+    | "--histogram-p99" :: name :: ceil :: rest -> (
+        match float_of_string_opt ceil with
+        | Some c when c > 0. ->
+            hist_p99s := (name, c) :: !hist_p99s;
+            go rest
+        | _ ->
+            Printf.eprintf "bench_gate: bad histogram p99 ceiling %S\n%!" ceil;
+            exit 2)
     | "--require-latency" :: name :: ceil :: rest -> (
         match float_of_string_opt ceil with
         | Some c when c > 0. ->
@@ -110,12 +134,14 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   match
     (!baseline, !current, List.rev !counters, List.rev !spans,
-     List.rev !latencies, !shed)
+     List.rev !histograms, List.rev !hist_p99s, List.rev !latencies, !shed)
   with
-  | baseline, Some c, req_c, req_s, req_l, shed
-    when req_c <> [] || req_s <> [] || req_l <> [] || shed <> None ->
-      (baseline, c, req_c, req_s, req_l, shed)
-  | Some _, Some c, [], [], [], None -> (!baseline, c, [], [], [], None)
+  | baseline, Some c, req_c, req_s, req_h, req_hp, req_l, shed
+    when req_c <> [] || req_s <> [] || req_h <> [] || req_hp <> []
+         || req_l <> [] || shed <> None ->
+      (baseline, c, req_c, req_s, req_h, req_hp, req_l, shed)
+  | Some _, Some c, [], [], [], [], [], None ->
+      (!baseline, c, [], [], [], [], [], None)
   | _ -> usage ()
 
 let load path =
@@ -159,6 +185,22 @@ let counter_value json name =
           | Some (Json.Int n) -> Some (float_of_int n)
           | Some (Json.Float f) -> Some f
           | _ -> None)
+      | _ -> None)
+
+(* one field of a telemetry histogram of the report, e.g.
+   telemetry.histograms.NAME.count or .p99 *)
+let histogram_field json name key =
+  match Json.member "telemetry" json with
+  | None -> None
+  | Some t -> (
+      match Json.member "histograms" t with
+      | Some (Json.Obj fields) -> (
+          match List.assoc_opt name fields with
+          | Some hist -> (
+              match Json.member key hist with
+              | Some v -> ( try Some (Json.to_float v) with _ -> None)
+              | None -> None)
+          | None -> None)
       | _ -> None)
 
 (* calls count of a telemetry span of the report *)
@@ -228,7 +270,8 @@ let check_counters_start_zero json =
 
 let () =
   let ( baseline_opt, current_path, required_counters, required_spans,
-        required_latencies, max_shed_rate ) =
+        required_histograms, required_hist_p99s, required_latencies,
+        max_shed_rate ) =
     parse_args ()
   in
   let cur_json = load current_path in
@@ -282,6 +325,59 @@ let () =
       exit 1);
     Printf.printf "all %d required spans present\n\n"
       (List.length required_spans)
+  end;
+  (* Observability assertions: required telemetry histograms must be
+     present with at least one observation — proof that the per-phase
+     latency decomposition actually saw requests. *)
+  if required_histograms <> [] then begin
+    Printf.printf "histogram gate: %s\n" current_path;
+    let bad = ref 0 in
+    List.iter
+      (fun name ->
+        match histogram_field cur_json name "count" with
+        | Some c when c > 0. ->
+            Printf.printf "  %-28s %12.0f observations  ok\n" name c
+        | Some c ->
+            incr bad;
+            Printf.printf "  %-28s %12.0f observations  FAIL (empty)\n" name c
+        | None ->
+            incr bad;
+            Printf.printf "  %-28s %12s  FAIL (missing)\n" name "-")
+      required_histograms;
+    if !bad > 0 then (
+      Printf.printf "\n%d required histogram(s) missing or empty\n" !bad;
+      exit 1);
+    Printf.printf "all %d required histograms populated\n\n"
+      (List.length required_histograms)
+  end;
+  (* Histogram p99 ceilings: absolute bounds in the histogram's own
+     units (seconds for the serve.*_seconds family). *)
+  if required_hist_p99s <> [] then begin
+    Printf.printf "histogram p99 gate: %s\n" current_path;
+    let bad = ref 0 in
+    List.iter
+      (fun (name, ceil) ->
+        match
+          (histogram_field cur_json name "count",
+           histogram_field cur_json name "p99")
+        with
+        | Some c, Some p99 when c > 0. && p99 <= ceil ->
+            Printf.printf "  %-28s p99 %12.6f <= %12.6f  ok\n" name p99 ceil
+        | Some c, Some p99 when c > 0. ->
+            incr bad;
+            Printf.printf "  %-28s p99 %12.6f >  %12.6f  FAIL\n" name p99 ceil
+        | Some _, _ ->
+            incr bad;
+            Printf.printf "  %-28s %29s  FAIL (empty)\n" name "-"
+        | None, _ ->
+            incr bad;
+            Printf.printf "  %-28s %29s  FAIL (missing)\n" name "-")
+      required_hist_p99s;
+    if !bad > 0 then (
+      Printf.printf "\n%d histogram p99 ceiling(s) failed\n" !bad;
+      exit 1);
+    Printf.printf "all %d histogram p99 ceilings met\n\n"
+      (List.length required_hist_p99s)
   end;
   (* Serving SLO assertions: named serve rows must exist with a p99 at
      or below the given absolute ceiling. *)

@@ -22,6 +22,8 @@
 #   MRSL_BENCH_TOLERANCE  gate tolerance as a fraction (default 0.25)
 #   MRSL_QUALITY_TOLERANCE  quality-gate relative tolerance (default 0.10)
 #   MRSL_SERVE_P99_US     serve sequential p99 ceiling in µs (default 50000)
+#   MRSL_SERVE_QUEUE_P99_S  healthy-serve queue-wait p99 ceiling in seconds
+#                           (default 0.25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +71,10 @@ dune exec ci/bench_gate.exe -- \
   --require-counter serve.batches \
   --require-counter serve.reloads \
   --require-latency sequential "${MRSL_SERVE_P99_US:-50000}" \
+  --require-histogram serve.queue_wait_seconds \
+  --require-histogram serve.compute_seconds \
+  --require-histogram serve.flush_wait_seconds \
+  --histogram-p99 serve.queue_wait_seconds "${MRSL_SERVE_QUEUE_P99_S:-0.25}" \
   --max-shed-rate 0.01
 
 echo "== serve pass =="
@@ -182,6 +188,50 @@ if [ -e "$SERVE_SOCK" ]; then
   exit 1
 fi
 echo "serve e2e smoke passed ($SERVE_REQS requests, epoch $EPOCH_BEFORE -> $EPOCH_AFTER)"
+
+echo "== serve observability pass =="
+# Request-scoped tracing + structured access log on a live daemon:
+# every admitted request becomes a trace flow that must terminate on
+# the batch slice that served it (trace_check --require-serve-flows),
+# the per-phase latency breakdown is queryable live over the wire
+# (stats "phases" / client profile), and the access log is
+# line-delimited JSON that always captures errors and sheds.
+OBS_SOCK="$SERVE_DIR/mrsl-obs.sock"
+OBS_TRACE="$SERVE_DIR/serve-trace.json"
+OBS_LOG="$SERVE_DIR/access.log"
+"$MRSL_BIN" serve --model "$SERVE_MODEL" \
+  --socket "$OBS_SOCK" --seed 2011 --samples 200 --burn-in 50 \
+  --trace "$OBS_TRACE" --access-log "$OBS_LOG" --slow-ms 100 \
+  > "$SERVE_DIR/serve-obs.log" 2>&1 &
+SERVE_PID=$!
+
+mrsl_client ping --socket "$OBS_SOCK" | grep -q '"ok":true'
+mrsl_client infer --socket "$OBS_SOCK" --tuple "$SINGLE_TUPLE" \
+  | grep -q '"mode":"exact"'
+mrsl_client infer --socket "$OBS_SOCK" --tuple "$SINGLE_TUPLE" \
+  | grep -q '"mode":"exact"'
+if [ -n "$GIBBS_TUPLE" ]; then
+  mrsl_client infer --socket "$OBS_SOCK" --tuple "$GIBBS_TUPLE" \
+    | grep -q '"mode":"gibbs"'
+fi
+# A zero-budget request is admitted (flow started) then shed at drain
+# time — its flow must still balance via the deadline exemption, and
+# the shed must always reach the access log regardless of sampling.
+OBS_DEADLINE="$(mrsl_client infer --socket "$OBS_SOCK" \
+  --tuple "$SINGLE_TUPLE" --deadline-ms 0 || true)"
+echo "$OBS_DEADLINE" | grep -q 'serve.deadline_exceeded'
+# Live per-phase latency breakdown over the wire.
+mrsl_client stats --socket "$OBS_SOCK" | grep -q '"phases"'
+mrsl_client profile --socket "$OBS_SOCK" | grep -q 'queue_wait'
+mrsl_client shutdown --socket "$OBS_SOCK" | grep -q '"ok":true'
+wait "$SERVE_PID"
+SERVE_PID=""
+
+dune exec ci/trace_check.exe -- --trace "$OBS_TRACE" \
+  --require-cat serve --require-serve-flows
+grep -q '"outcome":"deadline_exceeded"' "$OBS_LOG"
+grep -q '"outcome":"ok"' "$OBS_LOG"
+echo "serve observability pass passed"
 
 echo "== serve chaos pass =="
 # In-process chaos harness: the bench artifact drives a live daemon

@@ -12,11 +12,21 @@
      - with --require-steal-flows: at least one steal flow start ("s")
        and one matching flow end ("f") in category "steal";
      - with --require-rhat-counters: at least one "gibbs.convergence"
-       counter event carrying an "rhat" series value.
+       counter event carrying an "rhat" series value;
+     - with --require-serve-flows: at least one "serve.request" flow,
+       and for every distinct flow id the start ("s") and end ("f")
+       counts balance (>= 1 each), with at least one end landing inside
+       some "serve.batch" complete-slice interval — i.e. every admitted
+       request's arrow terminates on the batch that served it. Requests
+       shed by the deadline ladder are exempted from the inside-a-batch
+       rule (their flow ends at answer time, outside any batch slice):
+       a "serve.request.done" instant whose args carry the same flow id
+       with outcome "deadline_exceeded" marks the exemption.
 
    Usage:
      trace_check --trace t.json [--min-tracks N] [--require-steal-flows]
-                 [--require-rhat-counters] [--require-cat CAT]...
+                 [--require-rhat-counters] [--require-serve-flows]
+                 [--require-cat CAT]...
 
    Exit codes: 0 ok, 1 validation failure, 2 usage/IO error. *)
 
@@ -25,7 +35,8 @@ module Json = Mrsl.Telemetry.Json
 let usage () =
   prerr_endline
     "usage: trace_check --trace <t.json> [--min-tracks N] \
-     [--require-steal-flows] [--require-rhat-counters] [--require-cat CAT]...";
+     [--require-steal-flows] [--require-rhat-counters] \
+     [--require-serve-flows] [--require-cat CAT]...";
   exit 2
 
 let parse_args () =
@@ -33,6 +44,7 @@ let parse_args () =
   and min_tracks = ref 1
   and steal_flows = ref false
   and rhat = ref false
+  and serve_flows = ref false
   and cats = ref [] in
   let rec go = function
     | [] -> ()
@@ -50,6 +62,9 @@ let parse_args () =
     | "--require-rhat-counters" :: rest ->
         rhat := true;
         go rest
+    | "--require-serve-flows" :: rest ->
+        serve_flows := true;
+        go rest
     | "--require-cat" :: v :: rest ->
         cats := v :: !cats;
         go rest
@@ -57,11 +72,12 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   match !trace with
-  | Some t -> (t, !min_tracks, !steal_flows, !rhat, List.rev !cats)
+  | Some t ->
+      (t, !min_tracks, !steal_flows, !rhat, !serve_flows, List.rev !cats)
   | None -> usage ()
 
 let () =
-  let path, min_tracks, want_steals, want_rhat, required_cats =
+  let path, min_tracks, want_steals, want_rhat, want_serve, required_cats =
     parse_args ()
   in
   let text =
@@ -86,6 +102,15 @@ let () =
   let str k o =
     match Json.member k o with Some (Json.String s) -> Some s | _ -> None
   in
+  let num k o =
+    match Json.member k o with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | _ -> None
+  in
+  let int_field k o =
+    match Json.member k o with Some (Json.Int n) -> Some n | _ -> None
+  in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let tracks = Hashtbl.create 8 in
@@ -93,6 +118,13 @@ let () =
   let n_events = ref 0 in
   let steal_starts = ref 0 and steal_ends = ref 0 in
   let rhat_counters = ref 0 in
+  (* serve-flow bookkeeping: batch slice intervals, per-id start/end
+     counts and end timestamps, and the deadline-shed exemption set. *)
+  let serve_batches = ref [] in
+  let serve_flows : (int, int * int * float list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let deadline_flows : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun ev ->
       match str "ph" ev with
@@ -107,7 +139,41 @@ let () =
               Hashtbl.replace cat_counts cat
                 (1 + Option.value ~default:0 (Hashtbl.find_opt cat_counts cat));
               if cat = "steal" && ph = "s" then incr steal_starts;
-              if cat = "steal" && ph = "f" then incr steal_ends
+              if cat = "steal" && ph = "f" then incr steal_ends;
+              if cat = "serve" then begin
+                let name = str "name" ev in
+                (if ph = "X" && name = Some "serve.batch" then
+                   match (num "ts" ev, num "dur" ev) with
+                   | Some ts, Some dur ->
+                       serve_batches := (ts, ts +. dur) :: !serve_batches
+                   | _ -> ());
+                (if (ph = "s" || ph = "f") && name = Some "serve.request" then
+                   match int_field "id" ev with
+                   | Some id ->
+                       let s, f, ends =
+                         Option.value ~default:(0, 0, [])
+                           (Hashtbl.find_opt serve_flows id)
+                       in
+                       let entry =
+                         if ph = "s" then (s + 1, f, ends)
+                         else
+                           ( s,
+                             f + 1,
+                             match num "ts" ev with
+                             | Some ts -> ts :: ends
+                             | None -> ends )
+                       in
+                       Hashtbl.replace serve_flows id entry
+                   | None -> ());
+                if ph = "i" && name = Some "serve.request.done" then
+                  match Json.member "args" ev with
+                  | Some args
+                    when str "outcome" args = Some "deadline_exceeded" -> (
+                      match int_field "flow" args with
+                      | Some id -> Hashtbl.replace deadline_flows id ()
+                      | None -> ())
+                  | _ -> ()
+              end
           | None -> ());
           if ph = "C" && str "name" ev = Some "gibbs.convergence" then
             match Json.member "args" ev with
@@ -137,12 +203,39 @@ let () =
   end;
   if want_rhat && !rhat_counters = 0 then
     fail "no gibbs.convergence counter events with an rhat series";
+  if want_serve then begin
+    if Hashtbl.length serve_flows = 0 then
+      fail "no serve.request flow events";
+    (* Flow timestamps and slice bounds both went through an ns->us
+       float division; allow a microsecond of rounding slop on the
+       interval test. *)
+    let eps = 1.0 in
+    let inside ts =
+      List.exists (fun (lo, hi) -> ts >= lo -. eps && ts <= hi +. eps)
+        !serve_batches
+    in
+    Hashtbl.iter
+      (fun id (s, f, ends) ->
+        if s <> f || s = 0 then
+          fail "serve.request flow %d unbalanced: %d start(s), %d end(s)" id s
+            f
+        else if
+          (not (List.exists inside ends))
+          && not (Hashtbl.mem deadline_flows id)
+        then
+          fail
+            "serve.request flow %d never terminates inside a serve.batch \
+             slice (and is not deadline-shed)"
+            id)
+      serve_flows
+  end;
   match !failures with
   | [] ->
       Printf.printf
-        "trace_check: %s ok (%d events, %d tracks, %d steal flows, %d rhat \
-         points, 0 dropped)\n"
-        path !n_events n_tracks !steal_starts !rhat_counters
+        "trace_check: %s ok (%d events, %d tracks, %d steal flows, %d serve \
+         flows, %d rhat points, 0 dropped)\n"
+        path !n_events n_tracks !steal_starts (Hashtbl.length serve_flows)
+        !rhat_counters
   | fs ->
       Printf.eprintf "trace_check: %s FAILED:\n" path;
       List.iter (fun f -> Printf.eprintf "  - %s\n" f) (List.rev fs);

@@ -130,8 +130,8 @@ let empty_result () =
 
 let run_contained ?(config = Gibbs.default_config)
     ?(strategy = Workload.Tuple_dag) ?method_ ?memoize ?cache ?domains
-    ?(telemetry = Telemetry.global) ?(policy = Fail_fast) ?quality ~seed
-    model workload =
+    ?(telemetry = Telemetry.global) ?(policy = Fail_fast) ?quality
+    ?request_flow ~seed model workload =
   let requested =
     match domains with
     | Some d ->
@@ -348,6 +348,12 @@ let run_contained ?(config = Gibbs.default_config)
           Trace.flow_end ~cat:"sched"
             ~id:(Trace.task_flow_id ~seed ~node:i)
             "task.run";
+          (* A serving request's flow arrow terminates on the worker that
+             actually runs its tuple — node 0 of the single-tuple workload
+             the engine submits per distinct request tuple. *)
+          (match request_flow with
+          | Some id when i = 0 -> Trace.flow_end ~cat:"serve" ~id "serve.request"
+          | _ -> ());
           end_share_flows i;
           match
             Trace.complete ~cat:"gibbs"

@@ -51,8 +51,8 @@ type contained = {
 val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
   ?method_:Voting.method_ -> ?memoize:bool -> ?cache:Posterior_cache.t ->
   ?domains:int -> ?telemetry:Telemetry.t -> ?policy:fault_policy ->
-  ?quality:Quality.t -> seed:int -> Model.t -> Relation.Tuple.t list ->
-  contained
+  ?quality:Quality.t -> ?request_flow:int -> seed:int -> Model.t ->
+  Relation.Tuple.t list -> contained
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
     by the number of distinct tuples; it must be [>= 1]. Estimates are
     returned in first-seen workload order. [telemetry] (default
@@ -95,7 +95,13 @@ val run_contained : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
     {!Quality.observe_estimates}), on the orchestrating domain only.
     The monitor consumes no inference RNG and no worker ever sees it,
     so a quality-monitored run is bit-identical to an unmonitored one
-    at any [domains] count (asserted by the test suite). *)
+    at any [domains] count (asserted by the test suite).
+
+    [request_flow], when given, is a serving-request flow id
+    ({!Trace.request_flow_id}): the worker that executes node 0 emits a
+    [serve]/[serve.request] {!Trace.flow_end} on its own track just
+    before the task slice, terminating the daemon's admission → batch →
+    task arrow. Pure observation — no effect on scheduling or output. *)
 
 val run : ?config:Gibbs.config -> ?strategy:Workload.strategy ->
   ?method_:Voting.method_ -> ?memoize:bool -> ?cache:Posterior_cache.t ->

@@ -226,6 +226,7 @@ let mix ~seed ~kind ~a ~b =
 let task_flow_id ~seed ~node = mix ~seed ~kind:1 ~a:node ~b:0
 let steal_flow_id ~seed ~node = mix ~seed ~kind:2 ~a:node ~b:0
 let share_flow_id ~seed ~parent ~child = mix ~seed ~kind:3 ~a:parent ~b:child
+let request_flow_id ~seed ~req = mix ~seed ~kind:4 ~a:req ~b:0
 
 (* --- inspection ------------------------------------------------------ *)
 
@@ -383,6 +384,24 @@ let prometheus_exposition registry =
       line "# TYPE %s_calls_total counter" m;
       line "%s_calls_total %s" m (prom_float (get "calls" v)))
     (fields "spans");
+  (* Trace-ring health: when a sink is recording, expose its drop
+     counter and per-domain ring occupancy so a scrape shows when
+     serving-rate tracing is lossy (rings are fixed-capacity; overflow
+     drops events silently from the trace's point of view). *)
+  (match Atomic.get current with
+  | None -> ()
+  | Some sink ->
+      let bufs = snapshot_buffers sink in
+      line "# TYPE mrsl_trace_dropped_total counter";
+      line "mrsl_trace_dropped_total %d"
+        (List.fold_left (fun acc b -> acc + b.buf_dropped) 0 bufs);
+      line "# TYPE mrsl_trace_ring_capacity gauge";
+      line "mrsl_trace_ring_capacity %d" sink.capacity;
+      line "# TYPE mrsl_trace_ring_events gauge";
+      List.iter
+        (fun b ->
+          line "mrsl_trace_ring_events{domain=\"%d\"} %d" b.owner b.len)
+        (List.sort (fun a b -> compare a.owner b.owner) bufs));
   Buffer.contents buf
 
 (* --- trace-file summary ----------------------------------------------- *)
@@ -412,6 +431,54 @@ let summarize j =
   let flow_starts = Hashtbl.create 64 in
   let steal_lat = ref [] in
   let n_events = ref 0 and t_min = ref infinity and t_max = ref neg_infinity in
+  (* serve category rollup: batches (with their request counts), request
+     flows, and the per-request phase decomposition instants emitted by
+     the serving daemon. *)
+  let serve_batches = ref 0 and serve_batch_reqs = ref 0 in
+  let serve_flow_starts = ref 0 and serve_flow_ends = ref 0 in
+  let serve_phases : (string, float list ref) Hashtbl.t = Hashtbl.create 4 in
+  let serve_outcomes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let serve_done = ref 0 in
+  let arg_num key ev =
+    match Json.member "args" ev with
+    | Some args -> (
+        match Json.member key args with
+        | Some (Json.Int n) -> Some (float_of_int n)
+        | Some (Json.Float f) -> Some f
+        | _ -> None)
+    | None -> None
+  in
+  let arg_str key ev =
+    match Json.member "args" ev with
+    | Some args -> (
+        match Json.member key args with
+        | Some (Json.String s) -> Some s
+        | _ -> None)
+    | None -> None
+  in
+  let record_serve_done ev =
+    incr serve_done;
+    List.iter
+      (fun phase ->
+        match arg_num (phase ^ "_us") ev with
+        | Some v ->
+            let cell =
+              match Hashtbl.find_opt serve_phases phase with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.add serve_phases phase c;
+                  c
+            in
+            cell := v :: !cell
+        | None -> ())
+      [ "queue_wait"; "compute"; "flush" ];
+    match arg_str "outcome" ev with
+    | Some o ->
+        Hashtbl.replace serve_outcomes o
+          (1 + Option.value ~default:0 (Hashtbl.find_opt serve_outcomes o))
+    | None -> ()
+  in
   List.iter
     (fun ev ->
       match str "ph" ev with
@@ -427,6 +494,12 @@ let summarize j =
           | "X" ->
               let dur = Option.value ~default:0. (num "dur" ev) in
               if ts +. dur > !t_max then t_max := ts +. dur;
+              if cat = "serve" && name = "serve.batch" then begin
+                incr serve_batches;
+                match arg_num "requests" ev with
+                | Some r -> serve_batch_reqs := !serve_batch_reqs + int_of_float r
+                | None -> ()
+              end;
               let key = cat ^ "/" ^ name in
               let acc =
                 match Hashtbl.find_opt slices key with
@@ -451,11 +524,15 @@ let summarize j =
                     (Hashtbl.find_opt counters (cat ^ "/" ^ name)))
           | "s" ->
               if ts > !t_max then t_max := ts;
+              if cat = "serve" && name = "serve.request" then
+                incr serve_flow_starts;
               (match num "id" ev with
               | Some id -> Hashtbl.replace flow_starts (cat, id) ts
               | None -> ())
           | "f" ->
               if ts > !t_max then t_max := ts;
+              if cat = "serve" && name = "serve.request" then
+                incr serve_flow_ends;
               (match num "id" ev with
               | Some id when cat = "steal" -> (
                   match Hashtbl.find_opt flow_starts (cat, id) with
@@ -464,6 +541,8 @@ let summarize j =
               | _ -> ())
           | _ ->
               if ts > !t_max then t_max := ts;
+              if cat = "serve" && name = "serve.request.done" then
+                record_serve_done ev;
               (* ensure every event's track shows up even if it never
                  hosted a slice *)
               if not (Hashtbl.mem tracks pid) then Hashtbl.add tracks pid [])
@@ -541,5 +620,37 @@ let summarize j =
     List.iter
       (fun (k, n) -> line "  %-32s %6d points" k n)
       counter_list
+  end;
+  if !serve_batches > 0 || !serve_flow_starts > 0 || !serve_done > 0 then begin
+    line "serve:";
+    line "  batches: %d (%d requests, mean batch %.1f)" !serve_batches
+      !serve_batch_reqs
+      (if !serve_batches > 0 then
+         float_of_int !serve_batch_reqs /. float_of_int !serve_batches
+       else 0.);
+    line "  request flows: %d started, %d finished%s" !serve_flow_starts
+      !serve_flow_ends
+      (if !serve_flow_starts = !serve_flow_ends then "" else "  (UNBALANCED)");
+    List.iter
+      (fun phase ->
+        match Hashtbl.find_opt serve_phases phase with
+        | None -> ()
+        | Some cell ->
+            let arr = Array.of_list (List.sort Float.compare !cell) in
+            let n = Array.length arr in
+            if n > 0 then begin
+              let pct p = arr.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+              line "  %-12s %6d reqs  p50 %9.1f us  p99 %9.1f us  max %9.1f us"
+                phase n (pct 0.5) (pct 0.99) arr.(n - 1)
+            end)
+      [ "queue_wait"; "compute"; "flush" ];
+    let outcome_list =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) serve_outcomes [])
+    in
+    if outcome_list <> [] then
+      line "  outcomes: %s"
+        (String.concat ", "
+           (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) outcome_list))
   end;
   Buffer.contents buf

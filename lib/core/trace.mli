@@ -108,6 +108,11 @@ val task_flow_id : seed:int -> node:int -> int
 val steal_flow_id : seed:int -> node:int -> int
 val share_flow_id : seed:int -> parent:int -> child:int -> int
 
+val request_flow_id : seed:int -> req:int -> int
+(** Serving-request flow id: a pure function of the engine seed and the
+    daemon's per-request admission sequence number, so a request's
+    admission → batch → task arrows carry one id across tracks. *)
+
 (** {1 Inspection and export} *)
 
 val event_count : sink -> int
@@ -140,11 +145,23 @@ val prometheus_exposition : Telemetry.t -> string
     [mrsl_<name>] (plus [_max]), histograms as summaries
     ([{quantile="0.5|0.9|0.99"}], [_sum], [_count]), spans as
     [_seconds_total] / [_calls_total]. Metric names are sanitized to
-    [[a-zA-Z0-9_]] (dots become underscores). *)
+    [[a-zA-Z0-9_]] (dots become underscores).
+
+    While a sink is {!install}ed the exposition also reports trace-ring
+    health — [mrsl_trace_dropped_total] (events lost to ring overflow
+    across all domains), [mrsl_trace_ring_capacity], and one
+    [mrsl_trace_ring_events{domain="<id>"}] gauge per domain buffer — so
+    a scrape of a traced daemon shows when serving-rate tracing is
+    lossy. Without a sink these series are absent. *)
 
 val summarize : Telemetry.Json.t -> string
 (** Human-readable summary of a parsed Chrome trace produced by
     {!to_chrome_json}: top slices by total duration, per-track
     utilization, steal count and latency, counter series, and drop
-    counts. Raises [Invalid_argument] when the JSON has no
-    [traceEvents] array. Backs [mrsl_cli trace]. *)
+    counts. A trace containing [serve]-category events (a daemon trace)
+    additionally gets a serve section: batch count and request volume
+    from the [serve.batch] slices, [serve.request] flow start/finish
+    balance, per-phase (queue-wait / compute / flush) p50/p99/max
+    rollups and outcome counts from the [serve.request.done] instants.
+    Raises [Invalid_argument] when the JSON has no [traceEvents] array.
+    Backs [mrsl_cli trace]. *)

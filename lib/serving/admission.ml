@@ -17,33 +17,39 @@ let locked t f =
 
 let gauge_depth t = Mrsl.Telemetry.gauge t.telemetry "serve.queue_depth"
 
+(* The gauge is published from inside the locked section, with the depth
+   read under the same lock that mutated it. Publishing after unlock (as
+   an earlier version did, re-reading [length t]) lets two mutations
+   interleave so the gauge keeps a stale depth between batches. *)
+let publish_depth t = gauge_depth t (float_of_int (Queue.length t.q))
+
 let length t = locked t (fun () -> Queue.length t.q)
 let occupancy t = float_of_int (length t) /. float_of_int t.capacity
 
 let try_add t x =
   let accepted =
     locked t (fun () ->
-        if Queue.length t.q >= t.capacity then false
-        else begin
-          Queue.add x t.q;
-          true
-        end)
+        let ok =
+          if Queue.length t.q >= t.capacity then false
+          else begin
+            Queue.add x t.q;
+            true
+          end
+        in
+        publish_depth t;
+        ok)
   in
   if not accepted then Mrsl.Telemetry.incr t.telemetry "serve.overloaded";
-  gauge_depth t (float_of_int (length t));
   accepted
 
 let drain ~max t =
   if max < 0 then invalid_arg "Admission.drain: max must be >= 0";
-  let items =
-    locked t (fun () ->
-        let out = ref [] in
-        let n = ref 0 in
-        while !n < max && not (Queue.is_empty t.q) do
-          out := Queue.pop t.q :: !out;
-          incr n
-        done;
-        List.rev !out)
-  in
-  gauge_depth t (float_of_int (length t));
-  items
+  locked t (fun () ->
+      let out = ref [] in
+      let n = ref 0 in
+      while !n < max && not (Queue.is_empty t.q) do
+        out := Queue.pop t.q :: !out;
+        incr n
+      done;
+      publish_depth t;
+      List.rev !out)

@@ -26,9 +26,12 @@ val occupancy : 'a t -> float
 
 val try_add : 'a t -> 'a -> bool
 (** Enqueue, or return [false] without blocking when the queue is at
-    capacity (counted as [serve.overloaded]). Updates the
-    [serve.queue_depth] gauge either way. *)
+    capacity (counted as [serve.overloaded]). Publishes the
+    [serve.queue_depth] gauge from inside the critical section either
+    way, so the gauge always reflects the depth this mutation left
+    behind — never a stale interleaved read. *)
 
 val drain : max:int -> 'a t -> 'a list
 (** Dequeue up to [max] items, oldest first ([max >= 0]; an empty list
-    when the queue is empty). Updates the [serve.queue_depth] gauge. *)
+    when the queue is empty). Publishes the [serve.queue_depth] gauge
+    from inside the critical section, like {!try_add}. *)

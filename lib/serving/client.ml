@@ -155,6 +155,15 @@ let rpc t req =
   send t req;
   recv t
 
+let stats_json t =
+  let line = rpc t (Protocol.req Protocol.Stats) in
+  let module Json = Mrsl.Telemetry.Json in
+  match Json.of_string (String.trim line) with
+  | exception Json.Parse_error msg ->
+      failwith (Printf.sprintf "stats response is not JSON (%s)" msg)
+  | Json.Obj _ as obj when Json.member "ok" obj = Some (Json.Bool true) -> obj
+  | _ -> failwith (Printf.sprintf "stats failed: %s" (String.trim line))
+
 let idempotent = function
   | Protocol.Ping | Protocol.Stats | Protocol.Infer _ -> true
   | Protocol.Reload _ | Protocol.Shutdown -> false

@@ -75,6 +75,14 @@ val recv : t -> string
 val rpc : t -> Protocol.request -> string
 (** [send] then [recv]. *)
 
+val stats_json : t -> Mrsl.Telemetry.Json.t
+(** Issue a [stats] request and return the parsed response object —
+    including the daemon's live per-phase latency breakdown under
+    ["phases"] (queue-wait / compute / flush-wait / total, each with
+    count and p50/p99/max in milliseconds), which backs
+    [mrsl client profile]. Raises [Failure] when the response is not an
+    [ok:true] JSON object. *)
+
 val rpc_retry :
   ?attempts:int ->
   ?delay:float ->

@@ -147,13 +147,41 @@ let posterior_line t ?id ~mode ?samples_used attrs =
   in
   Protocol.ok_line ?id ~kind:"posterior" fields
 
+(* ------------------------------------------------------------------ *)
+(* Outcomes *)
+
+type outcome = Served | Failed | Shed | Expired | Cache_hit
+
+let outcome_label = function
+  | Served -> "ok"
+  | Failed -> "error"
+  | Shed -> "shed"
+  | Expired -> "deadline_exceeded"
+  | Cache_hit -> "cache_hit"
+
+type answer = { line : string; outcome : outcome }
+
+let served line = { line; outcome = Served }
+
 let error_response t ?id e =
   Mrsl.Telemetry.incr t.telemetry "serve.errors";
-  Protocol.error_line ?id e
+  { line = Protocol.error_line ?id e; outcome = Failed }
 
 let stats_line t ?id () =
   let c name = Json.Int (Mrsl.Telemetry.counter t.telemetry name) in
   let cs = Mrsl.Posterior_cache.stats t.cache in
+  let phase key =
+    match Mrsl.Telemetry.histogram t.telemetry key with
+    | None -> Json.Obj [ ("count", Json.Int 0) ]
+    | Some (s : Mrsl.Telemetry.summary) ->
+        Json.Obj
+          [
+            ("count", Json.Int s.count);
+            ("p50_ms", Json.Float (s.p50 *. 1000.));
+            ("p99_ms", Json.Float (s.p99 *. 1000.));
+            ("max_ms", Json.Float (s.max *. 1000.));
+          ]
+  in
   Protocol.ok_line ?id ~kind:"stats"
     [
       ("epoch", Json.Int (epoch t));
@@ -178,6 +206,14 @@ let stats_line t ?id () =
             ("entries", Json.Int cs.entries);
             ("dedup_fanout", Json.Int cs.dedup_fanout);
           ] );
+      ( "phases",
+        Json.Obj
+          [
+            ("queue_wait", phase "serve.queue_wait_seconds");
+            ("compute", phase "serve.compute_seconds");
+            ("flush_wait", phase "serve.flush_wait_seconds");
+            ("total", phase "serve.latency_seconds");
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -185,11 +221,13 @@ let stats_line t ?id () =
 
 type pressure = Normal | Cache_only
 
-(* One decoded infer task, positioned in the response array. *)
+(* One decoded infer task, positioned in the response array. [flow] is
+   the request's serve-flow id (0 = untracked). *)
 type infer_task = {
   slot : int;
   req_id : Json.t option;
   tuple : Relation.Tuple.t;
+  flow : int;
 }
 
 let shed_error =
@@ -202,7 +240,7 @@ let shed_error =
    designed, not a request failure. *)
 let shed_response t ?id () =
   Mrsl.Telemetry.incr t.telemetry "serve.shed";
-  Protocol.error_line ?id shed_error
+  { line = Protocol.error_line ?id shed_error; outcome = Shed }
 
 let run_single t ~pressure responses tasks =
   match tasks with
@@ -223,7 +261,7 @@ let run_single t ~pressure responses tasks =
                  Mrsl.Infer_single.infer ~method_ ~telemetry model tup a)
                (List.map (fun task -> task.tuple) tasks)));
       List.iter
-        (fun { slot; req_id = id; tuple } ->
+        (fun { slot; req_id = id; tuple; _ } ->
           let a =
             match Relation.Tuple.missing tuple with
             | [ a ] -> a
@@ -239,8 +277,12 @@ let run_single t ~pressure responses tasks =
                   Mrsl.Posterior_cache.find t.cache model ~method_ tuple a
                 with
                 | Some dist ->
-                    posterior_line t ?id ~mode:"exact"
-                      [ attr_json (Mrsl.Model.schema model) a dist ]
+                    {
+                      line =
+                        posterior_line t ?id ~mode:"exact"
+                          [ attr_json (Mrsl.Model.schema model) a dist ];
+                      outcome = Cache_hit;
+                    }
                 | None -> shed_response t ?id ())
             | Normal -> (
                 match
@@ -248,8 +290,9 @@ let run_single t ~pressure responses tasks =
                     ~cache:t.cache model tuple a
                 with
                 | Ok dist ->
-                    posterior_line t ?id ~mode:"exact"
-                      [ attr_json (Mrsl.Model.schema model) a dist ]
+                    served
+                      (posterior_line t ?id ~mode:"exact"
+                         [ attr_json (Mrsl.Model.schema model) a dist ])
                 | Error e -> error_response t ?id e)))
         tasks
 
@@ -274,15 +317,23 @@ let run_multi t ~pressure responses tasks =
          (and therefore bit-identical to a one-shot CLI run). *)
       let distinct = Relation.Tuple.Table.create 8 in
       List.iter
-        (fun { tuple; _ } ->
+        (fun { tuple; flow; _ } ->
           if not (Relation.Tuple.Table.mem distinct tuple) then
+            (* Only the first request of a deduped tuple threads its flow
+               into the worker pool — one arrow per computation, and the
+               per-id start/finish counts stay balanced. *)
+            let request_flow = if flow <> 0 then Some flow else None in
             Relation.Tuple.Table.add distinct tuple
               (lazy
-                (let contained =
+                ((match request_flow with
+                 | Some id ->
+                     Mrsl.Trace.flow_start ~cat:"serve" ~id "serve.request"
+                 | None -> ());
+                 let contained =
                    Mrsl.Parallel.run_contained ~config:gibbs ~method_
                      ~cache:t.cache ?domains ~telemetry:t.telemetry
-                     ~policy:Mrsl.Parallel.Skip_and_report ~seed model
-                     [ tuple ]
+                     ~policy:Mrsl.Parallel.Skip_and_report ?request_flow
+                     ~seed model [ tuple ]
                  in
                  match contained.faults with
                  | fault :: _ -> Error fault.error
@@ -296,7 +347,7 @@ let run_multi t ~pressure responses tasks =
                               "inference produced no estimate")))))
         tasks;
       List.iter
-        (fun { slot; req_id = id; tuple } ->
+        (fun { slot; req_id = id; tuple; _ } ->
           responses.(slot) <-
             (match Lazy.force (Relation.Tuple.Table.find distinct tuple) with
             | Ok (est : Mrsl.Gibbs.estimate) ->
@@ -305,14 +356,15 @@ let run_multi t ~pressure responses tasks =
                     (fun a -> attr_json schema a (Mrsl.Gibbs.marginal est a))
                     est.missing
                 in
-                posterior_line t ?id ~mode:"gibbs"
-                  ~samples_used:est.samples_used attrs
+                served
+                  (posterior_line t ?id ~mode:"gibbs"
+                     ~samples_used:est.samples_used attrs)
             | Error e -> error_response t ?id e))
         tasks
 
 (* A segment is a maximal run of requests with no reload between them:
    everything in it is answered by one model generation. *)
-let run_segment t ~pressure responses segment =
+let run_segment t ~pressure ~flow_of responses segment =
   let singles = ref [] and multis = ref [] in
   List.iter
     (fun (slot, (req : Protocol.request)) ->
@@ -320,16 +372,18 @@ let run_segment t ~pressure responses segment =
       match req.op with
       | Protocol.Ping ->
           responses.(slot) <-
-            Protocol.ok_line ?id ~kind:"pong" [ ("epoch", Json.Int (epoch t)) ]
-      | Protocol.Stats -> responses.(slot) <- stats_line t ?id ()
+            served
+              (Protocol.ok_line ?id ~kind:"pong"
+                 [ ("epoch", Json.Int (epoch t)) ])
+      | Protocol.Stats -> responses.(slot) <- served (stats_line t ?id ())
       | Protocol.Shutdown ->
-          responses.(slot) <- Protocol.ok_line ?id ~kind:"bye" []
+          responses.(slot) <- served (Protocol.ok_line ?id ~kind:"bye" [])
       | Protocol.Reload _ -> assert false (* segment boundary *)
       | Protocol.Infer labels -> (
           match decode_tuple t.model labels with
           | Error e -> responses.(slot) <- error_response t ?id e
           | Ok tuple -> (
-              let task = { slot; req_id = id; tuple } in
+              let task = { slot; req_id = id; tuple; flow = flow_of slot } in
               match Relation.Tuple.missing_count tuple with
               | 0 ->
                   responses.(slot) <-
@@ -342,11 +396,14 @@ let run_segment t ~pressure responses segment =
   run_single t ~pressure responses (List.rev !singles);
   run_multi t ~pressure responses (List.rev !multis)
 
-let handle_batch ?(pressure = Normal) t reqs =
+let handle_batch ?(pressure = Normal) ?(flows = [||]) t reqs =
   match reqs with
   | [] -> []
   | _ ->
       let n = List.length reqs in
+      let flow_of slot =
+        if slot < Array.length flows then flows.(slot) else 0
+      in
       Mrsl.Telemetry.incr ~by:n t.telemetry "serve.requests";
       Mrsl.Telemetry.incr t.telemetry "serve.batches";
       Mrsl.Telemetry.observe t.telemetry "serve.batch_size" (float_of_int n);
@@ -355,7 +412,15 @@ let handle_batch ?(pressure = Normal) t reqs =
         "serve.batch"
         (fun () ->
           Mrsl.Telemetry.span t.telemetry "serve.batch" (fun () ->
-              let responses = Array.make n "" in
+              (* Terminate each admitted request's admission arrow inside
+                 the batch slice — the Perfetto view shows the request
+                 landing in the batch that answered it. *)
+              for slot = 0 to n - 1 do
+                let id = flow_of slot in
+                if id <> 0 then
+                  Mrsl.Trace.flow_end ~cat:"serve" ~id "serve.request"
+              done;
+              let responses = Array.make n (served "") in
               (* Split at reloads: requests ahead of a reload are
                  answered by the old model, requests behind it by the
                  new one — a swap never drops in-flight requests. *)
@@ -364,25 +429,29 @@ let handle_batch ?(pressure = Normal) t reqs =
                 (fun slot (req : Protocol.request) ->
                   match req.op with
                   | Protocol.Reload path ->
-                      run_segment t ~pressure responses !segment;
+                      run_segment t ~pressure ~flow_of responses !segment;
                       segment := [];
                       responses.(slot) <-
                         (match reload ?path t with
                         | Ok fresh ->
-                            Protocol.ok_line ?id:req.id ~kind:"reloaded"
-                              [
-                                ("epoch", Json.Int (Mrsl.Model.epoch fresh));
-                                ("path", Json.String t.model_path);
-                                ("model_size", Json.Int (Mrsl.Model.size fresh));
-                              ]
+                            served
+                              (Protocol.ok_line ?id:req.id ~kind:"reloaded"
+                                 [
+                                   ("epoch", Json.Int (Mrsl.Model.epoch fresh));
+                                   ("path", Json.String t.model_path);
+                                   ( "model_size",
+                                     Json.Int (Mrsl.Model.size fresh) );
+                                 ])
                         | Error e -> error_response t ?id:req.id e)
                   | _ -> segment := (slot, req) :: !segment)
                 reqs;
-              run_segment t ~pressure responses !segment;
+              run_segment t ~pressure ~flow_of responses !segment;
               Array.to_list responses))
 
 let handle_request t req =
-  match handle_batch t [ req ] with [ line ] -> line | _ -> assert false
+  match handle_batch t [ req ] with
+  | [ answer ] -> answer.line
+  | _ -> assert false
 
 let wants_shutdown reqs =
   List.exists (fun (r : Protocol.request) -> r.op = Protocol.Shutdown) reqs

@@ -100,17 +100,48 @@ type pressure = Normal | Cache_only
         [serve.errors]: shedding is the ladder working, not a failure).
         {!Server} selects the rung from admission-queue occupancy. *)
 
-val handle_request : t -> Protocol.request -> string
-(** Answer one request — [handle_batch] on a singleton batch. *)
+type outcome = Served | Failed | Shed | Expired | Cache_hit
+    (** How a request's lifecycle ended, labelling the per-outcome
+        latency histograms and the access log. [Served] = a computed
+        answer (or a non-infer op's reply); [Failed] = an [ok:false]
+        error line; [Shed] = refused by the overload ladder;
+        [Cache_hit] = answered for free from the posterior cache on the
+        [Cache_only] rung. [Expired] is assigned by {!Server} to
+        requests whose deadline passed while queued — the engine never
+        produces it. *)
 
-val handle_batch : ?pressure:pressure -> t -> Protocol.request list -> string list
-(** Answer a batch: one newline-terminated response line per request,
-    in request order. Never raises — per-request failures (bad labels,
-    arity mismatches, contained inference faults) become [ok:false]
-    response lines and count [serve.errors]. [pressure] (default
+val outcome_label : outcome -> string
+(** The wire/metric label: [ok], [error], [shed], [deadline_exceeded],
+    [cache_hit]. *)
+
+type answer = { line : string; outcome : outcome }
+(** One response: the newline-terminated wire line plus how it ended. *)
+
+val handle_request : t -> Protocol.request -> string
+(** Answer one request — [handle_batch] on a singleton batch, outcome
+    discarded. *)
+
+val handle_batch :
+  ?pressure:pressure -> ?flows:int array -> t -> Protocol.request list ->
+  answer list
+(** Answer a batch: one {!answer} per request, in request order. Never
+    raises — per-request failures (bad labels, arity mismatches,
+    contained inference faults) become [ok:false] response lines with
+    [outcome = Failed] and count [serve.errors]. [pressure] (default
     [Normal]) picks the overload rung described above. Counts
     [serve.requests] / [serve.batches], observes [serve.batch_size],
     times the batch under the [serve.batch] span and trace slice.
+
+    [flows], when given, carries each slot's serve-request flow id
+    ({!Mrsl.Trace.request_flow_id}; [0] or out-of-range = untracked):
+    the batch slice emits a [serve.request] {!Mrsl.Trace.flow_end} per
+    tracked slot (terminating the admission arrow {!Server} started),
+    and a multi-missing request restarts the flow into
+    {!Mrsl.Parallel.run_contained} so the arrow continues onto the
+    worker domain's task slice — one arrow per distinct deduped tuple.
+    Flow emission is observation-only; answers are bit-identical with
+    or without it.
+
     [shutdown] requests are acknowledged ([kind:"bye"]) but transport
     shutdown is the caller's job — see {!wants_shutdown}. *)
 

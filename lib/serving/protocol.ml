@@ -16,6 +16,14 @@ type op =
 type request = { id : Json.t option; deadline_ms : int option; op : op }
 
 let req ?id ?deadline_ms op = { id; deadline_ms; op }
+
+let op_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Reload _ -> "reload"
+  | Shutdown -> "shutdown"
+  | Infer _ -> "infer"
+
 let missing_marker = "?"
 
 let bad_request ?id fmt =

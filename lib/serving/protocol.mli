@@ -63,6 +63,10 @@ val req :
 (** Plain constructor, so adding request metadata never churns every
     call site again. *)
 
+val op_name : op -> string
+(** The wire name of an op ([ping], [stats], [reload], [shutdown],
+    [infer]) — the ["op"] field value; used by the access log. *)
+
 val parse_request : string -> (request, Mrsl.Error.t) result
 (** Parse one request line. Malformed JSON comes back as
     [Input/protocol.parse]; a structurally valid object with an unknown

@@ -14,7 +14,15 @@ type config = {
   out_buf_total : int;
   default_deadline : float;
   shed_watermark : float;
+  access_log : out_channel option;
+  slow_ms : float;
+  log_sample : float;
 }
+
+(* Splitmix site of the access-log sampling draw — disjoint from the
+   client's backoff-jitter site (32 in client.ml) so enabling the log
+   never perturbs any other deterministic stream. *)
+let access_log_site = 33
 
 (* [Unix.select] represents each fd set as a bit array of FD_SETSIZE
    slots (1024 on every platform we target); passing any fd >= that
@@ -44,6 +52,9 @@ let default_config endpoint =
     out_buf_total = 64 * 1024 * 1024;
     default_deadline = 30.;
     shed_watermark = 0.75;
+    access_log = None;
+    slow_ms = 100.;
+    log_sample = 1.0;
   }
 
 type conn = {
@@ -61,11 +72,21 @@ type conn = {
   mutable seq : int;  (** per-connection fault-injection event counter *)
 }
 
+(* The request-scoped observability context rides on the queue item:
+   admission stamps [enqueued_at], draining stamps [drained_at], the
+   engine's answer stamps [answered_at], and the post-flush finalizer
+   turns the three deltas into the phase histograms, the trace instant,
+   and the access-log line. All stamps are monotonic-clock. *)
 type item = {
   conn : conn;
   req : Protocol.request;
+  seq : int;  (** daemon-wide admission sequence number (1-based) *)
+  flow : int;  (** deterministic serve-request trace-flow id *)
   enqueued_at : float;  (** monotonic *)
   deadline : float;  (** monotonic absolute; [infinity] = no budget *)
+  mutable drained_at : float;
+  mutable answered_at : float;
+  mutable outcome : Engine.outcome;
 }
 
 let overloaded_error =
@@ -166,6 +187,8 @@ let http_path line =
 let run ?stop ?hup ?on_ready config engine =
   ignore_sigpipe ();
   let telemetry = Engine.telemetry engine in
+  let eng_seed = (Engine.config engine).Engine.seed in
+  let req_seq = ref 0 in
   let queue =
     Admission.create ~telemetry ~capacity:config.queue_capacity ()
   in
@@ -251,10 +274,38 @@ let run ?stop ?hup ?on_ready config engine =
               let deadline =
                 if budget >= infinity then infinity else now +. budget
               in
-              if
-                Admission.try_add queue
-                  { conn; req; enqueued_at = now; deadline }
-              then conn.inflight <- conn.inflight + 1
+              incr req_seq;
+              let seq = !req_seq in
+              let flow =
+                Mrsl.Trace.request_flow_id ~seed:eng_seed ~req:seq
+              in
+              let item =
+                {
+                  conn;
+                  req;
+                  seq;
+                  flow;
+                  enqueued_at = now;
+                  deadline;
+                  drained_at = now;
+                  answered_at = now;
+                  outcome = Engine.Served;
+                }
+              in
+              if Admission.try_add queue item then begin
+                conn.inflight <- conn.inflight + 1;
+                (* Start the request's trace flow on the server-loop
+                   track; the batch that answers it terminates the
+                   arrow ({!Engine.handle_batch}). *)
+                Mrsl.Trace.flow_start ~cat:"serve"
+                  ~args:
+                    [
+                      ("conn", Mrsl.Trace.Int conn.id);
+                      ("seq", Mrsl.Trace.Int seq);
+                      ("op", Mrsl.Trace.Str (Protocol.op_name req.op));
+                    ]
+                  ~id:flow "serve.request"
+              end
               else send conn (Protocol.error_line ?id:req.id overloaded_error)
             end
   in
@@ -379,10 +430,10 @@ let run ?stop ?hup ?on_ready config engine =
           end
     done
   in
-  let answer item line =
+  let answer item (a : Engine.answer) =
     item.conn.inflight <- item.conn.inflight - 1;
-    Mrsl.Telemetry.observe telemetry "serve.latency_seconds"
-      (Float.max 0. (Mrsl.Clock.now () -. item.enqueued_at));
+    item.answered_at <- Mrsl.Clock.now ();
+    item.outcome <- a.outcome;
     if conn_live item.conn then begin
       (* Connection-drop injection: kill the connection at the moment
          its answer would have been delivered — the worst time. *)
@@ -390,7 +441,7 @@ let run ?stop ?hup ?on_ready config engine =
         Mrsl.Telemetry.incr telemetry "fault.injected.conn_drops";
         close_conn item.conn
       end
-      else send item.conn line
+      else send item.conn a.line
     end
   in
   (* One flush per connection per batch — flushing inside [answer] would
@@ -409,6 +460,79 @@ let run ?stop ?hup ?on_ready config engine =
         end)
       batch
   in
+  (* The lifecycle finalizer: runs once per request after its batch's
+     flush attempt, when all three phase boundaries are stamped. The
+     phase durations sum to the end-to-end latency by construction
+     (queue_wait + compute + flush_wait = flushed - enqueued), so the
+     per-phase histograms stay sum-consistent with
+     [serve.latency_seconds] — which, as of this observability pass,
+     measures admission → flush, not admission → answer. Everything
+     here observes; nothing feeds back into serving. *)
+  let finalize flushed item =
+    let queue_wait = Float.max 0. (item.drained_at -. item.enqueued_at) in
+    let compute = Float.max 0. (item.answered_at -. item.drained_at) in
+    let flush_wait = Float.max 0. (flushed -. item.answered_at) in
+    let total = Float.max 0. (flushed -. item.enqueued_at) in
+    Mrsl.Telemetry.observe telemetry "serve.queue_wait_seconds" queue_wait;
+    Mrsl.Telemetry.observe telemetry "serve.compute_seconds" compute;
+    Mrsl.Telemetry.observe telemetry "serve.flush_wait_seconds" flush_wait;
+    Mrsl.Telemetry.observe telemetry "serve.latency_seconds" total;
+    let label = Engine.outcome_label item.outcome in
+    Mrsl.Telemetry.observe telemetry ("serve.latency_seconds." ^ label) total;
+    Mrsl.Trace.instant ~cat:"serve"
+      ~args:
+        [
+          ("flow", Mrsl.Trace.Int item.flow);
+          ("outcome", Mrsl.Trace.Str label);
+          ("queue_wait_us", Mrsl.Trace.Float (queue_wait *. 1e6));
+          ("compute_us", Mrsl.Trace.Float (compute *. 1e6));
+          ("flush_us", Mrsl.Trace.Float (flush_wait *. 1e6));
+        ]
+      "serve.request.done";
+    match config.access_log with
+    | None -> ()
+    | Some oc ->
+        (* Errors, sheds, and deadline expiries always land in the log;
+           so does anything over the slow threshold. The rest is thinned
+           by a deterministic splitmix draw keyed on (seed, seq) — the
+           same workload under the same seed samples the same lines. *)
+        let always =
+          (match item.outcome with
+          | Engine.Failed | Engine.Shed | Engine.Expired -> true
+          | Engine.Served | Engine.Cache_hit -> false)
+          || (total *. 1000. > config.slow_ms)
+        in
+        let sampled =
+          config.log_sample > 0.
+          && Mrsl.Fault_inject.unit_float ~seed:eng_seed
+               ~site:access_log_site ~key:item.seq
+             < config.log_sample
+        in
+        if always || sampled then begin
+          let module Json = Mrsl.Telemetry.Json in
+          let line =
+            Json.Obj
+              [
+                ("ts", Json.Float (Unix.gettimeofday ()));
+                ("seq", Json.Int item.seq);
+                ( "id",
+                  match item.req.id with Some id -> id | None -> Json.Null );
+                ("op", Json.String (Protocol.op_name item.req.op));
+                ("outcome", Json.String label);
+                ("conn", Json.Int item.conn.id);
+                ("epoch", Json.Int (Engine.epoch engine));
+                ("queue_wait_ms", Json.Float (queue_wait *. 1000.));
+                ("compute_ms", Json.Float (compute *. 1000.));
+                ("flush_ms", Json.Float (flush_wait *. 1000.));
+                ("total_ms", Json.Float (total *. 1000.));
+              ]
+          in
+          output_string oc (Json.to_string ~pretty:false line);
+          output_char oc '\n';
+          flush oc;
+          Mrsl.Telemetry.incr telemetry "serve.access_log_lines"
+        end
+  in
   let run_batch () =
     (* Pressure is read where the batch is formed: a queue at or above
        the watermark when we drain means arrivals are outrunning
@@ -422,21 +546,34 @@ let run ?stop ?hup ?on_ready config engine =
     | [] -> ()
     | batch ->
         let now = Mrsl.Clock.now () in
+        List.iter (fun item -> item.drained_at <- now) batch;
         let expired, live =
           List.partition (fun item -> now > item.deadline) batch
         in
         List.iter
           (fun item ->
             Mrsl.Telemetry.incr telemetry "serve.deadline_exceeded";
-            answer item (Protocol.error_line ?id:item.req.id deadline_error))
+            (* No batch ran this request, so close its admission arrow
+               here — per-flow start/finish counts stay balanced. *)
+            Mrsl.Trace.flow_end ~cat:"serve" ~id:item.flow "serve.request";
+            answer item
+              {
+                Engine.line = Protocol.error_line ?id:item.req.id deadline_error;
+                outcome = Engine.Expired;
+              })
           expired;
         if live <> [] then begin
           let reqs = List.map (fun item -> item.req) live in
-          let lines = Engine.handle_batch ~pressure engine reqs in
-          List.iter2 answer live lines;
+          let flows =
+            Array.of_list (List.map (fun item -> item.flow) live)
+          in
+          let answers = Engine.handle_batch ~pressure ~flows engine reqs in
+          List.iter2 answer live answers;
           if Engine.wants_shutdown reqs then begin_stopping ()
         end;
-        flush_batch batch
+        flush_batch batch;
+        let flushed = Mrsl.Clock.now () in
+        List.iter (finalize flushed) batch
   in
   (* The idle reaper: a connection with nothing admitted and no
      completed frame for [idle_timeout] is a slow-loris (or a peer that

@@ -58,6 +58,26 @@
     answer-delivery time. Each injected event counts
     [fault.injected.torn_frames] / [.stalled_writes] / [.conn_drops].
 
+    {2 Request-scoped observability}
+
+    Every admitted request carries a lifecycle record stamped on the
+    monotonic clock at admission, batch drain, engine answer, and
+    post-batch flush. After the flush the finalizer turns the deltas
+    into the phase histograms [serve.queue_wait_seconds] /
+    [serve.compute_seconds] / [serve.flush_wait_seconds], the
+    end-to-end [serve.latency_seconds] (admission → flush; the three
+    phases sum to it by construction), and an outcome-labelled
+    [serve.latency_seconds.<outcome>] ({!Engine.outcome_label}). Each
+    request also gets a deterministic trace flow
+    ({!Mrsl.Trace.request_flow_id}): started on the server-loop track
+    at admission, terminated inside the answering [serve.batch] slice,
+    and — for multi-missing inference — continued onto the worker
+    domain's task slice. A [serve.request.done] trace instant carries
+    the phase breakdown and outcome. With [access_log] set, finalized
+    requests are written as JSON lines under the deterministic sampling
+    policy described at {!type-config}. All of it is observation-only:
+    served bytes are bit-identical with tracing and logging on or off.
+
     A connection whose first frame is an HTTP GET line is answered as
     HTTP and closed: [GET /metrics] returns the live Prometheus
     exposition of the engine's telemetry registry
@@ -94,6 +114,20 @@ type config = {
   shed_watermark : float;
       (** queue-occupancy fraction at which batches degrade to
           cache-hit-only ({!Engine.Cache_only}) *)
+  access_log : out_channel option;
+      (** structured JSON access log, one object per logged request
+          ([ts], [seq], [id], [op], [outcome], [conn], [epoch],
+          [queue_wait_ms], [compute_ms], [flush_ms], [total_ms]);
+          flushed per line; [None] disables *)
+  slow_ms : float;
+      (** requests whose end-to-end latency exceeds this are always
+          logged, regardless of sampling *)
+  log_sample : float;
+      (** fraction of ordinary (ok / cache-hit, not slow) requests to
+          log, decided by a deterministic splitmix draw keyed on
+          [(engine seed, admission seq)] — same seed + workload, same
+          sampled lines; errors, sheds, and deadline expiries are
+          always logged *)
 }
 
 val default_config : Protocol.endpoint -> config
@@ -102,7 +136,8 @@ val default_config : Protocol.endpoint -> config
     [max_conns = 1000] (under [FD_SETSIZE] with room for the listener,
     stdio, and the engine's own descriptors), [idle_timeout = 30.],
     [out_buf_max = 4 MiB], [out_buf_total = 64 MiB],
-    [default_deadline = 30.], [shed_watermark = 0.75]. *)
+    [default_deadline = 30.], [shed_watermark = 0.75],
+    [access_log = None], [slow_ms = 100.], [log_sample = 1.0]. *)
 
 val run :
   ?stop:bool Atomic.t ->

@@ -91,20 +91,29 @@ let registry_names =
     "quality.voters.root_only";
     "quality.voters.root_only_share";
     "quality.voters.specificity";
+    "serve.access_log_lines";
     "serve.batch";
     "serve.batch_size";
     "serve.batches";
+    "serve.compute_seconds";
     "serve.conn_rejected";
     "serve.connections";
     "serve.deadline_exceeded";
     "serve.epoch";
     "serve.errors";
+    "serve.flush_wait_seconds";
     "serve.idle_killed";
     "serve.latency_seconds";
+    "serve.latency_seconds.cache_hit";
+    "serve.latency_seconds.deadline_exceeded";
+    "serve.latency_seconds.error";
+    "serve.latency_seconds.ok";
+    "serve.latency_seconds.shed";
     "serve.metrics_scrapes";
     "serve.out_buf_killed";
     "serve.overloaded";
     "serve.queue_depth";
+    "serve.queue_wait_seconds";
     "serve.reloads";
     "serve.requests";
     "serve.shed";
@@ -144,6 +153,8 @@ let trace_event_names =
     "quality.shadow_eval";
     "serve.batch";
     "serve.reload";
+    "serve.request";
+    "serve.request.done";
     "share.donate";
     "steal";
     "task.run";

@@ -45,6 +45,13 @@ let fresh_engine ?model_path () =
 let infer ?id labels = P.req ?id (P.Infer labels)
 let single = [| None; Some "v0"; Some "v1" |]
 
+(* Most assertions here care about the wire lines; outcome-specific
+   tests destructure Engine.answer directly. *)
+let batch_lines ?pressure engine reqs =
+  List.map
+    (fun (a : Serving.Engine.answer) -> a.Serving.Engine.line)
+    (Serving.Engine.handle_batch ?pressure engine reqs)
+
 let response_json line =
   match Json.of_string (String.trim line) with
   | Json.Obj fields -> fields
@@ -186,7 +193,7 @@ let test_admission () =
 let test_engine_batch_dedup () =
   let engine, telemetry = fresh_engine () in
   let reqs = List.init 8 (fun i -> infer ~id:(Json.Int i) single) in
-  let responses = Serving.Engine.handle_batch engine reqs in
+  let responses = batch_lines engine reqs in
   Alcotest.(check int) "one response per request" 8 (List.length responses);
   List.iter
     (fun line ->
@@ -333,7 +340,7 @@ let test_engine_batch_reload_segments () =
       infer ~id:(Json.Int 2) single;
     ]
   in
-  match Serving.Engine.handle_batch engine batch with
+  match batch_lines engine batch with
   | [ r0; r1; r2 ] ->
       Alcotest.(check bool) "pre-swap request served" true (response_ok r0);
       Alcotest.(check bool) "reload acked" true (response_ok r1);
@@ -375,7 +382,7 @@ let test_engine_cache_only () =
   (* Cold: nothing cached — a Cache_only batch sheds instead of
      computing, with its own counter, not serve.errors. *)
   (match
-     Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+     batch_lines ~pressure:Serving.Engine.Cache_only engine
        [ infer ~id:(Json.Int 0) single ]
    with
   | [ line ] ->
@@ -390,7 +397,7 @@ let test_engine_cache_only () =
      pressure is then answered bit-identically, for free. *)
   let normal = Serving.Engine.handle_request engine (infer single) in
   (match
-     Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+     batch_lines ~pressure:Serving.Engine.Cache_only engine
        [ infer single ]
    with
   | [ line ] ->
@@ -399,7 +406,7 @@ let test_engine_cache_only () =
   | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
   (* multi-missing has no cached rung: always shed under pressure *)
   (match
-     Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+     batch_lines ~pressure:Serving.Engine.Cache_only engine
        [ infer [| None; None; Some "v1" |] ]
    with
   | [ line ] ->
@@ -408,7 +415,7 @@ let test_engine_cache_only () =
   | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
   (* control-plane ops keep answering under pressure *)
   match
-    Serving.Engine.handle_batch ~pressure:Serving.Engine.Cache_only engine
+    batch_lines ~pressure:Serving.Engine.Cache_only engine
       [ P.req P.Ping ]
   with
   | [ line ] ->
@@ -743,6 +750,301 @@ let test_server_conn_cap () =
     "reject counted" 1
     (counter telemetry "serve.conn_rejected")
 
+(* --- request-scoped observability ------------------------------------ *)
+
+let test_admission_gauge_fresh () =
+  (* Regression: the serve.queue_depth gauge used to be published only
+     on enqueue, so a drain left the pre-drain depth visible until the
+     next request arrived. Every queue mutation must publish. *)
+  let telemetry = T.create () in
+  let q = Serving.Admission.create ~telemetry ~capacity:4 () in
+  let depth () =
+    match T.gauge_value telemetry "serve.queue_depth" with
+    | Some d -> int_of_float d
+    | None -> Alcotest.fail "serve.queue_depth gauge never published"
+  in
+  Alcotest.(check bool) "a accepted" true (Serving.Admission.try_add q "a");
+  Alcotest.(check int) "enqueue publishes" 1 (depth ());
+  Alcotest.(check bool) "b accepted" true (Serving.Admission.try_add q "b");
+  Alcotest.(check bool) "c accepted" true (Serving.Admission.try_add q "c");
+  Alcotest.(check int) "enqueues publish" 3 (depth ());
+  ignore (Serving.Admission.drain ~max:2 q);
+  Alcotest.(check int) "drain publishes too" 1 (depth ());
+  ignore (Serving.Admission.drain ~max:10 q);
+  Alcotest.(check int) "empty published" 0 (depth ())
+
+let summary_of telemetry name =
+  match T.histogram telemetry name with
+  | Some s -> s
+  | None -> Alcotest.failf "histogram %s missing" name
+
+let test_server_phase_histograms () =
+  let telemetry =
+    with_server @@ fun endpoint ->
+    let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+    Fun.protect
+      ~finally:(fun () -> Serving.Client.close c)
+      (fun () ->
+        for _ = 1 to 5 do
+          Alcotest.(check bool)
+            "served" true
+            (response_ok (Serving.Client.rpc c (infer single)))
+        done;
+        let shed =
+          Serving.Client.rpc c (P.req ~deadline_ms:0 (P.Infer single))
+        in
+        Alcotest.(check string)
+          "zero budget shed" "serve.deadline_exceeded"
+          (response_error_code shed))
+  in
+  let summary = summary_of telemetry in
+  let total = summary "serve.latency_seconds" in
+  let qw = summary "serve.queue_wait_seconds" in
+  let cp = summary "serve.compute_seconds" in
+  let fl = summary "serve.flush_wait_seconds" in
+  (* every finalized request lands one observation in each phase *)
+  Alcotest.(check int) "six requests finalized" 6 total.T.count;
+  Alcotest.(check int) "queue-wait count matches" total.T.count qw.T.count;
+  Alcotest.(check int) "compute count matches" total.T.count cp.T.count;
+  Alcotest.(check int) "flush-wait count matches" total.T.count fl.T.count;
+  (* the phases decompose the total: all four are derived from the same
+     monotonic stamps, so the means sum to the total's mean up to float
+     rounding — sum-consistency by construction, not by tolerance *)
+  let sum = qw.T.mean +. cp.T.mean +. fl.T.mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "phase means sum to total (%g vs %g)" sum total.T.mean)
+    true
+    (Float.abs (sum -. total.T.mean) <= 1e-9 +. (1e-6 *. total.T.mean));
+  (* outcome-labelled latency families split the same requests *)
+  Alcotest.(check int)
+    "ok-labelled observations" 5
+    (summary "serve.latency_seconds.ok").T.count;
+  Alcotest.(check int)
+    "deadline-labelled observations" 1
+    (summary "serve.latency_seconds.deadline_exceeded").T.count
+
+let test_server_request_flows () =
+  (* Every admitted request becomes a trace flow that balances: one
+     admission-time start (server-loop track) matched by a finish on the
+     batch that served it — plus, for multi-missing work, a second arrow
+     into the Parallel worker that ran the tuple. *)
+  let (_ : T.t), sink =
+    Mrsl.Trace.with_sink (fun () ->
+        with_server @@ fun endpoint ->
+        let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+        Fun.protect
+          ~finally:(fun () -> Serving.Client.close c)
+          (fun () ->
+            ignore (Serving.Client.rpc c (P.req P.Ping));
+            ignore (Serving.Client.rpc c (infer single));
+            ignore
+              (Serving.Client.rpc c (infer [| None; None; Some "v1" |]));
+            let shed =
+              Serving.Client.rpc c (P.req ~deadline_ms:0 (P.Infer single))
+            in
+            Alcotest.(check string)
+              "zero budget shed" "serve.deadline_exceeded"
+              (response_error_code shed)))
+  in
+  let flows : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let done_instants = ref 0 in
+  List.iter
+    (fun (ev : Mrsl.Trace.event) ->
+      if ev.cat = "serve" && ev.name = "serve.request" then begin
+        let s, f =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt flows ev.id)
+        in
+        match ev.phase with
+        | Mrsl.Trace.Flow_start -> Hashtbl.replace flows ev.id (s + 1, f)
+        | Mrsl.Trace.Flow_end -> Hashtbl.replace flows ev.id (s, f + 1)
+        | _ -> ()
+      end;
+      if ev.cat = "serve" && ev.name = "serve.request.done" then
+        incr done_instants)
+    (Mrsl.Trace.events sink);
+  Alcotest.(check int) "one flow per admitted request" 4
+    (Hashtbl.length flows);
+  Alcotest.(check int) "one lifecycle instant per request" 4 !done_instants;
+  Hashtbl.iter
+    (fun id (s, f) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d balanced (%d starts, %d ends)" id s f)
+        true
+        (s = f && s >= 1))
+    flows
+
+let test_server_observation_only () =
+  (* Tracing plus access logging must be pure observation: the exact
+     same request stream yields bit-identical response lines with and
+     without them. The multi-missing request routes the flow through
+     Parallel.run_contained, so this also pins the worker-side hook. *)
+  let workload endpoint =
+    let c = Serving.Client.connect_retry ~timeout:5. endpoint in
+    Fun.protect
+      ~finally:(fun () -> Serving.Client.close c)
+      (fun () ->
+        List.map
+          (fun req -> Serving.Client.rpc c req)
+          [
+            infer ~id:(Json.Int 0) single;
+            infer ~id:(Json.Int 1) single;
+            infer ~id:(Json.Int 2) [| None; None; Some "v1" |];
+            infer ~id:(Json.Int 3) [| Some "v0"; None; None |];
+          ])
+  in
+  let plain = ref [] in
+  ignore (with_server (fun endpoint -> plain := workload endpoint));
+  let log_path = Filename.temp_file "mrsl-serving-obs" ".log" in
+  let observed = ref [] in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out log_path in
+      let (_ : T.t), (_ : Mrsl.Trace.sink) =
+        Mrsl.Trace.with_sink (fun () ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                with_server
+                  ~configure:(fun c ->
+                    { c with access_log = Some oc; log_sample = 1.0 })
+                  (fun endpoint -> observed := workload endpoint)))
+      in
+      Alcotest.(check bool)
+        "every request logged" true
+        (List.length
+           (In_channel.with_open_text log_path In_channel.input_lines)
+        >= 4));
+  Alcotest.(check (list string))
+    "posteriors bit-identical under observation" !plain !observed
+
+(* The timing fields vary run to run; everything else — which requests
+   got logged and their identity/outcome fields — is the deterministic
+   part the test pins. *)
+let strip_access_line line =
+  let volatile =
+    [ "ts"; "queue_wait_ms"; "compute_ms"; "flush_ms"; "total_ms" ]
+  in
+  match Json.of_string line with
+  | Json.Obj fields ->
+      Json.to_string ~pretty:false
+        (Json.Obj
+           (List.filter (fun (k, _) -> not (List.mem k volatile)) fields))
+  | _ -> Alcotest.failf "access-log line is not a JSON object: %s" line
+
+let test_server_access_log_deterministic () =
+  let run_once () =
+    let path = Filename.temp_file "mrsl-serving-access" ".log" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out path in
+        ignore
+          (Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               with_server
+                 ~configure:(fun c ->
+                   (* slow_ms out of reach: only the deterministic
+                      sampler and the always-log outcomes decide *)
+                   {
+                     c with
+                     access_log = Some oc;
+                     log_sample = 0.5;
+                     slow_ms = 1e9;
+                   })
+                 (fun endpoint ->
+                   let c =
+                     Serving.Client.connect_retry ~timeout:5. endpoint
+                   in
+                   Fun.protect
+                     ~finally:(fun () -> Serving.Client.close c)
+                     (fun () ->
+                       for i = 0 to 19 do
+                         ignore
+                           (Serving.Client.rpc c
+                              (infer ~id:(Json.Int i) single))
+                       done;
+                       ignore
+                         (Serving.Client.rpc c
+                            (P.req ~id:(Json.Int 99) ~deadline_ms:0
+                               (P.Infer single)))))));
+        List.map strip_access_line
+          (In_channel.with_open_text path In_channel.input_lines))
+  in
+  let first = run_once () in
+  let second = run_once () in
+  Alcotest.(check (list string))
+    "same seed + workload => identical sampled log" first second;
+  (* the sampler really sampled (not all 21, not none) ... *)
+  let n = List.length first in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampling dropped some lines (%d of 21)" n)
+    true
+    (n > 0 && n < 21);
+  (* ... and the deadline shed bypassed it: sheds are always logged *)
+  Alcotest.(check bool)
+    "shed always logged" true
+    (List.exists
+       (fun l -> Astring_like.contains l {|"outcome":"deadline_exceeded"|})
+       first)
+
+let exposition_value body name =
+  let v = ref None in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ n; value ] when n = name -> v := float_of_string_opt value
+         | _ -> ());
+  !v
+
+let test_server_metrics_under_burst () =
+  (* A Prometheus scrape concurrent with a pipelined inference burst:
+     the scrape must answer promptly (the client timeout is the watchdog)
+     and the request counter must be monotone across scrapes. *)
+  let windows = 8 and window = 16 in
+  let telemetry =
+    with_server @@ fun endpoint ->
+    let burst =
+      Domain.spawn (fun () ->
+          let c = Serving.Client.connect_retry ~timeout:10. endpoint in
+          Fun.protect
+            ~finally:(fun () -> Serving.Client.close c)
+            (fun () ->
+              for w = 0 to windows - 1 do
+                for i = 0 to window - 1 do
+                  Serving.Client.send c
+                    (infer ~id:(Json.Int ((w * window) + i)) single)
+                done;
+                for _ = 1 to window do
+                  if not (response_ok (Serving.Client.recv c)) then
+                    failwith "burst request failed"
+                done
+              done))
+    in
+    let last = ref (-1.) in
+    for _ = 1 to 5 do
+      let body = Serving.Client.scrape_metrics ~timeout:5. endpoint in
+      (* A scrape can land before the first request does, when the
+         counter is not in the registry yet: absent reads as zero. *)
+      let v =
+        Option.value ~default:0.
+          (exposition_value body "mrsl_serve_requests_total")
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "counter monotone (%.0f after %.0f)" v !last)
+        true (v >= !last);
+      last := v
+    done;
+    Domain.join burst
+  in
+  Alcotest.(check int)
+    "every burst request served" (windows * window)
+    (counter telemetry "serve.requests");
+  Alcotest.(check bool)
+    "scrapes counted" true
+    (counter telemetry "serve.metrics_scrapes" >= 5)
+
 let suite =
   [
     ("protocol round-trip", `Quick, test_protocol_roundtrip);
@@ -769,4 +1071,12 @@ let suite =
     ("server sheds expired deadlines", `Quick, test_server_deadline_shed);
     ("server rejects past the conn cap", `Quick, test_server_conn_cap);
     ("socket probe: live kept, stale reclaimed", `Quick, test_server_socket_probe);
+    ("queue-depth gauge fresh at every mutation", `Quick, test_admission_gauge_fresh);
+    ("phase histograms sum-consistent", `Quick, test_server_phase_histograms);
+    ("request flows balance in the trace", `Quick, test_server_request_flows);
+    ("tracing and logging observation-only", `Quick, test_server_observation_only);
+    ( "access log deterministically sampled",
+      `Quick,
+      test_server_access_log_deterministic );
+    ("metrics scrape concurrent with burst", `Quick, test_server_metrics_under_burst);
   ]
