@@ -59,6 +59,7 @@ let parallel_block : Json.t option ref = ref None
 let cache_block : Json.t option ref = ref None
 let serve_block : Json.t option ref = ref None
 let chaos_block : Json.t option ref = ref None
+let resources_block : Json.t option ref = ref None
 
 let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
 
@@ -371,6 +372,142 @@ let run_parallel_bench fx =
        ~header:[ "configuration"; "wall (s)"; "sweeps"; "shared"; "memo hit"; "steals" ]
        rows)
 
+(* ------------------------------------------------------------------ *)
+(* Resource baseline (ROADMAP item 2's measured starting line):
+   allocation per kernel run for the two gated micros, GC collection
+   counts, peak heap, per-domain utilization from a pooled run, and the
+   posterior cache's accounted-vs-reachable byte cross-check. Runs with
+   a Resource monitor installed — but outside the Bechamel timing loop,
+   so the gated ns/run numbers are unaffected. *)
+
+let run_resources fx =
+  let mon = Mrsl.Resource.create () in
+  Mrsl.Resource.install mon;
+  Fun.protect ~finally:(fun () -> ignore (Mrsl.Resource.uninstall ()))
+  @@ fun () ->
+  let reps = 10 in
+  let measure name f =
+    (* One warm run hoists lattice/sampler setup and memo fills out of
+       the measurement, then a major collection settles the heap. *)
+    f ();
+    Gc.full_major ();
+    let s0 = Gc.quick_stat () in
+    let a0 = Gc.allocated_bytes () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let a1 = Gc.allocated_bytes () in
+    let s1 = Gc.quick_stat () in
+    let alloc = (a1 -. a0) /. float_of_int reps in
+    ( name,
+      alloc,
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("alloc_bytes_per_run", Json.Float alloc);
+          ( "minor_collections_per_run",
+            Json.Float
+              (float_of_int (s1.Gc.minor_collections - s0.Gc.minor_collections)
+              /. float_of_int reps) );
+          ( "major_collections",
+            Json.Int (s1.Gc.major_collections - s0.Gc.major_collections) );
+        ] )
+  in
+  let gibbs_kernel =
+    let sampler = Mrsl.Gibbs.sampler fx.model in
+    fun () ->
+      ignore
+        (Mrsl.Gibbs.run
+           ~config:{ burn_in = 20; samples = 100 }
+           (Prob.Rng.create 7) sampler fx.multi_tuple)
+  in
+  let measured =
+    [
+      measure "mrsl/table2/infer-best-averaged"
+        (infer_batch ~method_:Mrsl.Voting.best_averaged fx);
+      measure "mrsl/fig10/gibbs-run" gibbs_kernel;
+    ]
+  in
+  (* Per-domain utilization from a saturating pooled run. *)
+  let _ =
+    Mrsl.Parallel.run
+      ~config:{ burn_in = 20; samples = 200 }
+      ~domains:4 ~seed fx.model fx.workload
+  in
+  let util = Mrsl.Resource.utilization () in
+  (* Cache accounted-vs-reachable cross-check over the micro workload.
+     The empty-cache footprint (shard array, empty hashtables, LRU
+     sentinels) is measured first and subtracted, so the ratio compares
+     the budget's per-entry cost model against what entries actually
+     cost on the heap — accounted/growth < 1 means under-counting. *)
+  let cache = Mrsl.Posterior_cache.create ~max_bytes:(8 * 1024 * 1024) () in
+  let reachable_empty = Mrsl.Posterior_cache.reachable_bytes cache in
+  Array.iter
+    (fun tup ->
+      match Relation.Tuple.missing tup with
+      | a :: _ -> ignore (Mrsl.Infer_single.infer ~cache fx.model tup a)
+      | [] -> ())
+    fx.masked_tuples;
+  let cs = Mrsl.Posterior_cache.stats cache in
+  let reachable = Mrsl.Posterior_cache.reachable_bytes cache in
+  let growth = max 0 (reachable - reachable_empty) in
+  let ratio =
+    if growth = 0 then 1.
+    else float_of_int cs.Mrsl.Posterior_cache.bytes /. float_of_int growth
+  in
+  (* A forced major + sample guarantees the gc.* counters land in the
+     global telemetry snapshot the gate's --require-counter reads. *)
+  Gc.full_major ();
+  Mrsl.Resource.sample mon;
+  let s = Gc.quick_stat () in
+  resources_block :=
+    Some
+      (Json.Obj
+         [
+           ("rows", Json.List (List.map (fun (_, _, j) -> j) measured));
+           ( "gc",
+             Json.Obj
+               [
+                 ("minor_collections", Json.Int s.Gc.minor_collections);
+                 ("major_collections", Json.Int s.Gc.major_collections);
+                 ("compactions", Json.Int s.Gc.compactions);
+                 ("heap_bytes", Json.Int (s.Gc.heap_words * 8));
+                 ("top_heap_bytes", Json.Int (s.Gc.top_heap_words * 8));
+               ] );
+           ( "domains",
+             Json.List
+               (List.map
+                  (fun (d, u) ->
+                    Json.Obj
+                      [
+                        ("domain", Json.Int d); ("utilization", Json.Float u);
+                      ])
+                  util) );
+           ( "cache",
+             Json.Obj
+               [
+                 ("accounted_bytes", Json.Int cs.Mrsl.Posterior_cache.bytes);
+                 ("reachable_bytes", Json.Int reachable);
+                 ("reachable_growth_bytes", Json.Int growth);
+                 ("accounted_per_growth", Json.Float ratio);
+               ] );
+         ]);
+  let body =
+    Experiments.Report.render ~title:"Resource baseline (alloc bytes/run)"
+      ~header:[ "kernel"; "alloc bytes/run" ]
+      (List.map
+         (fun (name, alloc, _) -> Experiments.Report.[ S name; F alloc ])
+         measured)
+    ^ Printf.sprintf
+        "peak heap %.1f MiB; cache accounted %d vs reachable growth %d \
+         bytes (x%.2f); utilization %s\n"
+        (float_of_int (s.Gc.top_heap_words * 8) /. 1048576.)
+        cs.Mrsl.Posterior_cache.bytes growth ratio
+        (String.concat " "
+           (List.map (fun (d, u) -> Printf.sprintf "%d=%.2f" d u) util))
+  in
+  section "resources" body
+
 let write_bench_json () =
   let number_rows rows key =
     Json.List
@@ -399,6 +536,9 @@ let write_bench_json () =
       | None -> [])
     @ (match !chaos_block with
       | Some block -> [ ("serve_chaos", block) ]
+      | None -> [])
+    @ (match !resources_block with
+      | Some block -> [ ("resources", block) ]
       | None -> [])
     @ [ ("telemetry", Mrsl.Telemetry.to_json Mrsl.Telemetry.global) ]
   in
@@ -448,7 +588,8 @@ let run_micro () =
          rows)
   in
   section "micro" body;
-  run_parallel_bench fx
+  run_parallel_bench fx;
+  run_resources fx
 
 (* ------------------------------------------------------------------ *)
 (* Fault-containment exercise: drives every degradation path of the
@@ -1185,7 +1326,7 @@ let render_chaos rng =
         let c = Serving.Client.connect ~timeout:5. endpoint in
         match Serving.Client.rpc c Serving.Protocol.(req Ping) with
         | line when error_code line = None -> c
-        | _ | (exception End_of_file) ->
+        | _ | (exception End_of_file) | (exception Unix.Unix_error _) ->
             Serving.Client.close c;
             if tries = 0 then failwith "chaos: no live connection obtainable";
             Unix.sleepf 0.02;
@@ -1231,16 +1372,26 @@ let render_chaos rng =
       Mrsl.Fault_inject.with_config
         { Mrsl.Fault_inject.disabled with seed; stall_write_rate = 1.0 }
         (fun () ->
-          for _ = 1 to 200 do
-            Serving.Client.send victim Serving.Protocol.(req Ping)
-          done;
-          match Serving.Client.recv victim with
-          | _ ->
-              failwith
-                "chaos: victim outran a fully stalled write — impossible"
-          | exception End_of_file -> ()
-          | exception Serving.Client.Timeout ->
-              failwith "chaos: out-buffer ceiling never cut the victim");
+          (* The cut can land mid-loop: once the server's RST arrives, a
+             further pipelined send raises EPIPE — that, like recv's
+             End_of_file/ECONNRESET, IS the ceiling firing. *)
+          match
+            for _ = 1 to 200 do
+              Serving.Client.send victim Serving.Protocol.(req Ping)
+            done
+          with
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+            ->
+              ()
+          | () -> (
+              match Serving.Client.recv victim with
+              | _ ->
+                  failwith
+                    "chaos: victim outran a fully stalled write — impossible"
+              | exception End_of_file -> ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+              | exception Serving.Client.Timeout ->
+                  failwith "chaos: out-buffer ceiling never cut the victim"));
       Serving.Client.close victim;
       out "stalled writes: non-reading peer cut at the %d-byte ceiling"
         server_config.Serving.Server.out_buf_max;

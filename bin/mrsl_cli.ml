@@ -1249,14 +1249,74 @@ let client_cmd =
                   Printf.printf "%-12s %8d %12s %12s %12s\n" name count
                     (cell "p50_ms") (cell "p99_ms") (cell "max_ms")
               | _ -> ())
-            phases)
+            phases;
+          (* Resources block (daemons from the resource-observability
+             pass onward): GC/heap footprint, per-domain utilization and
+             the cache accounted-vs-reachable cross-check. *)
+          match Json.member "resources" obj with
+          | Some (Json.Obj res) ->
+              let fnum path =
+                let rec walk obj = function
+                  | [] -> None
+                  | [ k ] -> num k obj
+                  | k :: rest -> (
+                      match List.assoc_opt k obj with
+                      | Some (Json.Obj o) -> walk o rest
+                      | _ -> None)
+                in
+                walk res path
+              in
+              let mb = function
+                | Some b -> Printf.sprintf "%.1f MiB" (b /. (1024. *. 1024.))
+                | None -> "-"
+              in
+              let count = function
+                | Some c -> Printf.sprintf "%.0f" c
+                | None -> "-"
+              in
+              Printf.printf "\nresources:\n";
+              Printf.printf "  heap %s (peak %s)  minor/major/compact %s/%s/%s\n"
+                (mb (fnum [ "mem"; "heap_bytes" ]))
+                (mb (fnum [ "mem"; "top_heap_bytes" ]))
+                (count (fnum [ "gc"; "minor_collections" ]))
+                (count (fnum [ "gc"; "major_collections" ]))
+                (count (fnum [ "gc"; "compactions" ]));
+              (match
+                 ( fnum [ "cache"; "accounted_bytes" ],
+                   fnum [ "cache"; "reachable_bytes" ] )
+               with
+              | Some acc, Some reach ->
+                  Printf.printf
+                    "  cache accounted %s vs reachable %s (x%.2f)\n"
+                    (mb (Some acc)) (mb (Some reach))
+                    (if reach > 0. then acc /. reach else 1.)
+              | _ -> ());
+              (match List.assoc_opt "domains" res with
+              | Some (Json.List ds) when ds <> [] ->
+                  Printf.printf "  domain utilization:";
+                  List.iter
+                    (fun d ->
+                      match d with
+                      | Json.Obj fields -> (
+                          match
+                            (num "domain" fields, num "utilization" fields)
+                          with
+                          | Some id, Some u ->
+                              Printf.printf " %d=%.2f" (int_of_float id) u
+                          | _ -> ())
+                      | _ -> ())
+                    ds;
+                  print_newline ()
+              | _ -> ())
+          | _ -> ())
     in
     Cmd.v
       (Cmd.info "profile"
          ~doc:
            "Show the daemon's live per-phase latency breakdown \
             (queue-wait / compute / flush-wait / total p50, p99, and \
-            max) from its `stats' op.")
+            max) and resource footprint (GC, heap, domain utilization, \
+            cache bytes) from its `stats' op.")
       Term.(const run $ endpoint_term)
   in
   let verify_cmd =
@@ -1393,6 +1453,118 @@ let client_cmd =
       reload_cmd; infer_cmd; raw_cmd; metrics_cmd; profile_cmd; verify_cmd;
     ]
 
+(* ---------------- resources ---------------- *)
+
+let resources_cmd =
+  let domains_arg =
+    let doc =
+      "Run the monitored inference on this many domains (per-domain \
+       utilization needs at least one pooled worker)."
+    in
+    Arg.(value & opt positive_int 2 & info [ "domains" ] ~doc ~docv:"N")
+  in
+  let cache_mb_arg =
+    let doc = "Posterior-cache byte budget, in MiB." in
+    Arg.(value & opt positive_int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+  in
+  let json_arg =
+    let doc = "Emit the machine-readable JSON report instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run input support max_itemsets method_ samples burn_in domains cache_mb
+      json trace seed =
+    let module Json = Mrsl.Telemetry.Json in
+    with_trace trace @@ fun () ->
+    let inst = Relation.Csv_io.read_file input in
+    let params = params_of support max_itemsets in
+    let model = Mrsl.Model.learn ~params inst in
+    let incomplete = Array.to_list (Relation.Instance.incomplete_part inst) in
+    if incomplete = [] then begin
+      Printf.eprintf
+        "no incomplete tuples — the resource report needs an inference \
+         workload\n";
+      exit 1
+    end;
+    let cache =
+      Mrsl.Posterior_cache.create ~max_bytes:(cache_mb * 1024 * 1024) ()
+    in
+    let config = { Mrsl.Gibbs.burn_in; samples } in
+    (* Monitor exactly the inference run (learning stays outside), so the
+       registry deltas below read as "what this workload cost". *)
+    let report =
+      Mrsl.Resource.monitored @@ fun () ->
+      let _ =
+        Mrsl.Parallel.run ~config ~method_ ~cache ~domains ~seed model
+          incomplete
+      in
+      Mrsl.Resource.sample_current ();
+      Mrsl.Resource.report ~cache ()
+    in
+    if json then print_endline (Json.to_string report)
+    else begin
+      let reg = Mrsl.Telemetry.global in
+      let c name = Mrsl.Telemetry.counter reg name in
+      let mb b = Printf.sprintf "%.1f MiB" (float_of_int b /. 1048576.) in
+      let kb f =
+        if f >= 1048576. then Printf.sprintf "%.2f MiB" (f /. 1048576.)
+        else Printf.sprintf "%.1f KiB" (f /. 1024.)
+      in
+      Printf.printf "resource report: %d tuples, %d domains, %d samples\n"
+        (List.length incomplete) domains samples;
+      Printf.printf "gc:          minor %d  major %d  compactions %d\n"
+        (c "gc.minor_collections") (c "gc.major_collections")
+        (c "gc.compactions");
+      let gauge name =
+        match Mrsl.Telemetry.gauge_value reg name with
+        | Some last -> int_of_float last
+        | None -> 0
+      in
+      Printf.printf "heap:        %s (peak %s)\n"
+        (mb (gauge "mem.heap_bytes"))
+        (mb (gauge "mem.top_heap_bytes"));
+      Printf.printf "allocated:   %s (promoted %s)\n"
+        (mb (c "mem.allocated_bytes"))
+        (mb (c "mem.promoted_bytes"));
+      List.iter
+        (fun (label, name) ->
+          match Mrsl.Telemetry.histogram reg name with
+          | Some (s : Mrsl.Telemetry.summary) when s.count > 0 ->
+              Printf.printf "%s n=%d  p50 %s  p99 %s  max %s\n" label s.count
+                (kb s.p50) (kb s.p99) (kb s.max)
+          | _ -> ())
+        [
+          ("alloc/infer:", "mem.alloc_per_infer_bytes");
+          ("alloc/chain:", "mem.alloc_per_chain_bytes");
+        ];
+      (match Mrsl.Resource.utilization () with
+      | [] -> ()
+      | util ->
+          Printf.printf "utilization:";
+          List.iter (fun (d, u) -> Printf.printf " %d=%.2f" d u) util;
+          print_newline ());
+      let st = Mrsl.Posterior_cache.stats cache in
+      let reach = Mrsl.Posterior_cache.reachable_bytes cache in
+      Printf.printf "cache:       accounted %s vs reachable %s (x%.2f)\n"
+        (mb st.bytes) (mb reach)
+        (if reach > 0 then float_of_int st.bytes /. float_of_int reach
+         else 1.)
+    end
+  in
+  let info =
+    Cmd.info "resources"
+      ~doc:
+        "Run a resource-monitored inference over a CSV's incomplete \
+         tuples and report GC counts, heap footprint, allocation per \
+         task, per-domain utilization, and the posterior cache's \
+         accounted-vs-reachable bytes — the measured baseline for \
+         ROADMAP item 2's allocation-free kernels."
+  in
+  Cmd.v info
+    Term.(
+      const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
+      $ samples_arg $ burn_in_arg $ domains_arg $ cache_mb_arg $ json_arg
+      $ trace_arg $ seed_arg)
+
 let setup_logging () =
   match Sys.getenv_opt "MRSL_LOG" with
   | None -> ()
@@ -1421,5 +1593,5 @@ let () =
           [
             generate_cmd; profile_cmd; learn_cmd; infer_cmd; explain_cmd;
             diagnose_cmd; quality_cmd; query_cmd; trace_cmd; experiment_cmd;
-            serve_cmd; client_cmd;
+            resources_cmd; serve_cmd; client_cmd;
           ]))

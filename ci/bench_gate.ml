@@ -48,6 +48,22 @@
    (shedding under hostile load is the point). Counts as a
    requirement, so --baseline is optional with it.
 
+   Allocation mode: --max-alloc-bytes NAME CEIL (repeatable) asserts
+   that the current report's resources block has a row NAME whose
+   alloc_bytes_per_run is at most CEIL — the absolute allocation budget
+   ROADMAP item 2's compiled kernels must beat. Counts as a
+   requirement, so --baseline is optional with it.
+
+   History mode: --history FILE names a BENCH_HISTORY.jsonl trajectory
+   (one JSON object per bench run: git sha, scale, key micro walls,
+   serve req/s, alloc bytes). --history-append appends the current
+   report's summary to it (with --history-sha SHA recorded); with
+   --history-window N the gate then fails when any tracked metric
+   worsened strictly monotonically across the last N runs with a
+   cumulative drift beyond 10% — slow regressions each below the
+   per-run tolerance, invisible to the single checked-in baseline.
+   Counts as a requirement.
+
    Double-accounting guard: when the current report carries a
    "parallel" block, every run in it must have counters_start_zero =
    true — per-run registries must begin empty even though the domain
@@ -72,12 +88,20 @@ let usage () =
     "usage: bench_gate [--baseline <BENCH.json>] --current <BENCH.json> \
      [--require-counter NAME]... [--require-span NAME]... \
      [--require-histogram NAME]... [--histogram-p99 NAME CEIL]... \
-     [--require-latency NAME CEIL_US]... [--max-shed-rate FRAC]";
+     [--require-latency NAME CEIL_US]... [--max-shed-rate FRAC] \
+     [--max-alloc-bytes NAME CEIL]... [--history FILE] \
+     [--history-window N] [--history-append] [--history-sha SHA]";
   prerr_endline
     "  --baseline is required unless --require-counter, --require-span, \
-     --require-histogram, --histogram-p99, --require-latency, or \
-     --max-shed-rate is given";
+     --require-histogram, --histogram-p99, --require-latency, \
+     --max-shed-rate, --max-alloc-bytes, or --history is given";
   exit 2
+
+(* History settings, set by parse_args and consumed straight from main. *)
+let history_file = ref None
+let history_window = ref None
+let history_append = ref false
+let history_sha = ref "unknown"
 
 let parse_args () =
   let baseline = ref None
@@ -87,6 +111,7 @@ let parse_args () =
   and histograms = ref []
   and hist_p99s = ref []
   and latencies = ref []
+  and allocs = ref []
   and shed = ref None in
   let rec go = function
     | [] -> ()
@@ -129,19 +154,47 @@ let parse_args () =
         | _ ->
             Printf.eprintf "bench_gate: bad shed-rate bound %S\n%!" frac;
             exit 2)
+    | "--max-alloc-bytes" :: name :: ceil :: rest -> (
+        match float_of_string_opt ceil with
+        | Some c when c > 0. ->
+            allocs := (name, c) :: !allocs;
+            go rest
+        | _ ->
+            Printf.eprintf "bench_gate: bad alloc ceiling %S\n%!" ceil;
+            exit 2)
+    | "--history" :: v :: rest ->
+        history_file := Some v;
+        go rest
+    | "--history-window" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 2 ->
+            history_window := Some n;
+            go rest
+        | _ ->
+            Printf.eprintf "bench_gate: bad history window %S (need >= 2)\n%!"
+              v;
+            exit 2)
+    | "--history-append" :: rest ->
+        history_append := true;
+        go rest
+    | "--history-sha" :: v :: rest ->
+        history_sha := v;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   match
     (!baseline, !current, List.rev !counters, List.rev !spans,
-     List.rev !histograms, List.rev !hist_p99s, List.rev !latencies, !shed)
+     List.rev !histograms, List.rev !hist_p99s, List.rev !latencies,
+     List.rev !allocs, !shed)
   with
-  | baseline, Some c, req_c, req_s, req_h, req_hp, req_l, shed
+  | baseline, Some c, req_c, req_s, req_h, req_hp, req_l, req_a, shed
     when req_c <> [] || req_s <> [] || req_h <> [] || req_hp <> []
-         || req_l <> [] || shed <> None ->
-      (baseline, c, req_c, req_s, req_h, req_hp, req_l, shed)
-  | Some _, Some c, [], [], [], [], [], None ->
-      (!baseline, c, [], [], [], [], [], None)
+         || req_l <> [] || req_a <> [] || shed <> None
+         || !history_file <> None ->
+      (baseline, c, req_c, req_s, req_h, req_hp, req_l, req_a, shed)
+  | Some _, Some c, [], [], [], [], [], [], None ->
+      (!baseline, c, [], [], [], [], [], [], None)
   | _ -> usage ()
 
 let load path =
@@ -239,6 +292,151 @@ let serve_rows json =
             rows
       | _ -> [])
 
+(* name -> alloc_bytes_per_run for every row of the resources block *)
+let resources_rows json =
+  match Json.member "resources" json with
+  | None -> []
+  | Some res -> (
+      match Json.member "rows" res with
+      | Some (Json.List rows) ->
+          List.filter_map
+            (fun row ->
+              match
+                (Json.member "name" row, Json.member "alloc_bytes_per_run" row)
+              with
+              | Some (Json.String name), Some v -> (
+                  match Json.to_float v with
+                  | b -> Some (name, b)
+                  | exception _ -> None)
+              | _ -> None)
+            rows
+      | _ -> [])
+
+(* --- bench history (BENCH_HISTORY.jsonl) ------------------------------ *)
+
+let read_history_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+          let acc =
+            if String.trim line = "" then acc
+            else
+              match Json.of_string line with
+              | j -> j :: acc
+              | exception Json.Parse_error _ -> acc
+          in
+          go acc
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  end
+
+(* One-line summary of a bench report: the trajectory's unit of record.
+   Metric keys are namespaced so the drift check can infer direction —
+   serve.*.req_per_s worsens downward, everything else upward. *)
+let history_entry_of_report json sha =
+  let metrics =
+    List.map
+      (fun (n, ns) -> ("micro." ^ n ^ ".ns_per_run", Json.Float ns))
+      (micro_rows json)
+    @ List.filter_map
+        (fun (n, rps, _) ->
+          Option.map (fun r -> ("serve." ^ n ^ ".req_per_s", Json.Float r)) rps)
+        (serve_rows json)
+    @ List.map
+        (fun (n, b) -> ("alloc." ^ n ^ ".bytes_per_run", Json.Float b))
+        (resources_rows json)
+  in
+  let carry key =
+    match Json.member key json with Some v -> v | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("sha", Json.String sha);
+      ("scale", carry "scale");
+      ("generated_unix", carry "generated_unix");
+      ("metrics", Json.Obj metrics);
+    ]
+
+let history_metrics entry =
+  match Json.member "metrics" entry with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match Json.to_float v with
+          | f -> Some (k, f)
+          | exception _ -> None)
+        kvs
+  | _ -> []
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* Monotone-drift detector: a metric fails when it worsened at every
+   step of the window AND the cumulative drift exceeds [drift_min] —
+   the slow-regression pattern a single-baseline tolerance never sees.
+   Strict per-step monotonicity keeps ordinary run-to-run noise out. *)
+let drift_min = 0.10
+
+let check_history_drift entries window =
+  let n = List.length entries in
+  if n < window then begin
+    Printf.printf
+      "  %d run(s) recorded, window %d not yet filled — drift check skipped\n"
+      n window;
+    0
+  end
+  else begin
+    let tail =
+      let rec drop k l = if k <= 0 then l else drop (k - 1) (List.tl l) in
+      drop (n - window) entries
+    in
+    let series = List.map history_metrics tail in
+    let keys = match series with last :: _ -> List.map fst last | [] -> [] in
+    let keys =
+      (* tracked = present in every entry of the window *)
+      List.filter
+        (fun k -> List.for_all (fun m -> List.mem_assoc k m) series)
+        keys
+    in
+    let bad = ref 0 in
+    List.iter
+      (fun key ->
+        let vals = List.map (List.assoc key) series in
+        let worse a b =
+          if contains_substring key "req_per_s" then b < a else b > a
+        in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> worse a b && monotone rest
+          | _ -> true
+        in
+        match (vals, List.rev vals) with
+        | first :: _, last :: _ when first > 0. ->
+            let drift = abs_float (last -. first) /. first in
+            if monotone vals && drift > drift_min then begin
+              incr bad;
+              Printf.printf
+                "  %-44s %12.1f -> %12.1f (%+.1f%% over %d runs)  FAIL \
+                 (monotone drift)\n"
+                key first last
+                (100. *. (last -. first) /. first)
+                window
+            end
+        | _ -> ())
+      keys;
+    if !bad = 0 then
+      Printf.printf "  %d tracked metric(s), no monotone drift over %d runs\n"
+        (List.length keys) window;
+    !bad
+  end
+
 (* Double-accounting guard over the parallel block: the bench runs each
    domain-count configuration against a fresh registry, but the domain
    pool — and the per-domain DLS sampler/memo caches inside it — is
@@ -271,7 +469,7 @@ let check_counters_start_zero json =
 let () =
   let ( baseline_opt, current_path, required_counters, required_spans,
         required_histograms, required_hist_p99s, required_latencies,
-        max_shed_rate ) =
+        required_allocs, max_shed_rate ) =
     parse_args ()
   in
   let cur_json = load current_path in
@@ -433,6 +631,63 @@ let () =
           sheds offered bound;
         exit 1
       end);
+  (* Allocation ceilings: absolute byte budgets on the resources rows —
+     the baseline ROADMAP item 2's compiled kernels must beat. *)
+  if required_allocs <> [] then begin
+    Printf.printf "alloc gate: %s\n" current_path;
+    let rows = resources_rows cur_json in
+    let bad = ref 0 in
+    List.iter
+      (fun (name, ceil) ->
+        match List.assoc_opt name rows with
+        | Some b when b <= ceil ->
+            Printf.printf "  %-38s %14.0f B <= %14.0f B  ok\n" name b ceil
+        | Some b ->
+            incr bad;
+            Printf.printf "  %-38s %14.0f B >  %14.0f B  FAIL\n" name b ceil
+        | None ->
+            incr bad;
+            Printf.printf "  %-38s %31s  FAIL (missing row)\n" name "-")
+      required_allocs;
+    if !bad > 0 then (
+      Printf.printf "\n%d allocation ceiling(s) failed\n" !bad;
+      exit 1);
+    Printf.printf "all %d allocation ceilings met\n\n"
+      (List.length required_allocs)
+  end;
+  (* Bench-history trajectory: append the current run's summary, then
+     check the last N entries for monotone drift. The append happens
+     before the check (and before any exit) so the trajectory records
+     every run, including the one that trips the gate. *)
+  (match !history_file with
+  | None -> ()
+  | Some path ->
+      let entry = history_entry_of_report cur_json !history_sha in
+      let existing = read_history_lines path in
+      if !history_append then begin
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+        in
+        output_string oc (Json.to_string ~pretty:false entry);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "history: appended run %s to %s (%d run(s) recorded)\n"
+          !history_sha path
+          (List.length existing + 1)
+      end;
+      (match !history_window with
+      | None -> ()
+      | Some window ->
+          Printf.printf "history gate: %s (window %d)\n" path window;
+          let entries =
+            if !history_append then existing @ [ entry ] else existing
+          in
+          let bad = check_history_drift entries window in
+          if bad > 0 then begin
+            Printf.printf "\n%d metric(s) drifting monotonically\n" bad;
+            exit 1
+          end);
+      print_newline ());
   let baseline_path =
     match baseline_opt with
     | Some b -> b

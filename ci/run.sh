@@ -24,6 +24,16 @@
 #   MRSL_SERVE_P99_US     serve sequential p99 ceiling in µs (default 50000)
 #   MRSL_SERVE_QUEUE_P99_S  healthy-serve queue-wait p99 ceiling in seconds
 #                           (default 0.25)
+#   MRSL_ALLOC_INFER_CEIL   allocation ceiling (bytes/run) for the
+#                           table2 infer micro (default 700000, ~3x the
+#                           measured smoke-scale baseline)
+#   MRSL_ALLOC_GIBBS_CEIL   allocation ceiling (bytes/run) for the
+#                           fig10 gibbs micro (default 25000)
+#   MRSL_BENCH_HISTORY      bench trajectory file (default
+#                           BENCH_HISTORY.jsonl); every gated run
+#                           appends one summary line, and the gate
+#                           fails on sustained monotone drift across
+#                           the trailing window
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +72,13 @@ if [ "$GATE" = 1 ]; then
 else
   echo "(baseline-relative comparisons skipped)"
 fi
+# The allocation ceilings gate the `resources` section: bytes allocated
+# per run of the two inference micros must stay under ~3x the measured
+# baseline (the ROADMAP item-2 kernel work is expected to *lower* them —
+# refresh the ceilings when it lands).  The history file accumulates a
+# one-line summary (key walls, req/s, alloc bytes, git sha) per run and
+# the gate fails on monotone drift across the trailing window.
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 dune exec ci/bench_gate.exe -- \
   ${GATE_BASELINE[@]+"${GATE_BASELINE[@]}"} \
   --current "${MRSL_BENCH_OUT:-BENCH_1.json}" \
@@ -70,12 +87,18 @@ dune exec ci/bench_gate.exe -- \
   --require-counter serve.requests \
   --require-counter serve.batches \
   --require-counter serve.reloads \
+  --require-counter gc.major_collections \
   --require-latency sequential "${MRSL_SERVE_P99_US:-50000}" \
   --require-histogram serve.queue_wait_seconds \
   --require-histogram serve.compute_seconds \
   --require-histogram serve.flush_wait_seconds \
   --histogram-p99 serve.queue_wait_seconds "${MRSL_SERVE_QUEUE_P99_S:-0.25}" \
-  --max-shed-rate 0.01
+  --max-shed-rate 0.01 \
+  --max-alloc-bytes mrsl/table2/infer-best-averaged \
+    "${MRSL_ALLOC_INFER_CEIL:-700000}" \
+  --max-alloc-bytes mrsl/fig10/gibbs-run "${MRSL_ALLOC_GIBBS_CEIL:-25000}" \
+  --history "${MRSL_BENCH_HISTORY:-BENCH_HISTORY.jsonl}" \
+  --history-window 5 --history-append --history-sha "$GIT_SHA"
 
 echo "== serve pass =="
 # Dedicated serving suite: protocol round-trips, framing limits, batch
@@ -232,6 +255,75 @@ dune exec ci/trace_check.exe -- --trace "$OBS_TRACE" \
 grep -q '"outcome":"deadline_exceeded"' "$OBS_LOG"
 grep -q '"outcome":"ok"' "$OBS_LOG"
 echo "serve observability pass passed"
+
+echo "== resource observability pass =="
+# The daemon installs a resource monitor at startup: /metrics must carry
+# the GC/memory families (sampled at scrape time, so monotone across
+# scrapes) and, once a multi-missing request has exercised the worker
+# pool, the per-domain utilization gauge.  The stats op and client
+# profile must carry the resources block over the wire.
+RES_SOCK="$SERVE_DIR/mrsl-res.sock"
+"$MRSL_BIN" serve --model "$SERVE_MODEL" \
+  --socket "$RES_SOCK" --seed 2011 --samples 200 --burn-in 50 \
+  > "$SERVE_DIR/serve-res.log" 2>&1 &
+SERVE_PID=$!
+
+mrsl_client ping --socket "$RES_SOCK" | grep -q '"ok":true'
+mrsl_client infer --socket "$RES_SOCK" --tuple "$SINGLE_TUPLE" \
+  | grep -q '"mode":"exact"'
+if [ -n "$GIBBS_TUPLE" ]; then
+  # Multi-missing inference runs the contained worker pool, which
+  # publishes the per-domain utilization snapshot.
+  mrsl_client infer --socket "$RES_SOCK" --tuple "$GIBBS_TUPLE" \
+    | grep -q '"mode":"gibbs"'
+fi
+
+RES_METRICS_1="$(mrsl_client metrics --socket "$RES_SOCK")"
+echo "$RES_METRICS_1" | grep -q '^mrsl_gc_major_collections_total'
+echo "$RES_METRICS_1" | grep -q '^mrsl_gc_minor_collections_total'
+echo "$RES_METRICS_1" | grep -q '^mrsl_mem_allocated_bytes_total'
+echo "$RES_METRICS_1" | grep -q '^mrsl_mem_heap_bytes'
+if [ -n "$GIBBS_TUPLE" ]; then
+  echo "$RES_METRICS_1" | grep -q '^mrsl_domain_utilization{domain='
+fi
+
+# More traffic, then a second scrape: the GC counters are cumulative
+# deltas and must never move backwards.
+mrsl_client infer --socket "$RES_SOCK" --tuple "$SINGLE_TUPLE" > /dev/null
+if [ -n "$GIBBS_TUPLE" ]; then
+  mrsl_client infer --socket "$RES_SOCK" --tuple "$GIBBS_TUPLE" > /dev/null
+fi
+RES_METRICS_2="$(mrsl_client metrics --socket "$RES_SOCK")"
+GC_MAJ_1="$(echo "$RES_METRICS_1" \
+  | awk '/^mrsl_gc_major_collections_total/ { print int($2) }')"
+GC_MAJ_2="$(echo "$RES_METRICS_2" \
+  | awk '/^mrsl_gc_major_collections_total/ { print int($2) }')"
+if [ -z "$GC_MAJ_1" ] || [ -z "$GC_MAJ_2" ] \
+  || [ "$GC_MAJ_2" -lt "$GC_MAJ_1" ]; then
+  echo "gc counter not monotone across scrapes: '$GC_MAJ_1' -> '$GC_MAJ_2'" >&2
+  exit 1
+fi
+
+# The resources block is queryable over the wire.  Capture first, then
+# grep: a multi-line writer piped straight into grep -q dies of SIGPIPE
+# (exit 141 under pipefail) once grep exits at the first match.
+RES_STATS="$(mrsl_client stats --socket "$RES_SOCK")"
+echo "$RES_STATS" | grep -q '"resources"'
+RES_PROFILE="$(mrsl_client profile --socket "$RES_SOCK")"
+echo "$RES_PROFILE" | grep -q 'heap'
+
+mrsl_client shutdown --socket "$RES_SOCK" | grep -q '"ok":true'
+wait "$SERVE_PID"
+SERVE_PID=""
+
+# One-shot CLI resource report over the same CSV (text and JSON forms).
+RES_REPORT="$("$MRSL_BIN" resources -i "$SERVE_CSV" --samples 100 --burn-in 20 \
+  --domains 2 --seed 2011)"
+echo "$RES_REPORT" | grep -q 'heap'
+RES_REPORT_JSON="$("$MRSL_BIN" resources -i "$SERVE_CSV" --samples 100 --burn-in 20 \
+  --domains 2 --seed 2011 --json)"
+echo "$RES_REPORT_JSON" | grep -q '"gc"'
+echo "resource observability pass passed (gc majors $GC_MAJ_1 -> $GC_MAJ_2)"
 
 echo "== serve chaos pass =="
 # In-process chaos harness: the bench artifact drives a live daemon

@@ -98,6 +98,10 @@ type chain = {
 }
 
 let chain ?(telemetry = Telemetry.global) rng s tup =
+  (* Allocation accounting (ROADMAP item 2 baseline): one atomic load
+     when no Resource monitor is installed; observation only either
+     way. *)
+  Resource.alloc_span ~telemetry "mem.alloc_per_chain_bytes" @@ fun () ->
   let arity = Relation.Schema.arity (Model.schema s.model) in
   if Array.length tup <> arity then
     invalid_arg "Gibbs.chain: tuple arity does not match model schema";

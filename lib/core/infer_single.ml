@@ -91,6 +91,10 @@ let infer_rung ~count ?(method_ = Voting.best_averaged) ?telemetry model tup a =
       | exception Invalid_argument _ -> fallback ())
 
 let infer ?method_ ?telemetry ?cache model tup a =
+  (* Allocation accounting (ROADMAP item 2 baseline): one atomic load
+     when no Resource monitor is installed; observation only either
+     way. *)
+  Resource.alloc_span ?telemetry "mem.alloc_per_infer_bytes" @@ fun () ->
   match cache with
   | None ->
       let d, _, _ = infer_rung ~count:true ?method_ ?telemetry model tup a in

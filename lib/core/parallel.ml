@@ -109,6 +109,8 @@ type worker_log = {
   mutable max_depth : int;
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable busy_ns : int;  (* time inside task execution *)
+  mutable wall_ns : int;  (* the worker body's total wall *)
 }
 
 let fresh_log () =
@@ -120,6 +122,8 @@ let fresh_log () =
     max_depth = 0;
     memo_hits = 0;
     memo_misses = 0;
+    busy_ns = 0;
+    wall_ns = 0;
   }
 
 let empty_result () =
@@ -433,10 +437,27 @@ let run_contained ?(config = Gibbs.default_config)
                 in
                 scan 1
           in
+          (* Busy-vs-idle stamps on the monotonic clock: [busy_ns] sums
+             task execution; everything else in the body's wall is steal
+             scans and [cpu_relax] idling. Always on — two clock reads
+             per task, observation only, so monitored and unmonitored
+             runs stay bit-identical either way. *)
+          let w0 = Clock.now_ns () in
           (try
              while (not (Atomic.get abort)) && Atomic.get remaining > 0 do
                match next_task () with
-               | Some i -> exec log sampler dq i
+               | Some i ->
+                   let b0 = Clock.now_ns () in
+                   let finish () =
+                     log.busy_ns <-
+                       log.busy_ns
+                       + Clock.duration_ns ~start:b0 ~stop:(Clock.now_ns ())
+                   in
+                   (match exec log sampler dq i with
+                   | () -> finish ()
+                   | exception e ->
+                       finish ();
+                       raise e)
                | None -> Domain.cpu_relax ()
              done
            with e ->
@@ -444,6 +465,7 @@ let run_contained ?(config = Gibbs.default_config)
              if !failure = None then failure := Some e;
              Mutex.unlock coord;
              Atomic.set abort true);
+          log.wall_ns <- Clock.duration_ns ~start:w0 ~stop:(Clock.now_ns ());
           let h1, m1 = Gibbs.cache_stats sampler in
           log.memo_hits <- h1 - h0;
           log.memo_misses <- m1 - m0
@@ -500,6 +522,29 @@ let run_contained ?(config = Gibbs.default_config)
               Telemetry.observe telemetry "gibbs.memo_hit_rate"
                 (float_of_int l.memo_hits /. float_of_int probes))
           logs;
+        (* Per-worker busy-vs-idle utilization from the task stamps:
+           busy time is a subset of the worker body's wall, so each
+           slot's ratio is ≤ 1 by construction. The snapshot also feeds
+           the labeled mrsl_domain_utilization exposition. *)
+        Telemetry.add telemetry "sched.busy_ns"
+          (sum (fun l -> l.busy_ns));
+        Telemetry.add telemetry "sched.idle_ns"
+          (sum (fun l -> max 0 (l.wall_ns - l.busy_ns)));
+        let utilization =
+          Array.to_list
+            (Array.mapi
+               (fun wid l ->
+                 let u =
+                   if l.wall_ns <= 0 then 0.
+                   else
+                     Float.min 1.
+                       (float_of_int l.busy_ns /. float_of_int l.wall_ns)
+                 in
+                 Telemetry.observe telemetry "sched.utilization" u;
+                 (wid, u))
+               logs)
+        in
+        Resource.set_utilization utilization;
         (* Quality hook: pure observation of the merged estimates, after
            all sampling and on the orchestrating domain only — workers
            never see the monitor, so monitored runs stay bit-identical. *)

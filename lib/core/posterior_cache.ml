@@ -181,12 +181,16 @@ let create ?(shards = default_shards) ?(max_bytes = default_max_bytes)
 
 let shard_of t key = t.shards.(key.khash land t.shard_mask)
 
-(* Rough per-entry footprint: two boxed int arrays (key signature and the
-   distribution) plus node, key record and hash-bucket overhead. Only has
-   to be proportionate — the budget is a pressure valve, not an
-   accountant. *)
+(* Per-entry footprint on a 64-bit heap, kept at or above the true cost
+   so the byte budget never under-counts (the [Obj.reachable_words]
+   cross-check in the resources report and test suite holds it honest):
+   node record (6 words), key record (6 words), signature int array
+   (len + 1 words), distribution float array (len + 1 words), hashtable
+   bucket cell (4 words), plus amortized slot-array and resize slack.
+   48 + 48 + 32 + 16 = 144 structural bytes, padded to 208 for the
+   array headers and table slack. *)
 let entry_bytes key dist =
-  128 + (8 * Array.length key.sig_) + (8 * Prob.Dist.size dist)
+  208 + (8 * Array.length key.sig_) + (8 * Prob.Dist.size dist)
 
 let publish t =
   let bytes = ref 0 and entries = ref 0 in
@@ -403,3 +407,19 @@ let stats t =
 let hit_rate (t : t) =
   let h = Atomic.get t.hits and m = Atomic.get t.misses in
   if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+(* True heap footprint of the shard tables: every node, key, signature,
+   distribution, bucket and LRU link is reachable from a shard's table
+   (the sentinel via the node prev/next chain), so one traversal per
+   shard covers the lot. Each shard's lock is held during its walk so a
+   concurrent writer can't mutate the structure mid-traversal; the walk
+   is O(entries) and only runs from stats/report paths, never the
+   serving hot path. *)
+let reachable_bytes t =
+  let words = ref 0 in
+  Array.iter
+    (fun sh ->
+      with_lock sh (fun () ->
+          words := !words + Obj.reachable_words (Obj.repr sh.table)))
+    t.shards;
+  !words * (Sys.word_size / 8)

@@ -145,6 +145,14 @@ val stats : t -> stats
 val hit_rate : t -> float
 (** hits / (hits + misses), or [0.] before any probe. *)
 
+val reachable_bytes : t -> int
+(** Measured heap footprint: [Obj.reachable_words] over every shard
+    table (each walked under its lock), in bytes. The accounted budget
+    ({!stats}[.bytes], maintained from the per-entry estimate) must stay
+    at or above this so the byte budget is a true upper bound — the
+    resources report and the test suite cross-check the two. O(entries);
+    meant for stats/report paths, not the serving hot path. *)
+
 val publish : t -> unit
 (** Refresh the [cache.bytes] / [cache.entries] gauges in the cache's
     telemetry registry (counters and the latency histogram are recorded

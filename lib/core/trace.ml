@@ -116,6 +116,36 @@ let instant ?(args = []) ~cat name =
           phase = Instant;
         }
 
+(* Alarm-safe instant: emits only when this domain's ring is already
+   registered under the current sink, so it never takes [reg_lock]. A
+   [Gc.alarm] handler can interrupt a thread that holds that lock (or
+   any other mutex) mid-allocation; an emission path that locks would
+   self-deadlock ("Resource deadlock avoided"). Returns [true] when the
+   event was recorded, [false] when it was skipped (no sink, or this
+   domain has not traced under the sink yet). *)
+let try_instant ?(args = []) ~cat name =
+  match Atomic.get current with
+  | None -> false
+  | Some sink -> (
+      match !(Domain.DLS.get dls_buffer) with
+      | Some (sid, buf) when sid = sink.sink_id ->
+          (if buf.len < Array.length buf.ring then begin
+             buf.ring.(buf.len) <-
+               {
+                 name;
+                 cat;
+                 ts_ns = now_rel sink;
+                 track = (Domain.self () :> int);
+                 id = 0;
+                 args;
+                 phase = Instant;
+               };
+             buf.len <- buf.len + 1
+           end
+           else buf.buf_dropped <- buf.buf_dropped + 1);
+          true
+      | _ -> false)
+
 let counter ?(id = 0) ~cat name values =
   match Atomic.get current with
   | None -> ()
@@ -337,6 +367,20 @@ let prom_float f =
   else if f = neg_infinity then "-Inf"
   else Printf.sprintf "%.17g" f
 
+(* Extra exposition renderers, registered by higher modules (Resource's
+   labeled per-domain utilization series). Labeled series can't ride the
+   generic sanitizer, and Trace sits below those modules in the library,
+   so the dependency is inverted through this hook. *)
+let exposition_extras : (Buffer.t -> unit) list Atomic.t = Atomic.make []
+
+let register_exposition_extra f =
+  let rec add () =
+    let cur = Atomic.get exposition_extras in
+    if not (Atomic.compare_and_set exposition_extras cur (f :: cur)) then
+      add ()
+  in
+  add ()
+
 let prometheus_exposition registry =
   let j = Telemetry.to_json registry in
   let buf = Buffer.create 1024 in
@@ -402,6 +446,7 @@ let prometheus_exposition registry =
         (fun b ->
           line "mrsl_trace_ring_events{domain=\"%d\"} %d" b.owner b.len)
         (List.sort (fun a b -> compare a.owner b.owner) bufs));
+  List.iter (fun f -> f buf) (List.rev (Atomic.get exposition_extras));
   Buffer.contents buf
 
 (* --- trace-file summary ----------------------------------------------- *)

@@ -78,6 +78,15 @@ val with_sink : ?capacity_per_domain:int -> (unit -> 'a) -> 'a * sink
 val instant : ?args:(string * arg) list -> cat:string -> string -> unit
 val counter : ?id:int -> cat:string -> string -> (string * float) list -> unit
 
+val try_instant : ?args:(string * arg) list -> cat:string -> string -> bool
+(** Lock-free variant of {!instant} for signal-like contexts
+    ([Gc.alarm] handlers): emits only when the calling domain's ring is
+    already registered under the current sink, never taking the sink's
+    registration lock — an alarm can interrupt a thread holding it (or
+    any other mutex), and a locking emission path would self-deadlock.
+    Returns whether the event was recorded; [false] means no sink, or
+    this domain has not traced under the installed sink yet. *)
+
 val complete :
   ?args:(string * arg) list -> cat:string -> string -> (unit -> 'a) -> 'a
 (** Times [f] on the monotonic clock and emits one [Complete] slice;
@@ -153,6 +162,13 @@ val prometheus_exposition : Telemetry.t -> string
     [mrsl_trace_ring_events{domain="<id>"}] gauge per domain buffer — so
     a scrape of a traced daemon shows when serving-rate tracing is
     lossy. Without a sink these series are absent. *)
+
+val register_exposition_extra : (Buffer.t -> unit) -> unit
+(** Append a renderer run at the end of every {!prometheus_exposition}
+    (in registration order). For series that can't ride the generic
+    sanitizer — labeled families like
+    [mrsl_domain_utilization{domain="N"}], registered by {!Resource} at
+    module init. Renderers must append complete exposition lines. *)
 
 val summarize : Telemetry.Json.t -> string
 (** Human-readable summary of a parsed Chrome trace produced by

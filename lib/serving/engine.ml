@@ -168,6 +168,9 @@ let error_response t ?id e =
   { line = Protocol.error_line ?id e; outcome = Failed }
 
 let stats_line t ?id () =
+  (* Refresh GC/memory counters so the stats op reflects now, not the
+     last major collection. *)
+  Mrsl.Resource.sample_current ();
   let c name = Json.Int (Mrsl.Telemetry.counter t.telemetry name) in
   let cs = Mrsl.Posterior_cache.stats t.cache in
   let phase key =
@@ -214,6 +217,7 @@ let stats_line t ?id () =
             ("flush_wait", phase "serve.flush_wait_seconds");
             ("total", phase "serve.latency_seconds");
           ] );
+      ("resources", Mrsl.Resource.report ~cache:t.cache ());
     ]
 
 (* ------------------------------------------------------------------ *)

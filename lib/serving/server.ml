@@ -187,6 +187,15 @@ let http_path line =
 let run ?stop ?hup ?on_ready config engine =
   ignore_sigpipe ();
   let telemetry = Engine.telemetry engine in
+  (* Resource monitor for the daemon's lifetime: GC deltas land in the
+     registry (alarm-driven, refreshed on scrape/stats), so /metrics
+     carries the mrsl_gc_* / mrsl_mem_* families. Observation only —
+     client verify asserts served posteriors stay bit-identical to an
+     unmonitored local reference. *)
+  let monitor = Mrsl.Resource.create ~telemetry () in
+  Mrsl.Resource.install monitor;
+  Fun.protect ~finally:(fun () -> ignore (Mrsl.Resource.uninstall ()))
+  @@ fun () ->
   let eng_seed = (Engine.config engine).Engine.seed in
   let req_seq = ref 0 in
   let queue =
@@ -245,6 +254,7 @@ let run ?stop ?hup ?on_ready config engine =
     match http_path line with
     | "/metrics" ->
         Mrsl.Telemetry.incr telemetry "serve.metrics_scrapes";
+        Mrsl.Resource.sample_current ();
         send conn
           (Protocol.http_metrics_response
              (Mrsl.Trace.prometheus_exposition telemetry))

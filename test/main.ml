@@ -24,4 +24,5 @@ let () =
       ("stress", Test_stress.suite);
       ("drivers", Test_drivers.suite);
       ("quality", Test_quality.suite);
+      ("resource", Test_resource.suite);
     ]

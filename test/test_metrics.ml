@@ -59,12 +59,21 @@ let registry_names =
     "fault.task_failures";
     "fault.tuples_skipped";
     "fault.upstream_skipped";
+    "gc.compactions";
+    "gc.major_collections";
+    "gc.minor_collections";
     "gibbs.chains";
     "gibbs.checked";
     "gibbs.memo_hit_rate";
     "gibbs.memo_hits";
     "gibbs.memo_misses";
     "gibbs.retries";
+    "mem.alloc_per_chain_bytes";
+    "mem.alloc_per_infer_bytes";
+    "mem.allocated_bytes";
+    "mem.heap_bytes";
+    "mem.promoted_bytes";
+    "mem.top_heap_bytes";
     "model.learn";
     "parallel.domains";
     "parallel.queue_depth.max";
@@ -91,6 +100,9 @@ let registry_names =
     "quality.voters.root_only";
     "quality.voters.root_only_share";
     "quality.voters.specificity";
+    "sched.busy_ns";
+    "sched.idle_ns";
+    "sched.utilization";
     "serve.access_log_lines";
     "serve.batch";
     "serve.batch_size";
@@ -126,8 +138,8 @@ let registry_names =
 
 let trace_categories =
   [
-    "cache"; "dag"; "gibbs"; "io"; "lattice"; "learn"; "mine"; "quality";
-    "sched"; "serve"; "share"; "steal"; "voting";
+    "cache"; "dag"; "gc"; "gibbs"; "io"; "lattice"; "learn"; "mine";
+    "quality"; "sched"; "serve"; "share"; "steal"; "voting";
   ]
 
 let trace_event_names =
@@ -139,6 +151,7 @@ let trace_event_names =
     "dag.build";
     "degrade.marginal_prior";
     "degrade.uniform";
+    "gc.major";
     "gibbs.attempt";
     "gibbs.chain_init";
     "gibbs.convergence";

@@ -1,0 +1,227 @@
+(* Resource-observability tests (resource-observability PR).
+
+   The layer's contract mirrors Trace/Quality: pure observation. The
+   suite asserts the observation-only guarantee end to end (monitored
+   parallel runs bit-identical to unmonitored), the physical sanity of
+   the derived numbers (per-domain utilization bounded by 1), that a
+   sample actually publishes the gc.*/mem.* names, that the inference
+   hooks populate the allocation histograms only when a monitor is on,
+   and — the accounting satellite — that Posterior_cache's budgeted
+   bytes stay at or above the Obj.reachable_words ground truth. *)
+
+module T = Mrsl.Telemetry
+
+let model () =
+  Mrsl.Model.learn_points
+    ~params:{ Mrsl.Model.default_params with support_threshold = 0.01 }
+    Helpers.dependent_schema
+    (Helpers.dependent_points 400)
+
+let workload =
+  [
+    [| None; Some 0; Some 0 |];
+    [| Some 1; None; Some 1 |];
+    [| Some 0; Some 0; None |];
+    [| None; None; Some 1 |];
+    [| Some 1; Some 1; None |];
+    [| None; Some 1; None |];
+  ]
+
+let run_parallel ?telemetry () =
+  let m = model () in
+  let telemetry = Option.value telemetry ~default:(T.create ()) in
+  Mrsl.Parallel.run
+    ~config:{ Mrsl.Gibbs.burn_in = 15; samples = 60 }
+    ~telemetry ~domains:2 ~seed:11 m workload
+
+let joints (r : Mrsl.Workload.result) =
+  List.map
+    (fun ((_, e) : _ * Mrsl.Gibbs.estimate) ->
+      Array.copy (Prob.Dist.to_array e.joint))
+    r.estimates
+
+(* Observation-only: a monitored run's posteriors are bit-identical to
+   an unmonitored run's — float-exact, not approximately. *)
+let test_monitored_bit_identical () =
+  let plain = joints (run_parallel ()) in
+  let monitored =
+    Mrsl.Resource.monitored (fun () -> joints (run_parallel ()))
+  in
+  Alcotest.(check int)
+    "same estimate count" (List.length plain) (List.length monitored);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "joint arrays bit-identical" true (a = b))
+    plain monitored
+
+(* Per-domain utilization: busy time is a subset of each worker's wall,
+   so every slot must land in [0, 1] — on a workload that keeps both
+   workers busy, and strictly positive for at least one slot. *)
+let test_utilization_bounded () =
+  let _ = run_parallel () in
+  let util = Mrsl.Resource.utilization () in
+  Alcotest.(check bool) "snapshot non-empty" true (util <> []);
+  List.iter
+    (fun (d, u) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d utilization %f in [0,1]" d u)
+        true
+        (u >= 0. && u <= 1.))
+    util;
+  Alcotest.(check bool)
+    "some worker was busy" true
+    (List.exists (fun (_, u) -> u > 0.) util)
+
+(* A sample publishes the gc.*/mem.* names into the monitor's registry
+   (deltas for counters, levels for gauges). *)
+let test_sample_publishes () =
+  let reg = T.create () in
+  let mon = Mrsl.Resource.create ~telemetry:reg () in
+  Mrsl.Resource.install mon;
+  Fun.protect ~finally:(fun () -> ignore (Mrsl.Resource.uninstall ()))
+  @@ fun () ->
+  (* Allocate enough to force collections, then a full major. *)
+  let keep = ref [] in
+  for i = 1 to 200 do
+    keep := Array.make 4096 i :: !keep
+  done;
+  Gc.full_major ();
+  Mrsl.Resource.sample mon;
+  ignore (Sys.opaque_identity !keep);
+  Alcotest.(check bool)
+    "gc.major_collections positive" true
+    (T.counter reg "gc.major_collections" > 0);
+  Alcotest.(check bool)
+    "mem.allocated_bytes positive" true
+    (T.counter reg "mem.allocated_bytes" > 0);
+  (match T.gauge_value reg "mem.heap_bytes" with
+  | Some v -> Alcotest.(check bool) "heap gauge positive" true (v > 0.)
+  | None -> Alcotest.fail "mem.heap_bytes gauge missing");
+  match T.gauge_value reg "mem.top_heap_bytes" with
+  | Some v -> Alcotest.(check bool) "peak heap gauge positive" true (v > 0.)
+  | None -> Alcotest.fail "mem.top_heap_bytes gauge missing"
+
+(* The inference hooks record allocation histograms only while a monitor
+   is installed — and the observations are strictly positive (inference
+   allocates; that is exactly what ROADMAP item 2 wants to shrink). *)
+let test_alloc_histograms () =
+  let m = model () in
+  let tup = [| None; Some 0; Some 0 |] in
+  let off = T.create () in
+  let reg = T.create () in
+  ignore (Mrsl.Infer_single.infer ~telemetry:off m tup 0);
+  Alcotest.(check bool)
+    "no histogram while disabled" true
+    (T.histogram off "mem.alloc_per_infer_bytes" = None);
+  let mon = Mrsl.Resource.create ~telemetry:reg () in
+  Mrsl.Resource.install mon;
+  Fun.protect ~finally:(fun () -> ignore (Mrsl.Resource.uninstall ()))
+  @@ fun () ->
+  ignore (Mrsl.Infer_single.infer ~telemetry:reg m tup 0);
+  let sampler = Mrsl.Gibbs.sampler m in
+  ignore
+    (Mrsl.Gibbs.chain ~telemetry:reg (Prob.Rng.create 3) sampler
+       [| None; None; Some 1 |]);
+  (match T.histogram reg "mem.alloc_per_infer_bytes" with
+  | Some (s : T.summary) ->
+      Alcotest.(check bool) "infer alloc observed" true (s.count > 0);
+      Alcotest.(check bool) "infer alloc positive" true (s.max > 0.)
+  | None -> Alcotest.fail "mem.alloc_per_infer_bytes missing while enabled");
+  match T.histogram reg "mem.alloc_per_chain_bytes" with
+  | Some (s : T.summary) ->
+      Alcotest.(check bool) "chain alloc observed" true (s.count > 0);
+      Alcotest.(check bool) "chain alloc positive" true (s.max > 0.)
+  | None -> Alcotest.fail "mem.alloc_per_chain_bytes missing while enabled"
+
+(* Accounting satellite: the cache's budgeted bytes must upper-bound the
+   measured heap growth of its tables. The empty-cache footprint (shard
+   array, empty hashtables, sentinels) is subtracted so the bound is on
+   what entries actually cost. *)
+let test_cache_accounting_bound () =
+  let m = model () in
+  let cache =
+    Mrsl.Posterior_cache.create ~telemetry:(T.create ()) ~shards:4
+      ~max_bytes:(4 * 1024 * 1024) ()
+  in
+  let empty_reachable = Mrsl.Posterior_cache.reachable_bytes cache in
+  Alcotest.(check bool) "empty footprint measured" true (empty_reachable > 0);
+  (* Distinct evidence signatures: vary the known cells. *)
+  List.iter
+    (fun tup ->
+      List.iter
+        (fun a ->
+          ignore (Mrsl.Infer_single.infer ~cache m tup a))
+        (Relation.Tuple.missing tup))
+    [
+      [| None; Some 0; Some 0 |];
+      [| None; Some 0; Some 1 |];
+      [| None; Some 1; Some 0 |];
+      [| None; Some 1; Some 1 |];
+      [| Some 0; None; Some 0 |];
+      [| Some 0; None; Some 1 |];
+      [| Some 1; None; Some 0 |];
+      [| Some 1; None; Some 1 |];
+      [| Some 0; Some 0; None |];
+      [| Some 0; Some 1; None |];
+      [| Some 1; Some 0; None |];
+      [| Some 1; Some 1; None |];
+      [| None; None; Some 0 |];
+      [| None; None; Some 1 |];
+    ];
+  let st = Mrsl.Posterior_cache.stats cache in
+  let full_reachable = Mrsl.Posterior_cache.reachable_bytes cache in
+  Alcotest.(check bool) "entries cached" true (st.entries > 0);
+  let grown = full_reachable - empty_reachable in
+  Alcotest.(check bool)
+    (Printf.sprintf "accounted %d >= reachable growth %d (%d entries)"
+       st.bytes grown st.entries)
+    true (st.bytes >= grown)
+
+(* The serving stats op carries the resources block. *)
+let test_engine_stats_resources () =
+  let m = model () in
+  let engine =
+    Serving.Engine.of_model ~telemetry:(T.create ())
+      ~config:Serving.Engine.default_config m
+  in
+  let line =
+    Serving.Engine.handle_request engine
+      (Serving.Protocol.req Serving.Protocol.Stats)
+  in
+  let json = T.Json.of_string line in
+  match T.Json.member "resources" json with
+  | Some res -> (
+      (match T.Json.member "gc" res with
+      | Some _ -> ()
+      | None -> Alcotest.fail "resources.gc missing");
+      (match T.Json.member "mem" res with
+      | Some _ -> ()
+      | None -> Alcotest.fail "resources.mem missing");
+      match T.Json.member "cache" res with
+      | Some c -> (
+          match T.Json.member "reachable_bytes" c with
+          | Some _ -> ()
+          | None -> Alcotest.fail "resources.cache.reachable_bytes missing")
+      | None -> Alcotest.fail "resources.cache missing")
+  | None -> Alcotest.fail "stats line has no resources block"
+
+(* The Prometheus exposition carries the labeled per-domain utilization
+   family once a pooled run has recorded a snapshot. *)
+let test_exposition_utilization () =
+  let reg = T.create () in
+  let _ = run_parallel ~telemetry:reg () in
+  let text = Mrsl.Trace.prometheus_exposition reg in
+  Alcotest.(check bool)
+    "mrsl_domain_utilization present" true
+    (Astring_like.contains text "mrsl_domain_utilization{domain=\"0\"}")
+
+let suite =
+  [
+    ("monitored run bit-identical", `Quick, test_monitored_bit_identical);
+    ("utilization within [0,1]", `Quick, test_utilization_bounded);
+    ("sample publishes gc/mem", `Quick, test_sample_publishes);
+    ("alloc histograms gated by monitor", `Quick, test_alloc_histograms);
+    ("cache accounting bounds reachable", `Quick, test_cache_accounting_bound);
+    ("engine stats resources block", `Quick, test_engine_stats_resources);
+    ("exposition domain utilization", `Quick, test_exposition_utilization);
+  ]
