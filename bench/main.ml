@@ -60,6 +60,7 @@ let cache_block : Json.t option ref = ref None
 let serve_block : Json.t option ref = ref None
 let chaos_block : Json.t option ref = ref None
 let resources_block : Json.t option ref = ref None
+let kernel_block : Json.t option ref = ref None
 
 let section title body = Printf.printf "\n=== %s ===\n%s%!" title body
 
@@ -508,6 +509,122 @@ let run_resources fx =
   in
   section "resources" body
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-kernel comparison (ROADMAP item 2): the two gated micros
+   timed interpreted vs compiled in the same process, with allocation
+   per run, plus the bit-identity cross-check the gate requires before
+   it will accept any speedup number. Manual timing (not Bechamel):
+   each mode needs the global kernel switch held across its whole
+   timing loop. *)
+
+let run_kernel () =
+  let fx = micro_fixture () in
+  let with_kernel b f =
+    let prev = Mrsl.Kernel.enabled () in
+    Mrsl.Kernel.set_enabled b;
+    Fun.protect ~finally:(fun () -> Mrsl.Kernel.set_enabled prev) f
+  in
+  let time_alloc f =
+    (* One warm run hoists kernel compilation and lattice setup out of
+       the measurement; rep count adapts so each loop runs ~0.3s. *)
+    f ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let once = Unix.gettimeofday () -. t0 in
+    let reps = max 5 (min 200 (int_of_float (0.3 /. Float.max 1e-6 once))) in
+    Gc.full_major ();
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let a1 = Gc.allocated_bytes () in
+    (dt /. float_of_int reps *. 1e9, (a1 -. a0) /. float_of_int reps)
+  in
+  let gibbs_config = { Mrsl.Gibbs.burn_in = 20; samples = 100 } in
+  let gibbs_run () =
+    (* A fresh unmemoized sampler per run: every sweep pays the full
+       voting cost, which is exactly what the kernel compiles away —
+       a shared memo would hide both paths behind hash probes. *)
+    let sampler = Mrsl.Gibbs.sampler ~memoize:false fx.model in
+    ignore
+      (Mrsl.Gibbs.run ~config:gibbs_config (Prob.Rng.create 7) sampler
+         fx.multi_tuple)
+  in
+  let measure name f =
+    let i_ns, i_alloc = with_kernel false (fun () -> time_alloc f) in
+    let c_ns, c_alloc = with_kernel true (fun () -> time_alloc f) in
+    let speedup = if c_ns > 0. then i_ns /. c_ns else 0. in
+    (name, i_ns, c_ns, speedup, i_alloc, c_alloc)
+  in
+  let rows =
+    [
+      measure "mrsl/table2/infer-best-averaged"
+        (infer_batch ~method_:Mrsl.Voting.best_averaged fx);
+      measure "mrsl/fig10/gibbs-run" gibbs_run;
+    ]
+  in
+  (* Bit-identity: every masked tuple under all four methods, and a
+     fixed-seed Gibbs joint — compiled must equal interpreted exactly. *)
+  let posterior b method_ tup a =
+    with_kernel b (fun () ->
+        Array.copy
+          (Mrsl.Infer_single.infer ~method_ fx.model tup a :> float array))
+  in
+  let voting_identical =
+    Array.for_all
+      (fun tup ->
+        match Relation.Tuple.missing tup with
+        | a :: _ ->
+            List.for_all
+              (fun m -> posterior false m tup a = posterior true m tup a)
+              Mrsl.Voting.all_methods
+        | [] -> true)
+      fx.masked_tuples
+  in
+  let gibbs_joint b =
+    with_kernel b (fun () ->
+        let sampler = Mrsl.Gibbs.sampler ~memoize:false fx.model in
+        Array.copy
+          ((Mrsl.Gibbs.run ~config:gibbs_config (Prob.Rng.create 7) sampler
+              fx.multi_tuple)
+             .joint
+            :> float array))
+  in
+  let bit_identical = voting_identical && gibbs_joint false = gibbs_joint true in
+  kernel_block :=
+    Some
+      (Json.Obj
+         [
+           ( "rows",
+             Json.List
+               (List.map
+                  (fun (name, i_ns, c_ns, speedup, i_alloc, c_alloc) ->
+                    Json.Obj
+                      [
+                        ("name", Json.String name);
+                        ("interpreted_ns_per_run", Json.Float i_ns);
+                        ("compiled_ns_per_run", Json.Float c_ns);
+                        ("speedup", Json.Float speedup);
+                        ("interpreted_alloc_bytes_per_run", Json.Float i_alloc);
+                        ("compiled_alloc_bytes_per_run", Json.Float c_alloc);
+                      ])
+                  rows) );
+           ("bit_identical", Json.Bool bit_identical);
+         ]);
+  let body =
+    Experiments.Report.render ~title:"Compiled kernels vs interpreted"
+      ~header:
+        [ "benchmark"; "interp ns"; "compiled ns"; "speedup"; "interp alloc"; "compiled alloc" ]
+      (List.map
+         (fun (name, i_ns, c_ns, speedup, i_alloc, c_alloc) ->
+           Experiments.Report.[ S name; F i_ns; F c_ns; F speedup; F i_alloc; F c_alloc ])
+         rows)
+    ^ Printf.sprintf "bit_identical: %b\n" bit_identical
+  in
+  section "kernel" body
+
 let write_bench_json () =
   let number_rows rows key =
     Json.List
@@ -539,6 +656,9 @@ let write_bench_json () =
       | None -> [])
     @ (match !resources_block with
       | Some block -> [ ("resources", block) ]
+      | None -> [])
+    @ (match !kernel_block with
+      | Some block -> [ ("kernel", block) ]
       | None -> [])
     @ [ ("telemetry", Mrsl.Telemetry.to_json Mrsl.Telemetry.global) ]
   in
@@ -1578,7 +1698,7 @@ let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> List.map (fun (id, _, _) -> id) artifacts @ [ "micro" ]
+    | _ -> List.map (fun (id, _, _) -> id) artifacts @ [ "micro"; "kernel" ]
   in
   if Mrsl.Fault_inject.install_from_env () then
     Printf.printf "fault injection active: %s\n%!"
@@ -1596,11 +1716,13 @@ let () =
   List.iter
     (fun id ->
       if id = "micro" then run_micro ()
+      else if id = "kernel" then run_kernel ()
       else
         match List.find_opt (fun (i, _, _) -> i = id) artifacts with
         | Some (id, title, f) -> timed_section id title f
         | None ->
-            Printf.eprintf "unknown artifact %S (known: %s, micro)\n%!" id
+            Printf.eprintf "unknown artifact %S (known: %s, micro, kernel)\n%!"
+              id
               (String.concat ", " (List.map (fun (i, _, _) -> i) artifacts)))
     requested;
   (match (sink, trace_out) with

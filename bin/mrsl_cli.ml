@@ -88,6 +88,23 @@ let prometheus_arg =
   Arg.(
     value & opt (some string) None & info [ "prometheus" ] ~doc ~docv:"FILE")
 
+let kernel_arg =
+  let on =
+    Arg.info [ "kernel" ]
+      ~doc:
+        "Use the compiled per-epoch inference kernels (flat-array voting \
+         over the mined lattices). Compiled posteriors are bit-identical \
+         to the interpreted path, which remains available as the oracle. \
+         Enabled by default."
+  in
+  let off =
+    Arg.info [ "no-kernel" ]
+      ~doc:
+        "Disable the compiled kernels and run the interpreted \
+         rule-lattice path for every posterior."
+  in
+  Arg.(value & vflag true [ (true, on); (false, off) ])
+
 (* Run [f] under a freshly installed trace sink when [path] is given,
    writing Chrome trace JSON on the way out (exceptions included — a
    partial trace of a failed run is exactly when you want one). *)
@@ -359,8 +376,9 @@ let infer_cmd =
         (Probdb.Block.alternative_count block - top)
   in
   let run input support max_itemsets method_ strategy samples burn_in top
-      model_path lenient domains on_fault retry use_cache cache_mb trace
-      prometheus seed =
+      model_path lenient domains on_fault retry use_cache cache_mb use_kernel
+      trace prometheus seed =
+    Mrsl.Kernel.set_enabled use_kernel;
     with_trace trace @@ fun () ->
     Fun.protect ~finally:(fun () -> write_prometheus prometheus) @@ fun () ->
     let inst =
@@ -488,7 +506,7 @@ let infer_cmd =
       const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
       $ strategy_arg $ samples_arg $ burn_in_arg $ top_arg $ model_arg
       $ lenient_arg $ domains_arg $ on_fault_arg $ retry_arg $ cache_arg
-      $ cache_mb_arg $ trace_arg $ prometheus_arg $ seed_arg)
+      $ cache_mb_arg $ kernel_arg $ trace_arg $ prometheus_arg $ seed_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -1047,8 +1065,9 @@ let serve_cmd =
     Arg.(value & opt float 1.0 & info [ "log-sample" ] ~doc ~docv:"FRAC")
   in
   let run model_path endpoint seed method_ samples burn_in domains cache_mb
-      batch_max queue_capacity max_conns idle_timeout deadline_ms out_buf_max
-      out_buf_total trace access_log slow_ms log_sample =
+      use_kernel batch_max queue_capacity max_conns idle_timeout deadline_ms
+      out_buf_max out_buf_total trace access_log slow_ms log_sample =
+    Mrsl.Kernel.set_enabled use_kernel;
     if Sys.getenv_opt "MRSL_LOG" = None then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -1107,7 +1126,7 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ endpoint_term $ seed_arg $ method_arg
       $ samples_arg $ burn_in_arg $ serve_domains_arg $ serve_cache_mb_arg
-      $ batch_max_arg $ queue_arg $ max_conns_arg $ idle_timeout_arg
+      $ kernel_arg $ batch_max_arg $ queue_arg $ max_conns_arg $ idle_timeout_arg
       $ deadline_ms_arg $ out_buf_max_arg $ out_buf_total_arg $ trace_arg
       $ access_log_arg $ slow_ms_arg $ log_sample_arg)
 
@@ -1337,7 +1356,12 @@ let client_cmd =
         required & opt (some file) None & info [ "model" ] ~doc ~docv:"FILE")
     in
     let run endpoint model_path input seed method_ samples burn_in domains
-        cache_mb window =
+        cache_mb use_kernel window =
+      (* Controls only the LOCAL reference engine; the daemon's kernel
+         setting is its own. `--no-kernel' makes the reference run the
+         interpreted oracle, so verify cross-checks a kernel-enabled
+         daemon against interpreted inference bit-for-bit. *)
+      Mrsl.Kernel.set_enabled use_kernel;
       let inst = Relation.Csv_io.read_file input in
       let config =
         engine_config_of seed method_ samples burn_in domains cache_mb
@@ -1436,7 +1460,7 @@ let client_cmd =
       Term.(
         const run $ endpoint_term $ model_arg $ input_arg $ seed_arg
         $ method_arg $ samples_arg $ burn_in_arg $ serve_domains_arg
-        $ serve_cache_mb_arg $ window_arg)
+        $ serve_cache_mb_arg $ kernel_arg $ window_arg)
   in
   let info =
     Cmd.info "client"
@@ -1472,8 +1496,9 @@ let resources_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run input support max_itemsets method_ samples burn_in domains cache_mb
-      json trace seed =
+      use_kernel json trace seed =
     let module Json = Mrsl.Telemetry.Json in
+    Mrsl.Kernel.set_enabled use_kernel;
     with_trace trace @@ fun () ->
     let inst = Relation.Csv_io.read_file input in
     let params = params_of support max_itemsets in
@@ -1562,8 +1587,8 @@ let resources_cmd =
   Cmd.v info
     Term.(
       const run $ input_arg $ support_arg $ max_itemsets_arg $ method_arg
-      $ samples_arg $ burn_in_arg $ domains_arg $ cache_mb_arg $ json_arg
-      $ trace_arg $ seed_arg)
+      $ samples_arg $ burn_in_arg $ domains_arg $ cache_mb_arg $ kernel_arg
+      $ json_arg $ trace_arg $ seed_arg)
 
 let setup_logging () =
   match Sys.getenv_opt "MRSL_LOG" with

@@ -54,6 +54,13 @@
    ROADMAP item 2's compiled kernels must beat. Counts as a
    requirement, so --baseline is optional with it.
 
+   Kernel-speedup mode: --min-speedup NAME RATIO (repeatable) asserts
+   that the current report's kernel block has a row NAME whose
+   compiled-vs-interpreted speedup is at least RATIO, AND that the
+   block's bit_identical flag is true — a speedup bought by diverging
+   from the interpreted oracle is a correctness bug, not a win. Counts
+   as a requirement, so --baseline is optional with it.
+
    History mode: --history FILE names a BENCH_HISTORY.jsonl trajectory
    (one JSON object per bench run: git sha, scale, key micro walls,
    serve req/s, alloc bytes). --history-append appends the current
@@ -89,12 +96,14 @@ let usage () =
      [--require-counter NAME]... [--require-span NAME]... \
      [--require-histogram NAME]... [--histogram-p99 NAME CEIL]... \
      [--require-latency NAME CEIL_US]... [--max-shed-rate FRAC] \
-     [--max-alloc-bytes NAME CEIL]... [--history FILE] \
-     [--history-window N] [--history-append] [--history-sha SHA]";
+     [--max-alloc-bytes NAME CEIL]... [--min-speedup NAME RATIO]... \
+     [--history FILE] [--history-window N] [--history-append] \
+     [--history-sha SHA]";
   prerr_endline
     "  --baseline is required unless --require-counter, --require-span, \
      --require-histogram, --histogram-p99, --require-latency, \
-     --max-shed-rate, --max-alloc-bytes, or --history is given";
+     --max-shed-rate, --max-alloc-bytes, --min-speedup, or --history is \
+     given";
   exit 2
 
 (* History settings, set by parse_args and consumed straight from main. *)
@@ -112,6 +121,7 @@ let parse_args () =
   and hist_p99s = ref []
   and latencies = ref []
   and allocs = ref []
+  and speedups = ref []
   and shed = ref None in
   let rec go = function
     | [] -> ()
@@ -162,6 +172,14 @@ let parse_args () =
         | _ ->
             Printf.eprintf "bench_gate: bad alloc ceiling %S\n%!" ceil;
             exit 2)
+    | "--min-speedup" :: name :: ratio :: rest -> (
+        match float_of_string_opt ratio with
+        | Some r when r > 0. ->
+            speedups := (name, r) :: !speedups;
+            go rest
+        | _ ->
+            Printf.eprintf "bench_gate: bad speedup ratio %S\n%!" ratio;
+            exit 2)
     | "--history" :: v :: rest ->
         history_file := Some v;
         go rest
@@ -186,15 +204,15 @@ let parse_args () =
   match
     (!baseline, !current, List.rev !counters, List.rev !spans,
      List.rev !histograms, List.rev !hist_p99s, List.rev !latencies,
-     List.rev !allocs, !shed)
+     List.rev !allocs, List.rev !speedups, !shed)
   with
-  | baseline, Some c, req_c, req_s, req_h, req_hp, req_l, req_a, shed
+  | baseline, Some c, req_c, req_s, req_h, req_hp, req_l, req_a, req_k, shed
     when req_c <> [] || req_s <> [] || req_h <> [] || req_hp <> []
-         || req_l <> [] || req_a <> [] || shed <> None
+         || req_l <> [] || req_a <> [] || req_k <> [] || shed <> None
          || !history_file <> None ->
-      (baseline, c, req_c, req_s, req_h, req_hp, req_l, req_a, shed)
-  | Some _, Some c, [], [], [], [], [], [], None ->
-      (!baseline, c, [], [], [], [], [], [], None)
+      (baseline, c, req_c, req_s, req_h, req_hp, req_l, req_a, req_k, shed)
+  | Some _, Some c, [], [], [], [], [], [], [], None ->
+      (!baseline, c, [], [], [], [], [], [], [], None)
   | _ -> usage ()
 
 let load path =
@@ -311,6 +329,33 @@ let resources_rows json =
               | _ -> None)
             rows
       | _ -> [])
+
+(* name -> speedup for every row of the kernel block *)
+let kernel_rows json =
+  match Json.member "kernel" json with
+  | None -> []
+  | Some k -> (
+      match Json.member "rows" k with
+      | Some (Json.List rows) ->
+          List.filter_map
+            (fun row ->
+              match (Json.member "name" row, Json.member "speedup" row) with
+              | Some (Json.String name), Some v -> (
+                  match Json.to_float v with
+                  | s -> Some (name, s)
+                  | exception _ -> None)
+              | _ -> None)
+            rows
+      | _ -> [])
+
+(* the kernel block's differential-check verdict *)
+let kernel_bit_identical json =
+  match Json.member "kernel" json with
+  | None -> None
+  | Some k -> (
+      match Json.member "bit_identical" k with
+      | Some (Json.Bool b) -> Some b
+      | _ -> None)
 
 (* --- bench history (BENCH_HISTORY.jsonl) ------------------------------ *)
 
@@ -469,7 +514,7 @@ let check_counters_start_zero json =
 let () =
   let ( baseline_opt, current_path, required_counters, required_spans,
         required_histograms, required_hist_p99s, required_latencies,
-        required_allocs, max_shed_rate ) =
+        required_allocs, required_speedups, max_shed_rate ) =
     parse_args ()
   in
   let cur_json = load current_path in
@@ -654,6 +699,39 @@ let () =
       exit 1);
     Printf.printf "all %d allocation ceilings met\n\n"
       (List.length required_allocs)
+  end;
+  (* Kernel speedup floors: the compiled path must beat the interpreted
+     one by the given ratio, and only a bit-identical win counts. *)
+  if required_speedups <> [] then begin
+    Printf.printf "kernel gate: %s\n" current_path;
+    let rows = kernel_rows cur_json in
+    let bad = ref 0 in
+    (match kernel_bit_identical cur_json with
+    | Some true -> Printf.printf "  %-38s %31s  ok\n" "bit_identical" "true"
+    | Some false ->
+        incr bad;
+        Printf.printf "  %-38s %31s  FAIL (compiled diverged)\n"
+          "bit_identical" "false"
+    | None ->
+        incr bad;
+        Printf.printf "  %-38s %31s  FAIL (missing)\n" "bit_identical" "-");
+    List.iter
+      (fun (name, floor) ->
+        match List.assoc_opt name rows with
+        | Some s when s >= floor ->
+            Printf.printf "  %-38s %13.2fx >= %13.2fx  ok\n" name s floor
+        | Some s ->
+            incr bad;
+            Printf.printf "  %-38s %13.2fx <  %13.2fx  FAIL\n" name s floor
+        | None ->
+            incr bad;
+            Printf.printf "  %-38s %31s  FAIL (missing row)\n" name "-")
+      required_speedups;
+    if !bad > 0 then (
+      Printf.printf "\n%d kernel speedup requirement(s) failed\n" !bad;
+      exit 1);
+    Printf.printf "all %d kernel speedup floors met (bit-identical)\n\n"
+      (List.length required_speedups)
   end;
   (* Bench-history trajectory: append the current run's summary, then
      check the last N entries for monotone drift. The append happens

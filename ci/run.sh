@@ -25,10 +25,15 @@
 #   MRSL_SERVE_QUEUE_P99_S  healthy-serve queue-wait p99 ceiling in seconds
 #                           (default 0.25)
 #   MRSL_ALLOC_INFER_CEIL   allocation ceiling (bytes/run) for the
-#                           table2 infer micro (default 700000, ~3x the
-#                           measured smoke-scale baseline)
+#                           table2 infer micro (default 35000, ~3x the
+#                           measured smoke-scale baseline with the
+#                           compiled kernels on)
 #   MRSL_ALLOC_GIBBS_CEIL   allocation ceiling (bytes/run) for the
-#                           fig10 gibbs micro (default 25000)
+#                           fig10 gibbs micro (default 21000)
+#   MRSL_KERNEL_SPEEDUP     compiled-kernel speedup floor over the
+#                           interpreted path for both inference micros
+#                           (default 2.0; the gate also requires the
+#                           differential check's bit_identical flag)
 #   MRSL_BENCH_HISTORY      bench trajectory file (default
 #                           BENCH_HISTORY.jsonl); every gated run
 #                           appends one summary line, and the gate
@@ -58,7 +63,8 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== smoke bench =="
-MRSL_SCALE="${MRSL_SCALE:-smoke}" dune exec bench/main.exe -- micro cache serve
+MRSL_SCALE="${MRSL_SCALE:-smoke}" dune exec bench/main.exe -- \
+  micro kernel cache serve
 
 echo "== bench gate =="
 # The counter requirements prove the posterior-cache and serving hot
@@ -74,10 +80,15 @@ else
 fi
 # The allocation ceilings gate the `resources` section: bytes allocated
 # per run of the two inference micros must stay under ~3x the measured
-# baseline (the ROADMAP item-2 kernel work is expected to *lower* them —
-# refresh the ceilings when it lands).  The history file accumulates a
-# one-line summary (key walls, req/s, alloc bytes, git sha) per run and
-# the gate fails on monotone drift across the trailing window.
+# baseline with the compiled kernels on (the ROADMAP item-2 kernel work
+# lowered them ~20x; these ceilings lock that in).  The kernel gate
+# requires both inference micros to run at least MRSL_KERNEL_SPEEDUP
+# times faster compiled than interpreted AND the differential check to
+# report bit-identical posteriors, and the counter requirements prove
+# the kernel actually compiled and served hits during the bench.  The
+# history file accumulates a one-line summary (key walls, req/s, alloc
+# bytes, git sha) per run and the gate fails on monotone drift across
+# the trailing window.
 GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 dune exec ci/bench_gate.exe -- \
   ${GATE_BASELINE[@]+"${GATE_BASELINE[@]}"} \
@@ -88,6 +99,8 @@ dune exec ci/bench_gate.exe -- \
   --require-counter serve.batches \
   --require-counter serve.reloads \
   --require-counter gc.major_collections \
+  --require-counter kernel.compiles \
+  --require-counter kernel.hits \
   --require-latency sequential "${MRSL_SERVE_P99_US:-50000}" \
   --require-histogram serve.queue_wait_seconds \
   --require-histogram serve.compute_seconds \
@@ -95,8 +108,11 @@ dune exec ci/bench_gate.exe -- \
   --histogram-p99 serve.queue_wait_seconds "${MRSL_SERVE_QUEUE_P99_S:-0.25}" \
   --max-shed-rate 0.01 \
   --max-alloc-bytes mrsl/table2/infer-best-averaged \
-    "${MRSL_ALLOC_INFER_CEIL:-700000}" \
-  --max-alloc-bytes mrsl/fig10/gibbs-run "${MRSL_ALLOC_GIBBS_CEIL:-25000}" \
+    "${MRSL_ALLOC_INFER_CEIL:-35000}" \
+  --max-alloc-bytes mrsl/fig10/gibbs-run "${MRSL_ALLOC_GIBBS_CEIL:-21000}" \
+  --min-speedup mrsl/table2/infer-best-averaged \
+    "${MRSL_KERNEL_SPEEDUP:-2.0}" \
+  --min-speedup mrsl/fig10/gibbs-run "${MRSL_KERNEL_SPEEDUP:-2.0}" \
   --history "${MRSL_BENCH_HISTORY:-BENCH_HISTORY.jsonl}" \
   --history-window 5 --history-append --history-sha "$GIT_SHA"
 
@@ -176,10 +192,13 @@ mrsl_client ping --socket "$SERVE_SOCK" | grep -q '"ok":true'
 # against local inference through the same entry points; a hot model
 # swap is issued while the verification stream is in flight (same model
 # file, so posteriors must stay bit-identical and nothing may drop).
+# --no-kernel pins the LOCAL reference engine to the interpreted path
+# while the daemon serves compiled — so this pass is also an end-to-end
+# compiled-vs-interpreted differential over live traffic.
 EPOCH_BEFORE="$(mrsl_client ping --socket "$SERVE_SOCK" \
   | grep -o '"epoch":[0-9]*' | head -1 | cut -d: -f2)"
 mrsl_client verify --socket "$SERVE_SOCK" --model "$SERVE_MODEL" \
-  -i "$SERVE_CSV" --seed 2011 --samples 200 --burn-in 50 &
+  -i "$SERVE_CSV" --seed 2011 --samples 200 --burn-in 50 --no-kernel &
 VERIFY_PID=$!
 sleep 0.3
 mrsl_client reload --socket "$SERVE_SOCK" | grep -q '"ok":true'

@@ -95,20 +95,26 @@ let infer ?method_ ?telemetry ?cache model tup a =
      when no Resource monitor is installed; observation only either
      way. *)
   Resource.alloc_span ?telemetry "mem.alloc_per_infer_bytes" @@ fun () ->
+  let method_ = Option.value method_ ~default:Voting.best_averaged in
+  (* Compiled fast path first; the kernel returns None (and the
+     interpreted oracle below runs, degradation telemetry included)
+     whenever it cannot guarantee a bit-identical posterior. *)
+  let compute () =
+    match Kernel.posterior ?telemetry ~method_ model tup a with
+    | Some d -> d
+    | None ->
+        let d, _, _ = infer_rung ~count:true ~method_ ?telemetry model tup a in
+        d
+  in
   match cache with
   | None ->
-      let d, _, _ = infer_rung ~count:true ?method_ ?telemetry model tup a in
-      d
+      check_task model tup a;
+      compute ()
   | Some c ->
       (* Validate up front: a cache hit must not skip the structural
          checks a miss would have performed. *)
       check_task model tup a;
-      let method_ = Option.value method_ ~default:Voting.best_averaged in
-      Posterior_cache.find_or_compute c model ~method_ tup a (fun () ->
-          let d, _, _ =
-            infer_rung ~count:true ~method_ ?telemetry model tup a
-          in
-          d)
+      Posterior_cache.find_or_compute c model ~method_ tup a compute
 
 let infer_result ?method_ ?telemetry ?cache model tup a =
   match infer ?method_ ?telemetry ?cache model tup a with

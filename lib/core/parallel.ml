@@ -37,6 +37,10 @@ module Sampler_cache = struct
     method_ : Voting.method_ option;
     memoize : bool option;
     pcache : Posterior_cache.t option;
+    kernel : bool;  (* Kernel.enabled at creation: a sampler whose memo
+                       was filled under one engine setting is never
+                       reused under the other, so toggling --kernel
+                       between runs cannot blur benchmarks *)
     sampler : Gibbs.sampler;
   }
 
@@ -58,10 +62,12 @@ module Sampler_cache = struct
 
   let get ?method_ ?memoize ?pcache model =
     let cache = Domain.DLS.get key in
+    let kernel = Kernel.enabled () in
     match
       List.find_opt
         (fun e ->
           e.model == model && e.method_ = method_ && e.memoize = memoize
+          && e.kernel = kernel
           && same_pcache e.pcache pcache)
         !cache
     with
@@ -69,7 +75,7 @@ module Sampler_cache = struct
     | None ->
         let sampler = Gibbs.sampler ?method_ ?memoize ?cache:pcache model in
         cache :=
-          { model; method_; memoize; pcache; sampler }
+          { model; method_; memoize; pcache; kernel; sampler }
           :: take (max_entries - 1) !cache;
         sampler
 end

@@ -60,7 +60,13 @@ let signature model (tup : Relation.Tuple.t) a =
     (fun b -> match tup.(b) with None -> 0 | Some v -> v + 1)
     attrs
 
+(* Key namespaces: [ns = 0] keys carry the interpreted signature digit
+   array; [ns = 1] keys carry the compiled kernel's exact mixed-radix
+   context code as a one-element array. The namespaces are disjoint by
+   construction so the two key schemes can never collide — an attribute
+   whose context code would overflow falls back to ns 0 (see Kernel). *)
 type key = {
+  ns : int;
   epoch : int;
   attr : int;
   meth : int;
@@ -68,8 +74,9 @@ type key = {
   khash : int;  (* precomputed; array hashing is the lookup's only O(n) *)
 }
 
-let key_hash ~epoch ~attr ~meth sig_ =
+let key_hash ~ns ~epoch ~attr ~meth sig_ =
   let h = ref (Int64.of_int epoch) in
+  h := fold_digit !h ~radix:31 ~digit:ns;
   h := fold_digit !h ~radix:31 ~digit:attr;
   h := fold_digit !h ~radix:31 ~digit:meth;
   Array.iter (fun d -> h := fold_digit !h ~radix:31 ~digit:d) sig_;
@@ -78,14 +85,33 @@ let key_hash ~epoch ~attr ~meth sig_ =
 let make_key model ~method_ tup a =
   let epoch = Model.epoch model in
   let meth = method_code method_ in
-  let sig_ = signature model tup a in
-  { epoch; attr = a; meth; sig_; khash = key_hash ~epoch ~attr:a ~meth sig_ }
+  match Kernel.cache_code model tup a with
+  | Some code ->
+      let sig_ = [| code |] in
+      {
+        ns = 1;
+        epoch;
+        attr = a;
+        meth;
+        sig_;
+        khash = key_hash ~ns:1 ~epoch ~attr:a ~meth sig_;
+      }
+  | None ->
+      let sig_ = signature model tup a in
+      {
+        ns = 0;
+        epoch;
+        attr = a;
+        meth;
+        sig_;
+        khash = key_hash ~ns:0 ~epoch ~attr:a ~meth sig_;
+      }
 
 module Key = struct
   type t = key
 
   let equal a b =
-    a.khash = b.khash && a.epoch = b.epoch && a.attr = b.attr
+    a.khash = b.khash && a.ns = b.ns && a.epoch = b.epoch && a.attr = b.attr
     && a.meth = b.meth
     && Array.length a.sig_ = Array.length b.sig_
     &&
@@ -115,7 +141,8 @@ type shard = {
   mutable entries : int;
 }
 
-let dummy_key = { epoch = -1; attr = -1; meth = -1; sig_ = [||]; khash = 0 }
+let dummy_key =
+  { ns = 0; epoch = -1; attr = -1; meth = -1; sig_ = [||]; khash = 0 }
 
 let make_shard () =
   let rec sentinel =

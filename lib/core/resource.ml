@@ -120,9 +120,18 @@ let install t =
   t.alarm <- Some (Gc.create_alarm on_major)
 
 let monitored ?telemetry f =
+  (* A previously installed monitor is put back afterwards rather than
+     silently dropped; [install] re-baselines its snapshot, so activity
+     inside the scoped window is published exactly once (by the scoped
+     monitor) and never double-counted by the restored one. *)
+  let prev = installed () in
   let t = create ?telemetry () in
   install t;
-  Fun.protect ~finally:(fun () -> ignore (uninstall ())) f
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (uninstall ());
+      match prev with Some p -> install p | None -> ())
+    f
 
 let alloc_span ?telemetry name f =
   if not (enabled ()) then f ()

@@ -71,7 +71,11 @@ val enabled : unit -> bool
 
 val monitored : ?telemetry:Telemetry.t -> (unit -> 'a) -> 'a
 (** Run [f] with a fresh installed monitor, uninstalling it afterwards
-    (even on exceptions). *)
+    (even on exceptions). A monitor that was installed beforehand is
+    re-installed — not dropped — when the scope exits; re-installation
+    re-baselines its delta snapshot, so GC activity inside the scope is
+    published exactly once and back-to-back {!sample}s around a
+    [monitored] window stay monotone. *)
 
 val sample : t -> unit
 (** Publish deltas of [Gc.quick_stat] / [Gc.allocated_bytes] since the

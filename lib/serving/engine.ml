@@ -35,6 +35,10 @@ let of_model ?(telemetry = Mrsl.Telemetry.global) ~config
     Mrsl.Posterior_cache.create ~max_bytes:config.cache_bytes ~telemetry ()
   in
   let t = { model; model_path; config; telemetry; cache } in
+  (* Precompile the inference kernel so the first request never pays the
+     build; a no-op when the compiled path is disabled. *)
+  if Mrsl.Kernel.enabled () then
+    ignore (Mrsl.Kernel.ensure ~telemetry model : Mrsl.Kernel.t);
   set_epoch_gauge t;
   t
 
@@ -69,9 +73,28 @@ let reload ?path t =
              "new model's schema differs from the serving schema; \
               refusing the swap")
       else begin
+        (* Compile the fresh model's kernel BEFORE mutating any serving
+           state: if compilation fails the old model, epoch, cache and
+           kernel keep serving untouched; if it succeeds the epoch bump
+           below can never serve a stale kernel (registry keys are
+           process-unique epochs). *)
+        match
+          Mrsl.Error.guard (fun () ->
+              if Mrsl.Kernel.enabled () then
+                ignore (Mrsl.Kernel.ensure ~telemetry:t.telemetry fresh
+                        : Mrsl.Kernel.t))
+        with
+        | Error e ->
+            Error
+              (Mrsl.Error.make Mrsl.Error.Model ~code:"serve.reload_kernel"
+                 ~context:(("path", path) :: e.context)
+                 e.message)
+        | Ok () ->
         t.model <- fresh;
         t.model_path <- path;
         Mrsl.Posterior_cache.invalidate_stale t.cache ~current:fresh;
+        if Mrsl.Kernel.enabled () then
+          Mrsl.Kernel.invalidate_stale ~current:fresh;
         Mrsl.Telemetry.incr t.telemetry "serve.reloads";
         set_epoch_gauge t;
         Mrsl.Trace.instant ~cat:"serve"

@@ -25,4 +25,5 @@ let () =
       ("drivers", Test_drivers.suite);
       ("quality", Test_quality.suite);
       ("resource", Test_resource.suite);
+      ("kernel", Test_kernel.suite);
     ]

@@ -68,6 +68,9 @@ let registry_names =
     "gibbs.memo_hits";
     "gibbs.memo_misses";
     "gibbs.retries";
+    "kernel.compiles";
+    "kernel.fallback";
+    "kernel.hits";
     "mem.alloc_per_chain_bytes";
     "mem.alloc_per_infer_bytes";
     "mem.allocated_bytes";
@@ -138,8 +141,8 @@ let registry_names =
 
 let trace_categories =
   [
-    "cache"; "dag"; "gc"; "gibbs"; "io"; "lattice"; "learn"; "mine";
-    "quality"; "sched"; "serve"; "share"; "steal"; "voting";
+    "cache"; "dag"; "gc"; "gibbs"; "io"; "kernel"; "lattice"; "learn";
+    "mine"; "quality"; "sched"; "serve"; "share"; "steal"; "voting";
   ]
 
 let trace_event_names =
@@ -155,6 +158,7 @@ let trace_event_names =
     "gibbs.attempt";
     "gibbs.chain_init";
     "gibbs.convergence";
+    "kernel.compile";
     "lattice.build";
     "mine.frequent_itemsets";
     "model.learn";

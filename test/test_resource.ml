@@ -205,6 +205,68 @@ let test_engine_stats_resources () =
       | None -> Alcotest.fail "resources.cache missing")
   | None -> Alcotest.fail "stats line has no resources block"
 
+(* Back-to-back samples — `mrsl resources` then a serve stats op, or two
+   stats ops in a row — must not double-count: the first sample consumes
+   the delta, so an immediate second publishes (almost) nothing beyond
+   the sampling machinery's own allocations, and counters stay monotone
+   (the clamp forbids negative deltas). *)
+let test_back_to_back_samples () =
+  let reg = T.create () in
+  let mon = Mrsl.Resource.create ~telemetry:reg () in
+  Mrsl.Resource.install mon;
+  Fun.protect ~finally:(fun () -> ignore (Mrsl.Resource.uninstall ()))
+  @@ fun () ->
+  (* ~8 MiB of allocation for the first sample to pick up *)
+  let keep = ref [] in
+  for i = 1 to 256 do
+    keep := Array.make 4096 (float_of_int i) :: !keep
+  done;
+  ignore (Sys.opaque_identity !keep);
+  Mrsl.Resource.sample mon;
+  let a1 = T.counter reg "mem.allocated_bytes" in
+  let g1 = T.counter reg "gc.minor_collections" in
+  Alcotest.(check bool) "first sample saw the allocation" true
+    (a1 > 4_000_000);
+  Mrsl.Resource.sample mon;
+  let a2 = T.counter reg "mem.allocated_bytes" in
+  let g2 = T.counter reg "gc.minor_collections" in
+  Alcotest.(check bool) "counters monotone" true (a2 >= a1 && g2 >= g1);
+  Alcotest.(check bool)
+    (Printf.sprintf "no double count (second delta %d bytes)" (a2 - a1))
+    true
+    (a2 - a1 < 1_000_000)
+
+(* [monitored] must restore — not drop — a monitor that was installed
+   around it, and re-baseline it on the way back in so the scoped
+   window's activity is never published twice. *)
+let test_monitored_restores_outer () =
+  let outer_reg = T.create () in
+  let outer = Mrsl.Resource.create ~telemetry:outer_reg () in
+  Mrsl.Resource.install outer;
+  Fun.protect ~finally:(fun () -> ignore (Mrsl.Resource.uninstall ()))
+  @@ fun () ->
+  Mrsl.Resource.sample outer;
+  let before = T.counter outer_reg "mem.allocated_bytes" in
+  Mrsl.Resource.monitored (fun () ->
+      (* ~8 MiB inside the scoped window: published by the scoped
+         monitor's final sample, not the outer one *)
+      let keep = ref [] in
+      for i = 1 to 256 do
+        keep := Array.make 4096 (float_of_int i) :: !keep
+      done;
+      ignore (Sys.opaque_identity !keep));
+  (match Mrsl.Resource.installed () with
+  | Some m when m == outer -> ()
+  | Some _ -> Alcotest.fail "a different monitor is installed"
+  | None -> Alcotest.fail "outer monitor was dropped");
+  Mrsl.Resource.sample outer;
+  let after = T.counter outer_reg "mem.allocated_bytes" in
+  Alcotest.(check bool)
+    (Printf.sprintf "outer monitor re-baselined (saw %d bytes)"
+       (after - before))
+    true
+    (after - before < 1_000_000)
+
 (* The Prometheus exposition carries the labeled per-domain utilization
    family once a pooled run has recorded a snapshot. *)
 let test_exposition_utilization () =
@@ -223,5 +285,7 @@ let suite =
     ("alloc histograms gated by monitor", `Quick, test_alloc_histograms);
     ("cache accounting bounds reachable", `Quick, test_cache_accounting_bound);
     ("engine stats resources block", `Quick, test_engine_stats_resources);
+    ("back-to-back samples", `Quick, test_back_to_back_samples);
+    ("monitored restores outer monitor", `Quick, test_monitored_restores_outer);
     ("exposition domain utilization", `Quick, test_exposition_utilization);
   ]
